@@ -1,0 +1,573 @@
+// Package arrow is a restoration-aware traffic-engineering library: a Go
+// implementation of ARROW (Zhong et al., SIGCOMM 2021).
+//
+// When a WAN fiber is cut, the wavelengths it carried can be reconfigured
+// onto healthy "surrogate" fibers, reviving the failed IP links — usually
+// only partially, because the surviving fibers rarely have enough usable
+// spectrum. ARROW makes traffic engineering aware of those partial
+// restoration opportunities: an offline stage enumerates restoration
+// candidates per failure scenario ("LotteryTickets", relaxed
+// routing-and-wavelength-assignment plus randomized rounding), and an
+// online two-phase LP picks the winning candidate per scenario while
+// computing tunnel allocations, so the network can react to a cut in
+// seconds with a precomputed plan.
+//
+// Typical use:
+//
+//	b := arrow.NewBuilder(4, 16)
+//	ab := b.AddFiber(0, 1, 560)
+//	... more fibers ...
+//	b.AddIPLink(0, 1, 2, 200, []arrow.FiberID{ab})
+//	... more IP links ...
+//	net, _ := b.Build()
+//	planner, _ := net.Plan(arrow.PlanOptions{Tickets: 40})
+//	plan, _ := planner.Solve([]arrow.Demand{{Src: 0, Dst: 1, Gbps: 300}}, arrow.SolveOptions{})
+//	reaction, _ := plan.OnFiberCut(ab)   // restored capacities + ROADM ops
+//
+// The internal packages implement every substrate from scratch — a sparse
+// revised-simplex LP solver, branch-and-bound MILP, RWA, the LotteryTicket
+// generator, all baseline TEs (FFC, TeaVaR, ECMP), the availability
+// evaluator, and a discrete-event testbed emulator with ASE noise loading.
+package arrow
+
+import (
+	"fmt"
+
+	"github.com/arrow-te/arrow/internal/availability"
+	"github.com/arrow-te/arrow/internal/noise"
+	"github.com/arrow-te/arrow/internal/optical"
+	"github.com/arrow-te/arrow/internal/rwa"
+	"github.com/arrow-te/arrow/internal/scenario"
+	"github.com/arrow-te/arrow/internal/spectrum"
+	"github.com/arrow-te/arrow/internal/te"
+	"github.com/arrow-te/arrow/internal/ticket"
+)
+
+// FiberID identifies a fiber within a Network.
+type FiberID int
+
+// LinkID identifies an IP link (port-channel) within a Network.
+type LinkID int
+
+// Builder assembles a two-layer WAN: ROADM sites joined by fibers, and IP
+// links provisioned as wavelength bundles over fiber paths.
+type Builder struct {
+	net *optical.Network
+	err error
+}
+
+// NewBuilder starts a network with numSites ROADM/router sites and the
+// given number of wavelength slots per fiber (96 is the ITU-T DWDM grid).
+func NewBuilder(numSites, slotsPerFiber int) *Builder {
+	return &Builder{net: optical.NewNetwork(numSites, slotsPerFiber)}
+}
+
+// AddFiber adds a fiber span between sites a and b.
+func (b *Builder) AddFiber(a, bb int, lengthKm float64) FiberID {
+	if b.err != nil {
+		return -1
+	}
+	f := b.net.AddFiber(optical.ROADM(a), optical.ROADM(bb), lengthKm)
+	return FiberID(f.ID)
+}
+
+// AddIPLink provisions an IP link of `waves` wavelengths at gbpsPerWave
+// (must be one of the Table 6 rates: 100, 200, 300, 400) between src and
+// dst, riding the given fiber path. Spectrum slots are assigned first-fit
+// with wavelength continuity.
+func (b *Builder) AddIPLink(src, dst, waves int, gbpsPerWave float64, path []FiberID) (LinkID, error) {
+	if b.err != nil {
+		return -1, b.err
+	}
+	mod, ok := spectrum.ModulationByRate(gbpsPerWave)
+	if !ok {
+		return -1, fmt.Errorf("arrow: no modulation with rate %g Gbps", gbpsPerWave)
+	}
+	fibers := make([]int, len(path))
+	var bms []*spectrum.Bitmap
+	lenKm := 0.0
+	for i, f := range path {
+		fibers[i] = int(f)
+		bms = append(bms, b.net.Fibers[f].Slots)
+		lenKm += b.net.Fibers[f].LengthKm
+	}
+	if lenKm > mod.ReachKm {
+		return -1, fmt.Errorf("arrow: path is %.0f km, beyond the %.0f km reach of %s", lenKm, mod.ReachKm, mod.Name)
+	}
+	common := spectrum.PathSpectrum(bms)
+	var ws []optical.Lightpath
+	for s := 0; s < common.Len() && len(ws) < waves; s++ {
+		if common.Available(s) {
+			ws = append(ws, optical.Lightpath{Slot: s, Modulation: mod, FiberPath: fibers})
+		}
+	}
+	if len(ws) < waves {
+		return -1, fmt.Errorf("arrow: only %d of %d wavelengths fit on the path (wavelength continuity)", len(ws), waves)
+	}
+	l, err := b.net.Provision(optical.ROADM(src), optical.ROADM(dst), ws)
+	if err != nil {
+		return -1, err
+	}
+	return LinkID(l.ID), nil
+}
+
+// Build validates and returns the network.
+func (b *Builder) Build() (*Network, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.net.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{opt: b.net}, nil
+}
+
+// Network is an immutable two-layer WAN ready for planning.
+type Network struct {
+	opt *optical.Network
+}
+
+// NumSites returns the number of ROADM/router sites.
+func (n *Network) NumSites() int { return n.opt.NumROADMs }
+
+// NumFibers returns the number of fibers.
+func (n *Network) NumFibers() int { return len(n.opt.Fibers) }
+
+// NumLinks returns the number of IP links.
+func (n *Network) NumLinks() int { return len(n.opt.IPLinks) }
+
+// LinkCapacityGbps returns the healthy capacity of an IP link.
+func (n *Network) LinkCapacityGbps(l LinkID) float64 {
+	return n.opt.LinkByID(int(l)).CapacityGbps()
+}
+
+// FailedLinks returns the IP links that go down when the fibers are cut.
+func (n *Network) FailedLinks(fibers ...FiberID) []LinkID {
+	cut := make([]int, len(fibers))
+	for i, f := range fibers {
+		cut[i] = int(f)
+	}
+	var out []LinkID
+	for _, l := range n.opt.FailedLinks(cut) {
+		out = append(out, LinkID(l))
+	}
+	return out
+}
+
+// RestorationRatio computes U_phi for cutting a single fiber: the fraction
+// of its provisioned bandwidth that wavelength reconfiguration can revive.
+func (n *Network) RestorationRatio(f FiberID) (float64, error) {
+	return rwa.RestorationRatio(n.opt, int(f), 3, true, true)
+}
+
+// PlanOptions configures the offline planning stage.
+type PlanOptions struct {
+	// Tickets is |Z|, the LotteryTickets generated per failure scenario
+	// (default 20). Ticket #1 is always the pure optical-layer candidate.
+	Tickets int
+	// Cutoff drops failure scenarios below this probability (default 1e-3).
+	Cutoff float64
+	// FailureProbs gives each fiber's failure probability; when nil they
+	// are drawn from the paper's Weibull(0.8, 0.02) model with Seed.
+	FailureProbs []float64
+	// SurrogatePaths is k, the surrogate fiber paths per failed link
+	// (default 3).
+	SurrogatePaths int
+	// TunnelsPerFlow bounds each flow's tunnel set (default 4).
+	TunnelsPerFlow int
+	Seed           int64
+}
+
+// Planner holds the offline artifacts: failure scenarios, RWA solutions and
+// LotteryTickets, plus the IP-layer tunnel catalogue.
+type Planner struct {
+	net       *Network
+	scenarios []te.RestorableScenario
+	naive     []te.RestorableScenario
+	probs     []float64
+	tunnels   int
+	set       *scenario.Set
+}
+
+// Plan runs ARROW's offline stage: enumerate probable fiber-cut scenarios,
+// solve the relaxed RWA for each, and generate LotteryTickets.
+func (n *Network) Plan(opts PlanOptions) (*Planner, error) {
+	if opts.Tickets <= 0 {
+		opts.Tickets = 20
+	}
+	if opts.Cutoff <= 0 {
+		opts.Cutoff = 1e-3
+	}
+	if opts.SurrogatePaths <= 0 {
+		opts.SurrogatePaths = 3
+	}
+	if opts.TunnelsPerFlow <= 0 {
+		opts.TunnelsPerFlow = 4
+	}
+	probs := opts.FailureProbs
+	if probs == nil {
+		probs = scenario.FailureProbabilities(len(n.opt.Fibers), scenario.DefaultShape, scenario.DefaultScale, opts.Seed)
+	}
+	if len(probs) != len(n.opt.Fibers) {
+		return nil, fmt.Errorf("arrow: %d failure probabilities for %d fibers", len(probs), len(n.opt.Fibers))
+	}
+	set := scenario.Enumerate(probs, opts.Cutoff)
+	p := &Planner{net: n, probs: probs, tunnels: opts.TunnelsPerFlow, set: set}
+	for si, sc := range set.Scenarios {
+		res, err := rwa.Solve(&rwa.Request{
+			Net: n.opt, Cut: sc.Cut, K: opts.SurrogatePaths,
+			AllowTuning: true, AllowModulationChange: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Failed) == 0 {
+			continue
+		}
+		counts := rwa.MaxIntegralWaves(res)
+		naive := ticket.Ticket{Waves: counts, Gbps: make([]float64, len(counts))}
+		for i, c := range counts {
+			naive.Gbps[i] = float64(c) * res.GbpsPerWave[i]
+		}
+		tks := []ticket.Ticket{naive}
+		for _, tk := range ticket.Generate(res, ticket.Options{
+			Count: opts.Tickets - 1, Seed: opts.Seed + int64(si)*977,
+			CheckFeasibility: true, Dedup: true,
+		}) {
+			if tk.Key() != naive.Key() {
+				tks = append(tks, tk)
+			}
+		}
+		fs := te.FailureScenario{Prob: sc.Prob, FailedLinks: res.Failed}
+		p.scenarios = append(p.scenarios, te.RestorableScenario{FailureScenario: fs, TicketLinks: res.Failed, Tickets: tks})
+		p.naive = append(p.naive, te.RestorableScenario{FailureScenario: fs, TicketLinks: res.Failed, Tickets: tks[:1]})
+	}
+	return p, nil
+}
+
+// NumScenarios returns the number of planned failure scenarios.
+func (p *Planner) NumScenarios() int { return len(p.scenarios) }
+
+// Coverage describes how much failure probability mass the plan covers.
+type Coverage struct {
+	// Healthy is the probability that no fiber is cut.
+	Healthy float64
+	// Planned is the total probability of the enumerated cut scenarios.
+	Planned float64
+	// Residual is the mass of failure states below the cutoff: when one of
+	// those occurs, ARROW has no precomputed plan and falls back to
+	// reactive behaviour.
+	Residual float64
+}
+
+// Coverage reports the probability mass breakdown of the planning stage.
+func (p *Planner) Coverage() Coverage {
+	c := Coverage{Healthy: p.set.HealthyProb, Residual: p.set.ResidualProb}
+	for _, sc := range p.set.Scenarios {
+		c.Planned += sc.Prob
+	}
+	return c
+}
+
+// Demand is one ingress-egress traffic demand.
+type Demand struct {
+	Src, Dst int
+	Gbps     float64
+}
+
+// SolveOptions configures the online TE solve.
+type SolveOptions struct {
+	// Alpha is the Phase I slack bound fraction (default 0.1).
+	Alpha float64
+	// NaiveOnly skips Phase I and uses the optical-layer candidate for
+	// every scenario (the paper's Arrow-Naive baseline).
+	NaiveOnly bool
+}
+
+// TrafficPlan is the output of the online stage: admitted bandwidth,
+// splitting ratios, and the proactive restoration plan per scenario.
+type TrafficPlan struct {
+	planner *Planner
+	network *te.Network
+	alloc   *te.Allocation
+	demands []Demand
+}
+
+// Solve runs ARROW's restoration-aware TE for the given demands. Tunnels
+// are selected automatically (fiber-disjoint first, then shortest paths).
+func (p *Planner) Solve(demands []Demand, opts SolveOptions) (*TrafficPlan, error) {
+	net, err := p.buildTENetwork(demands)
+	if err != nil {
+		return nil, err
+	}
+	teOpts := &te.ArrowOptions{Alpha: opts.Alpha}
+	var alloc *te.Allocation
+	if opts.NaiveOnly {
+		alloc, err = te.ArrowNaive(net, p.naive, teOpts)
+	} else {
+		alloc, err = te.Arrow(net, p.scenarios, teOpts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &TrafficPlan{planner: p, network: net, alloc: alloc, demands: demands}, nil
+}
+
+// buildTENetwork derives the IP-layer TE instance from the optical network.
+func (p *Planner) buildTENetwork(demands []Demand) (*te.Network, error) {
+	n := p.net
+	caps := make([]float64, len(n.opt.IPLinks))
+	for i, l := range n.opt.IPLinks {
+		caps[i] = l.CapacityGbps()
+	}
+	net := &te.Network{LinkCap: caps}
+	for _, d := range demands {
+		if d.Src < 0 || d.Src >= n.opt.NumROADMs || d.Dst < 0 || d.Dst >= n.opt.NumROADMs || d.Src == d.Dst {
+			return nil, fmt.Errorf("arrow: invalid demand %d->%d", d.Src, d.Dst)
+		}
+		tunnels := p.findTunnels(d.Src, d.Dst, p.tunnels)
+		if len(tunnels) == 0 {
+			return nil, fmt.Errorf("arrow: no IP path from %d to %d", d.Src, d.Dst)
+		}
+		net.Flows = append(net.Flows, te.Flow{Src: d.Src, Dst: d.Dst, Demand: d.Gbps})
+		net.Tunnels = append(net.Tunnels, tunnels)
+	}
+	return net, nil
+}
+
+// ipHop is one adjacency entry of the IP-layer graph.
+type ipHop struct {
+	link int
+	to   int
+}
+
+// findTunnels runs fiber-disjoint-first tunnel selection over the IP graph.
+func (p *Planner) findTunnels(src, dst, k int) []te.Tunnel {
+	adj := make([][]ipHop, p.net.opt.NumROADMs)
+	for _, l := range p.net.opt.IPLinks {
+		adj[l.Src] = append(adj[l.Src], ipHop{l.ID, int(l.Dst)})
+		adj[l.Dst] = append(adj[l.Dst], ipHop{l.ID, int(l.Src)})
+	}
+	linkFibers := make(map[int][]int)
+	for _, l := range p.net.opt.IPLinks {
+		seen := map[int]bool{}
+		for _, w := range l.Waves {
+			for _, f := range w.FiberPath {
+				if !seen[f] {
+					seen[f] = true
+					linkFibers[l.ID] = append(linkFibers[l.ID], f)
+				}
+			}
+		}
+	}
+	var out []te.Tunnel
+	usedFibers := map[int]bool{}
+	seenPaths := map[string]bool{}
+	for len(out) < k {
+		// BFS shortest path avoiding used fibers (after the first pass, no
+		// fiber constraint to fill remaining slots).
+		banned := func(link int) bool {
+			for _, f := range linkFibers[link] {
+				if usedFibers[f] {
+					return true
+				}
+			}
+			return false
+		}
+		relaxed := len(out) > 0 && len(out) >= k/2
+		path := bfsPath(adj, src, dst, func(link int) bool { return !relaxed && banned(link) }, seenPaths)
+		if path == nil {
+			if !relaxed {
+				// retry fully relaxed
+				path = bfsPath(adj, src, dst, func(int) bool { return false }, seenPaths)
+			}
+			if path == nil {
+				break
+			}
+		}
+		key := fmt.Sprint(path)
+		if seenPaths[key] {
+			break
+		}
+		seenPaths[key] = true
+		out = append(out, te.Tunnel{Links: path})
+		for _, l := range path {
+			for _, f := range linkFibers[l] {
+				usedFibers[f] = true
+			}
+		}
+	}
+	return out
+}
+
+// bfsPath finds a shortest link path avoiding banned links and previously
+// seen paths (by exact sequence).
+func bfsPath(adj [][]ipHop, src, dst int, banned func(link int) bool, seen map[string]bool) []int {
+	type state struct {
+		node int
+		path []int
+	}
+	visited := make([]bool, len(adj))
+	visited[src] = true
+	queue := []state{{src, nil}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, h := range adj[cur.node] {
+			if banned(h.link) || visited[h.to] {
+				continue
+			}
+			np := append(append([]int(nil), cur.path...), h.link)
+			if h.to == dst {
+				if !seen[fmt.Sprint(np)] {
+					return np
+				}
+				continue
+			}
+			visited[h.to] = true
+			queue = append(queue, state{h.to, np})
+		}
+	}
+	return nil
+}
+
+// AdmittedGbps returns the total bandwidth the plan admits.
+func (tp *TrafficPlan) AdmittedGbps() float64 {
+	s := 0.0
+	for _, b := range tp.alloc.B {
+		s += b
+	}
+	return s
+}
+
+// Throughput returns admitted / demanded.
+func (tp *TrafficPlan) Throughput() float64 { return tp.alloc.Throughput(tp.network) }
+
+// SplitRatios returns each demand's traffic split over its tunnels.
+func (tp *TrafficPlan) SplitRatios() [][]float64 { return tp.alloc.SplitRatios() }
+
+// TunnelLinks returns the IP links of demand d's tunnel t.
+func (tp *TrafficPlan) TunnelLinks(d, t int) []LinkID {
+	var out []LinkID
+	for _, l := range tp.network.Tunnels[d][t].Links {
+		out = append(out, LinkID(l))
+	}
+	return out
+}
+
+// Availability computes the probability-weighted demand satisfaction over
+// the planned failure scenarios (§6.1 of the paper).
+func (tp *TrafficPlan) Availability() float64 {
+	ev := &availability.Evaluator{Net: tp.network, Alloc: tp.alloc}
+	scs := make([]availability.ScenarioEval, len(tp.planner.scenarios))
+	for i := range tp.planner.scenarios {
+		scs[i] = availability.ScenarioEval{
+			Prob:   tp.planner.scenarios[i].Prob,
+			Failed: tp.planner.scenarios[i].FailedLinks,
+		}
+		if tp.alloc.RestoredGbps != nil {
+			scs[i].Restored = tp.alloc.RestoredGbps[i]
+		}
+	}
+	return ev.Availability(scs)
+}
+
+// Reaction is the precomputed response to a fiber cut: which IP links fail,
+// how much capacity the winning LotteryTicket revives on each, and the
+// ROADM reconfiguration plan that realises it.
+type Reaction struct {
+	Failed       []LinkID
+	RestoredGbps map[LinkID]float64
+	// AddDropROADMs and IntermediateROADMs are the two parallel
+	// reconfiguration waves (Appendix A.6 of the paper).
+	AddDropROADMs      []int
+	IntermediateROADMs []int
+	// Retunes counts transponders that must change frequency.
+	Retunes int
+	// ReusedPorts counts the idle router ports / transponders the plan puts
+	// back to work (two per restored wavelength).
+	ReusedPorts int
+}
+
+// OnFiberCut looks up the proactive restoration plan for the scenario that
+// cuts exactly the given fibers. The scenario must have been planned (it is
+// an error to ask about a cut below the planning cutoff).
+func (tp *TrafficPlan) OnFiberCut(fibers ...FiberID) (*Reaction, error) {
+	cut := make([]int, len(fibers))
+	for i, f := range fibers {
+		cut[i] = int(f)
+	}
+	failed := tp.planner.net.opt.FailedLinks(cut)
+	qi := -1
+	for i := range tp.planner.scenarios {
+		if equalIntSets(tp.planner.scenarios[i].FailedLinks, failed) {
+			qi = i
+			break
+		}
+	}
+	if qi < 0 {
+		return nil, fmt.Errorf("arrow: no planned scenario for cut %v (below cutoff?)", fibers)
+	}
+	re := &Reaction{RestoredGbps: map[LinkID]float64{}}
+	for _, l := range failed {
+		re.Failed = append(re.Failed, LinkID(l))
+	}
+	if tp.alloc.RestoredGbps != nil {
+		for l, g := range tp.alloc.RestoredGbps[qi] {
+			re.RestoredGbps[LinkID(l)] = g
+		}
+	}
+	// Rebuild the optical-side plan for the winning ticket.
+	res, err := rwa.Solve(&rwa.Request{Net: tp.planner.net.opt, Cut: cut, K: 3, AllowTuning: true, AllowModulationChange: true})
+	if err != nil {
+		return nil, err
+	}
+	target := make([]int, len(res.Failed))
+	winner := 0
+	if tp.alloc.WinningTicket != nil {
+		winner = tp.alloc.WinningTicket[qi]
+	}
+	tk := tp.planner.scenarios[qi].Tickets[winner]
+	for i, l := range res.Failed {
+		for j, tl := range tp.planner.scenarios[qi].TicketLinks {
+			if tl == l {
+				target[i] = tk.Waves[j]
+			}
+		}
+	}
+	asg, _ := rwa.AssignIntegral(res, target)
+	plan := noise.BuildPlan(tp.planner.net.opt, res, asg)
+	seenAD := map[optical.ROADM]bool{}
+	for _, op := range plan.AddDropOps {
+		if !seenAD[op.ROADM] {
+			seenAD[op.ROADM] = true
+			re.AddDropROADMs = append(re.AddDropROADMs, int(op.ROADM))
+		}
+	}
+	seenI := map[optical.ROADM]bool{}
+	for _, op := range plan.IntermediateOps {
+		if !seenI[op.ROADM] {
+			seenI[op.ROADM] = true
+			re.IntermediateROADMs = append(re.IntermediateROADMs, int(op.ROADM))
+		}
+	}
+	re.Retunes = plan.Retunes
+	re.ReusedPorts = plan.ReusedPorts
+	return re, nil
+}
+
+func equalIntSets(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[int]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, x := range b {
+		if !set[x] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,263 @@
+package arrow
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// buildSquare constructs a 4-site ring WAN (like the paper's testbed) with
+// three IP links and returns the network plus handles.
+func buildSquare(t *testing.T) (*Network, []FiberID, []LinkID) {
+	t.Helper()
+	b := NewBuilder(4, 16)
+	fAB := b.AddFiber(0, 1, 560)
+	fBD := b.AddFiber(1, 2, 560)
+	fDC := b.AddFiber(2, 3, 520)
+	fCA := b.AddFiber(3, 0, 520)
+	lAB, err := b.AddIPLink(0, 1, 2, 200, []FiberID{fAB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lCD, err := b.AddIPLink(2, 3, 2, 200, []FiberID{fDC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lAC, err := b.AddIPLink(0, 3, 4, 200, []FiberID{fCA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, []FiberID{fAB, fBD, fDC, fCA}, []LinkID{lAB, lCD, lAC}
+}
+
+func TestBuilderBasics(t *testing.T) {
+	net, fibers, links := buildSquare(t)
+	if net.NumSites() != 4 || net.NumFibers() != 4 || net.NumLinks() != 3 {
+		t.Fatalf("inventory %d/%d/%d", net.NumSites(), net.NumFibers(), net.NumLinks())
+	}
+	if got := net.LinkCapacityGbps(links[0]); got != 400 {
+		t.Fatalf("AB capacity %g", got)
+	}
+	failed := net.FailedLinks(fibers[2])
+	if len(failed) != 1 || failed[0] != links[1] {
+		t.Fatalf("failed %v", failed)
+	}
+}
+
+func TestBuilderRejectsBadLink(t *testing.T) {
+	b := NewBuilder(3, 8)
+	f := b.AddFiber(0, 1, 6000)
+	if _, err := b.AddIPLink(0, 1, 1, 200, []FiberID{f}); err == nil {
+		t.Fatal("accepted a 6000 km 200G link (reach 3000)")
+	}
+	if _, err := b.AddIPLink(0, 1, 1, 150, []FiberID{f}); err == nil {
+		t.Fatal("accepted unknown modulation")
+	}
+	// Too many wavelengths for the spectrum.
+	b2 := NewBuilder(2, 4)
+	f2 := b2.AddFiber(0, 1, 100)
+	if _, err := b2.AddIPLink(0, 1, 5, 100, []FiberID{f2}); err == nil {
+		t.Fatal("accepted 5 waves on a 4-slot fiber")
+	}
+}
+
+func TestRestorationRatio(t *testing.T) {
+	net, fibers, _ := buildSquare(t)
+	// Fiber DC carries CD's 2 waves; the ring detour D-B-A... C->D via
+	// ring: plenty of spectrum -> fully restorable.
+	u, err := net.RestorationRatio(fibers[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 1 {
+		t.Fatalf("U = %g, want 1", u)
+	}
+}
+
+func TestPlanSolveReact(t *testing.T) {
+	net, fibers, links := buildSquare(t)
+	planner, err := net.Plan(PlanOptions{Tickets: 10, Cutoff: 1e-4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planner.NumScenarios() == 0 {
+		t.Fatal("no scenarios planned")
+	}
+	plan, err := planner.Solve([]Demand{
+		{Src: 0, Dst: 1, Gbps: 300},
+		{Src: 2, Dst: 3, Gbps: 200},
+	}, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Throughput()-1) > 1e-6 {
+		t.Fatalf("throughput %g", plan.Throughput())
+	}
+	if plan.AdmittedGbps() != 500 {
+		t.Fatalf("admitted %g", plan.AdmittedGbps())
+	}
+	ratios := plan.SplitRatios()
+	for d, rs := range ratios {
+		sum := 0.0
+		for _, r := range rs {
+			sum += r
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("demand %d ratios sum to %g", d, sum)
+		}
+	}
+	if avail := plan.Availability(); avail < 0.99 {
+		t.Fatalf("availability %g", avail)
+	}
+
+	re, err := plan.OnFiberCut(fibers[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re.Failed) != 1 || re.Failed[0] != links[1] {
+		t.Fatalf("reaction failed links %v", re.Failed)
+	}
+	if re.RestoredGbps[links[1]] <= 0 {
+		t.Fatalf("no capacity restored for CD: %v", re.RestoredGbps)
+	}
+	if len(re.AddDropROADMs) == 0 {
+		t.Fatal("no add/drop ROADMs in reaction")
+	}
+}
+
+func TestSolveNaiveOnly(t *testing.T) {
+	net, _, _ := buildSquare(t)
+	planner, err := net.Plan(PlanOptions{Tickets: 5, Cutoff: 1e-4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := planner.Solve([]Demand{{Src: 0, Dst: 1, Gbps: 100}}, SolveOptions{NaiveOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.AdmittedGbps() != 100 {
+		t.Fatalf("admitted %g", plan.AdmittedGbps())
+	}
+}
+
+func TestSolveRejectsBadDemand(t *testing.T) {
+	net, _, _ := buildSquare(t)
+	planner, err := net.Plan(PlanOptions{Tickets: 3, Cutoff: 1e-4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := planner.Solve([]Demand{{Src: 0, Dst: 0, Gbps: 10}}, SolveOptions{}); err == nil {
+		t.Fatal("accepted self demand")
+	}
+	if _, err := planner.Solve([]Demand{{Src: 0, Dst: 99, Gbps: 10}}, SolveOptions{}); err == nil {
+		t.Fatal("accepted out-of-range demand")
+	}
+}
+
+func TestOnFiberCutUnknownScenario(t *testing.T) {
+	net, fibers, _ := buildSquare(t)
+	planner, err := net.Plan(PlanOptions{Tickets: 3, Cutoff: 1e-4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := planner.Solve([]Demand{{Src: 0, Dst: 1, Gbps: 50}}, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A triple cut is certainly below cutoff.
+	if _, err := plan.OnFiberCut(fibers[0], fibers[1], fibers[2]); err == nil {
+		t.Fatal("expected unknown-scenario error")
+	}
+}
+
+func TestExportAndROADMConfig(t *testing.T) {
+	net, fibers, _ := buildSquare(t)
+	planner, err := net.Plan(PlanOptions{Tickets: 8, Cutoff: 1e-4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := planner.Solve([]Demand{{Src: 0, Dst: 1, Gbps: 300}, {Src: 2, Dst: 3, Gbps: 200}}, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := plan.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ex PlanExport
+	if err := json.Unmarshal(data, &ex); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(ex.Demands) != 2 || ex.Summary.AdmittedGbps != 500 {
+		t.Fatalf("export summary %+v", ex.Summary)
+	}
+	for _, d := range ex.Demands {
+		sum := 0.0
+		for _, ts := range d.Tunnels {
+			sum += ts.Ratio
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("tunnel ratios sum to %g", sum)
+		}
+	}
+	if len(ex.Failures) != planner.NumScenarios() {
+		t.Fatalf("%d failure exports for %d scenarios", len(ex.Failures), planner.NumScenarios())
+	}
+	// Identical plans export identically (determinism).
+	data2, _ := plan.Export()
+	if string(data) != string(data2) {
+		t.Fatal("export not deterministic")
+	}
+
+	cfg, err := plan.ROADMConfig(fibers[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"wave 1 (parallel)", "add-drop"} {
+		if !strings.Contains(cfg, want) {
+			t.Fatalf("ROADM config missing %q:\n%s", want, cfg)
+		}
+	}
+}
+
+func TestPerDemandAvailability(t *testing.T) {
+	net, _, _ := buildSquare(t)
+	planner, err := net.Plan(PlanOptions{Tickets: 6, Cutoff: 1e-4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := planner.Solve([]Demand{{Src: 0, Dst: 1, Gbps: 100}, {Src: 2, Dst: 3, Gbps: 100}}, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := plan.PerDemandAvailability()
+	if len(per) != 2 {
+		t.Fatalf("%d entries", len(per))
+	}
+	for i, a := range per {
+		if a < 0.9 || a > 1+1e-9 {
+			t.Fatalf("demand %d availability %g", i, a)
+		}
+	}
+}
+
+func TestPlannerCoverage(t *testing.T) {
+	net, _, _ := buildSquare(t)
+	planner, err := net.Plan(PlanOptions{Tickets: 4, Cutoff: 1e-4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := planner.Coverage()
+	total := c.Healthy + c.Planned + c.Residual
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("coverage sums to %g: %+v", total, c)
+	}
+	if c.Healthy <= 0.5 || c.Planned <= 0 {
+		t.Fatalf("implausible coverage %+v", c)
+	}
+}

@@ -1,0 +1,81 @@
+// Command arrow-experiments regenerates the tables and figures of the
+// ARROW paper's evaluation from this repository's implementations.
+//
+// Usage:
+//
+//	arrow-experiments -list
+//	arrow-experiments -exp fig13 [-full] [-seed 1]
+//	arrow-experiments -all [-full]
+//
+// Without -full, experiments run in fast mode: smaller sweeps with the same
+// comparison structure, sized for a single core.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/arrow-te/arrow/internal/eval"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list registered experiments")
+		exp  = flag.String("exp", "", "comma-separated experiment IDs to run (e.g. fig13,table5)")
+		all  = flag.Bool("all", false, "run every registered experiment")
+		full = flag.Bool("full", false, "full-scale sweeps (slow) instead of fast mode")
+		md   = flag.Bool("md", false, "emit GitHub-flavoured markdown instead of text tables")
+		seed = flag.Int64("seed", 1, "random seed for all generators")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range eval.Experiments() {
+			fmt.Printf("%-8s %s\n         paper: %s\n", e.ID, e.Title, e.PaperClaim)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		for _, e := range eval.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	case *exp != "":
+		ids = strings.Split(*exp, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -list, -exp <ids> or -all")
+		os.Exit(2)
+	}
+
+	cfg := eval.Config{Fast: !*full, Seed: *seed}
+	failed := 0
+	for _, id := range ids {
+		e, ok := eval.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			failed++
+			continue
+		}
+		start := time.Now()
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		if *md {
+			fmt.Println(eval.RenderMarkdown(res))
+		} else {
+			fmt.Print(eval.RenderText(res))
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

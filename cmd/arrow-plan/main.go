@@ -1,0 +1,182 @@
+// Command arrow-plan is the operator-facing planning tool: it loads a
+// topology file and a demand list, runs ARROW's offline planning and online
+// TE through the public library API, and writes the installable artifacts —
+// the traffic plan (JSON: splitting ratios + per-scenario restoration) and
+// one ROADM configuration file per planned fiber-cut scenario.
+//
+// Usage:
+//
+//	arrow-plan -topo wan.topo -demands demands.csv -out plan.json
+//	arrow-plan -topo wan.topo -demands demands.csv -roadm-configs dir/
+//
+// The topology format is documented in internal/topo/format.go; demands are
+// CSV lines "src,dst,gbps" (# comments allowed).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	arrow "github.com/arrow-te/arrow"
+	"github.com/arrow-te/arrow/internal/topo"
+)
+
+func main() {
+	var (
+		topoFile = flag.String("topo", "", "topology file (required)")
+		demFile  = flag.String("demands", "", "demand CSV file: src,dst,gbps (required)")
+		out      = flag.String("out", "", "write the traffic plan JSON here (default stdout)")
+		roadmDir = flag.String("roadm-configs", "", "write per-scenario ROADM config files into this directory")
+		tickets  = flag.Int("tickets", 40, "LotteryTickets per failure scenario")
+		cutoff   = flag.Float64("cutoff", 1e-3, "failure scenario probability cutoff")
+		seed     = flag.Int64("seed", 1, "random seed")
+		naive    = flag.Bool("naive", false, "skip Phase I (Arrow-Naive)")
+	)
+	flag.Parse()
+	if *topoFile == "" || *demFile == "" {
+		fmt.Fprintln(os.Stderr, "arrow-plan: -topo and -demands are required")
+		os.Exit(2)
+	}
+	if err := run(*topoFile, *demFile, *out, *roadmDir, *tickets, *cutoff, *seed, *naive); err != nil {
+		fmt.Fprintln(os.Stderr, "arrow-plan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topoFile, demFile, out, roadmDir string, tickets int, cutoff float64, seed int64, naive bool) error {
+	net, err := loadNetwork(topoFile)
+	if err != nil {
+		return err
+	}
+	demands, err := loadDemands(demFile)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d sites, %d fibers, %d IP links, %d demands\n",
+		net.NumSites(), net.NumFibers(), net.NumLinks(), len(demands))
+
+	planner, err := net.Plan(arrow.PlanOptions{Tickets: tickets, Cutoff: cutoff, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "planned %d failure scenarios\n", planner.NumScenarios())
+
+	plan, err := planner.Solve(demands, arrow.SolveOptions{NaiveOnly: naive})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "admitted %.0f Gbps (throughput %.4f), availability %.5f\n",
+		plan.AdmittedGbps(), plan.Throughput(), plan.Availability())
+
+	data, err := plan.Export()
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		fmt.Println(string(data))
+	} else if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+
+	if roadmDir != "" {
+		if err := os.MkdirAll(roadmDir, 0o755); err != nil {
+			return err
+		}
+		written := 0
+		for f := 0; f < net.NumFibers(); f++ {
+			cfg, err := plan.ROADMConfig(arrow.FiberID(f))
+			if err != nil {
+				continue // scenario below cutoff or fails no links
+			}
+			path := filepath.Join(roadmDir, fmt.Sprintf("cut-fiber-%d.conf", f))
+			if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+				return err
+			}
+			written++
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d ROADM config files to %s\n", written, roadmDir)
+	}
+	return nil
+}
+
+// loadNetwork parses the topology file and rebuilds it through the public
+// Builder so all public-API invariants hold.
+func loadNetwork(path string) (*arrow.Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tp, err := topo.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	b := arrow.NewBuilder(tp.Opt.NumROADMs, tp.Opt.SlotCount)
+	for _, fiber := range tp.Opt.Fibers {
+		b.AddFiber(int(fiber.A), int(fiber.B), fiber.LengthKm)
+	}
+	for _, l := range tp.Opt.IPLinks {
+		if len(l.Waves) == 0 {
+			continue
+		}
+		w0 := l.Waves[0]
+		fibers := make([]arrow.FiberID, len(w0.FiberPath))
+		for i, id := range w0.FiberPath {
+			fibers[i] = arrow.FiberID(id)
+		}
+		if _, err := b.AddIPLink(int(l.Src), int(l.Dst), len(l.Waves), w0.Modulation.GbpsPerWavelength, fibers); err != nil {
+			return nil, fmt.Errorf("rebuilding link %d: %w", l.ID, err)
+		}
+	}
+	return b.Build()
+}
+
+// loadDemands parses "src,dst,gbps" CSV lines.
+func loadDemands(path string) ([]arrow.Demand, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseDemands(f)
+}
+
+func parseDemands(r io.Reader) ([]arrow.Demand, error) {
+	var out []arrow.Demand
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("line %d: want src,dst,gbps", lineNo)
+		}
+		src, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		dst, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		gbps, err3 := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("line %d: bad demand %q", lineNo, line)
+		}
+		if gbps < 0 {
+			return nil, fmt.Errorf("line %d: negative demand", lineNo)
+		}
+		out = append(out, arrow.Demand{Src: src, Dst: dst, Gbps: gbps})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no demands found")
+	}
+	return out, nil
+}

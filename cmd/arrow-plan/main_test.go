@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDemands(t *testing.T) {
+	in := `
+# comment
+0,1,300
+ 2 , 3 , 150.5
+`
+	ds, err := parseDemands(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 || ds[0].Gbps != 300 || ds[1].Src != 2 || ds[1].Gbps != 150.5 {
+		t.Fatalf("%+v", ds)
+	}
+}
+
+func TestParseDemandsErrors(t *testing.T) {
+	cases := []string{
+		"",          // empty
+		"0,1\n",     // too few fields
+		"a,b,c\n",   // non-numeric
+		"0,1,-5\n",  // negative
+		"0,1,2,3\n", // too many fields
+		"# only comment\n",
+	}
+	for _, in := range cases {
+		if _, err := parseDemands(strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted %q", in)
+		}
+	}
+}

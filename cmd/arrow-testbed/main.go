@@ -1,0 +1,64 @@
+// Command arrow-testbed runs the emulated §5 testbed trial: the 4-ROADM,
+// 34-amplifier, 2,160 km ring loses fiber DC (2.8 Tbps across three IP
+// links) and restores it twice — once with legacy amplifier reconfiguration
+// and once with ARROW's ASE noise loading — printing the event logs and the
+// Fig. 12 latency comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/arrow-te/arrow/internal/emu"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 1, "random seed for device timing jitter")
+		series = flag.Bool("series", false, "print the restored-capacity time series")
+	)
+	flag.Parse()
+	if err := run(*seed, *series); err != nil {
+		fmt.Fprintln(os.Stderr, "arrow-testbed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, series bool) error {
+	fmt.Println("testbed: 4 ROADMs (A,B,D,C), 4 fiber spans, 2160 km, 34 amplifiers, 16x200G wavelengths")
+	fmt.Println("cutting fiber D-C (carries 14 wavelengths, 2.8 Tbps over links AC, BD, CD)")
+
+	var results []*emu.Trial
+	for _, mode := range []struct {
+		name  string
+		noise bool
+	}{{"LEGACY (amplifier reconfiguration)", false}, {"ARROW (ASE noise loading)", true}} {
+		net, err := emu.Testbed()
+		if err != nil {
+			return err
+		}
+		tr, err := emu.RunRestoration(net, []int{emu.FiberDC}, emu.Config{NoiseLoading: mode.noise, Seed: seed})
+		if err != nil {
+			return err
+		}
+		results = append(results, tr)
+		fmt.Printf("\n--- %s ---\n", mode.name)
+		for _, e := range tr.Events {
+			fmt.Printf("  t=%8.1fs  %s\n", e.TimeSec, e.Desc)
+		}
+		if series {
+			fmt.Println("  time series (t, restored Gbps, survivor power dB):")
+			for i, s := range tr.Series {
+				if i%24 == 0 {
+					fmt.Printf("    %8.1fs  %6.0f  %+5.2f\n", s.TimeSec, s.RestoredGbps, s.SurvivorPowerDB)
+				}
+			}
+		}
+	}
+	fmt.Printf("\nresult: legacy %.0f s vs ARROW %.1f s — %.0fx faster (paper: 1021 s vs 8 s, 127x)\n",
+		results[0].DoneSec, results[1].DoneSec, results[0].DoneSec/results[1].DoneSec)
+	fmt.Printf("restoration put %d idle router ports/transponders back to work — no pre-allocated failover hardware\n",
+		results[1].Plan.ReusedPorts)
+	return nil
+}

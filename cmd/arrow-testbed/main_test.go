@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+func TestRunTestbedTrial(t *testing.T) {
+	if err := run(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(2, true); err != nil {
+		t.Fatal(err)
+	}
+}

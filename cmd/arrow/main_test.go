@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunB4Arrow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves TE instances")
+	}
+	if err := run("B4", "", "ARROW", 2.0, 4, 1, 10, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownTopology(t *testing.T) {
+	if err := run("nope", "", "ARROW", 1, 1, 1, 5, false); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestRunUnknownScheme(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a pipeline")
+	}
+	if err := run("B4", "", "WAT", 1, 2, 1, 5, false); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

@@ -1,0 +1,77 @@
+// Quickstart: build a small WAN, plan restoration-aware TE, cut a fiber,
+// and read off the precomputed reaction.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	arrow "github.com/arrow-te/arrow"
+)
+
+func main() {
+	// A four-site ring, like the paper's testbed (Fig. 10): sites A=0, B=1,
+	// D=2, C=3 joined by four fiber spans, 16 wavelength slots per fiber.
+	b := arrow.NewBuilder(4, 16)
+	fAB := b.AddFiber(0, 1, 560)
+	fBD := b.AddFiber(1, 2, 560)
+	fDC := b.AddFiber(2, 3, 520)
+	fCA := b.AddFiber(3, 0, 520)
+
+	// Three IP links (port-channels) as wavelength bundles.
+	lAB, err := b.AddIPLink(0, 1, 2, 200, []arrow.FiberID{fAB}) // 0.4 Tbps
+	if err != nil {
+		log.Fatal(err)
+	}
+	lCD, err := b.AddIPLink(2, 3, 2, 200, []arrow.FiberID{fDC}) // 0.4 Tbps
+	if err != nil {
+		log.Fatal(err)
+	}
+	lAC, err := b.AddIPLink(0, 3, 4, 200, []arrow.FiberID{fCA}) // 0.8 Tbps
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built WAN: %d sites, %d fibers, %d IP links\n", net.NumSites(), net.NumFibers(), net.NumLinks())
+	_ = fBD
+
+	// Offline stage: enumerate probable fiber cuts, solve RWA, generate
+	// LotteryTickets.
+	planner, err := net.Plan(arrow.PlanOptions{Tickets: 12, Cutoff: 1e-4, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planned %d failure scenarios proactively\n", planner.NumScenarios())
+
+	// Online stage: solve the two-phase restoration-aware TE for the
+	// current demand matrix.
+	plan, err := planner.Solve([]arrow.Demand{
+		{Src: 0, Dst: 1, Gbps: 300},
+		{Src: 2, Dst: 3, Gbps: 250},
+		{Src: 0, Dst: 3, Gbps: 500},
+	}, arrow.SolveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admitted %.0f Gbps (throughput %.2f), availability %.5f\n",
+		plan.AdmittedGbps(), plan.Throughput(), plan.Availability())
+
+	// A fiber cut happens: the reaction is already computed.
+	re, err := plan.OnFiberCut(fDC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfiber D-C cut! failed IP links: %v\n", re.Failed)
+	for l, g := range re.RestoredGbps {
+		fmt.Printf("  link %d: %.0f Gbps restored by wavelength reconfiguration\n", l, g)
+	}
+	fmt.Printf("  ROADM reconfiguration: %d add/drop + %d intermediate (two parallel waves), %d transponder retunes\n",
+		len(re.AddDropROADMs), len(re.IntermediateROADMs), re.Retunes)
+	fmt.Println("  with ASE noise loading, this completes in seconds — no amplifier settling")
+	_, _, _ = lAB, lCD, lAC
+}

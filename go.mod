@@ -1,0 +1,3 @@
+module github.com/arrow-te/arrow
+
+go 1.22

@@ -1,0 +1,144 @@
+// Package eval is the experiment harness: every table and figure of the
+// ARROW paper's evaluation is a registered experiment that regenerates the
+// corresponding rows or series from this repository's implementations.
+// cmd/arrow-experiments exposes the registry on the command line, and
+// bench_test.go wraps the heavy experiments as benchmarks.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Fast shrinks sweeps (fewer matrices, tickets, scales) so the full
+	// registry completes on a laptop-class single core. The full
+	// configuration matches the paper's parameters where feasible.
+	Fast bool
+	Seed int64
+}
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// AddNote appends a free-text note (paper-vs-measured commentary).
+func (r *Result) AddNote(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Experiment is one registered table/figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	// PaperClaim summarises what the paper reports, for EXPERIMENTS.md.
+	PaperClaim string
+	Run        func(cfg Config) (*Result, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Experiments returns all registered experiments sorted by ID.
+func Experiments() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RenderText formats a result as an aligned plain-text table.
+func RenderText(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+		b.WriteByte('\n')
+	}
+	if len(r.Header) > 0 {
+		writeRow(r.Header)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f4(x float64) string { return fmt.Sprintf("%.4f", x) }
+func fi(x int) string     { return fmt.Sprintf("%d", x) }
+func pct(x float64) string {
+	return fmt.Sprintf("%.1f%%", 100*x)
+}
+
+// RenderMarkdown formats a result as a GitHub-flavoured markdown table,
+// used to regenerate EXPERIMENTS.md sections.
+func RenderMarkdown(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	if len(r.Header) > 0 {
+		b.WriteString("| " + strings.Join(r.Header, " | ") + " |\n")
+		b.WriteString("|" + strings.Repeat("---|", len(r.Header)) + "\n")
+	}
+	for _, row := range r.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if len(r.Notes) > 0 {
+		b.WriteByte('\n')
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "> %s\n", n)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig3", "fig4", "fig5", "fig6", "fig12", "fig13", "fig14", "fig15",
+		"fig16", "fig17", "fig19", "fig20", "fig21", "fig22",
+		"table4", "table5", "table6", "table8", "table9",
+		"thm31", "ablation-alpha", "ablation-stride", "timeline", "ext-clband", "table10",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+	}
+	if len(Experiments()) < len(want) {
+		t.Fatalf("registry has %d experiments, want >= %d", len(Experiments()), len(want))
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	r := &Result{ID: "x", Title: "demo", Header: []string{"a", "bb"}}
+	r.AddRow("1", "2")
+	r.AddNote("hello %d", 7)
+	out := RenderText(r)
+	for _, want := range []string{"demo", "a", "bb", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLightExperiments runs every experiment that completes quickly in fast
+// mode and sanity-checks the output structure.
+func TestLightExperiments(t *testing.T) {
+	cfg := Config{Fast: true, Seed: 1}
+	for _, id := range []string{"fig3", "fig4", "fig12", "fig20", "fig21", "table4", "table6", "table8", "table9"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		res, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+		if res.ID != id {
+			t.Fatalf("%s returned result id %s", id, res.ID)
+		}
+	}
+}
+
+func TestFacebookMeasureExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("facebook topology experiments take a while")
+	}
+	cfg := Config{Fast: true, Seed: 1}
+	for _, id := range []string{"fig5", "fig22"} {
+		e, _ := ByID(id)
+		res, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	r := &Result{ID: "x", Title: "demo", Header: []string{"a", "b"}}
+	r.AddRow("1", "2")
+	r.AddNote("note %s", "one")
+	out := RenderMarkdown(r)
+	for _, want := range []string{"### x — demo", "| a | b |", "| 1 | 2 |", "> note one"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

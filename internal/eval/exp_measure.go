@@ -1,0 +1,223 @@
+package eval
+
+import (
+	"github.com/arrow-te/arrow/internal/failures"
+	"github.com/arrow-te/arrow/internal/rwa"
+	"github.com/arrow-te/arrow/internal/stats"
+	"github.com/arrow-te/arrow/internal/topo"
+)
+
+func init() {
+	register(Experiment{
+		ID:         "fig3",
+		Title:      "Failure-ticket analysis: repair time by root cause, downtime share",
+		PaperClaim: "50% of fiber cuts last >9h, 10% >24h; fiber cuts are 67% of downtime",
+		Run:        runFig3,
+	})
+	register(Experiment{
+		ID:         "fig4",
+		Title:      "Impact of fiber cuts on IP capacity",
+		PaperClaim: "individual cuts cost up to 8 Tbps; four site pairs dominate losses",
+		Run:        runFig4,
+	})
+	register(Experiment{
+		ID:         "fig5",
+		Title:      "Spectrum utilization of fibers",
+		PaperClaim: "95% of fibers below 60% spectrum utilization",
+		Run:        runFig5,
+	})
+	register(Experiment{
+		ID:         "fig6",
+		Title:      "Restoration ratio of fibers under single cuts",
+		PaperClaim: "34% fully restorable, 4% not restorable, 62% partially; high-capacity fibers almost never fully restorable",
+		Run:        runFig6,
+	})
+	register(Experiment{
+		ID:         "fig21",
+		Title:      "Monthly wavelength deployments",
+		PaperClaim: "deployments increase from March 2020 (COVID-19 traffic surge)",
+		Run:        runFig21,
+	})
+	register(Experiment{
+		ID:         "fig22",
+		Title:      "IP-to-optical mapping distributions",
+		PaperClaim: "CDFs of IP links per fiber and wavelengths per IP link guide IP-layer generation",
+		Run:        runFig22,
+	})
+}
+
+func runFig3(cfg Config) (*Result, error) {
+	c := failures.GenerateCorpus(cfg.Seed + 3)
+	r := &Result{ID: "fig3", Title: "Failure tickets: MTTR and downtime share",
+		Header: []string{"cause", "P50 (h)", "P90 (h)", "P(>9h)", "P(>24h)", "downtime share"}}
+	cdfs := c.MTTRByCause()
+	share := c.DowntimeShare()
+	for _, cause := range failures.Causes() {
+		cdf := cdfs[cause]
+		if cdf == nil {
+			continue
+		}
+		r.AddRow(cause.String(), f1(cdf.Percentile(50)), f1(cdf.Percentile(90)),
+			pct(1-cdf.At(9)), pct(1-cdf.At(24)), pct(share[cause]))
+	}
+	fc := cdfs[failures.FiberCut]
+	r.AddNote("paper: 50%% of fiber cuts >9h (measured %s), 10%% >24h (measured %s), 67%% downtime share (measured %s)",
+		pct(1-fc.At(9)), pct(1-fc.At(24)), pct(share[failures.FiberCut]))
+	return r, nil
+}
+
+func runFig4(cfg Config) (*Result, error) {
+	c := failures.GenerateCorpus(cfg.Seed + 3)
+	cdf := c.LostCapacityCDF()
+	r := &Result{ID: "fig4", Title: "Lost IP capacity per fiber cut",
+		Header: []string{"percentile", "lost capacity (Gbps)"}}
+	for _, p := range []float64{10, 25, 50, 75, 90, 99, 100} {
+		r.AddRow(f1(p), f1(cdf.Percentile(p)))
+	}
+	top := c.TopSitePairs(4)
+	for _, pair := range top {
+		series := c.LostCapacitySeries(pair)
+		peak := 0.0
+		for _, pt := range series {
+			if pt.LostGbps > peak {
+				peak = pt.LostGbps
+			}
+		}
+		r.AddNote("site pair %d: %d cut events, peak loss %.1f Tbps", pair, len(series), peak/1000)
+	}
+	r.AddNote("paper: losses reach ~8 Tbps per event (measured max %.1f Tbps)", cdf.Max()/1000)
+	return r, nil
+}
+
+func runFig5(cfg Config) (*Result, error) {
+	tp, err := topo.Facebook(cfg.Seed + 5)
+	if err != nil {
+		return nil, err
+	}
+	utils := tp.Opt.SpectrumUtilizations()
+	cdf := stats.NewCDF(utils)
+	r := &Result{ID: "fig5", Title: "Fiber spectrum utilization CDF (synthetic Facebook)",
+		Header: []string{"utilization <=", "fraction of fibers"}}
+	for _, u := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0} {
+		r.AddRow(pct(u), pct(cdf.At(u)))
+	}
+	r.AddNote("paper: 95%% of fibers below 60%% utilization (measured %s)", pct(cdf.At(0.6)))
+	return r, nil
+}
+
+func runFig6(cfg Config) (*Result, error) {
+	tp, err := topo.Facebook(cfg.Seed + 5)
+	if err != nil {
+		return nil, err
+	}
+	k := 3
+	if cfg.Fast {
+		k = 2
+	}
+	var ratios []float64
+	full, none, partial := 0, 0, 0
+	type bucket struct {
+		capTbps float64
+		ratio   float64
+	}
+	var buckets []bucket
+	for f := range tp.Opt.Fibers {
+		prov := tp.Opt.ProvisionedGbpsOnFiber(f)
+		if prov == 0 {
+			continue // dark or pass-through-only fiber: no IP impact
+		}
+		u, err := rwa.RestorationRatio(tp.Opt, f, k, true, true)
+		if err != nil {
+			return nil, err
+		}
+		ratios = append(ratios, u)
+		buckets = append(buckets, bucket{prov / 1000, u})
+		switch {
+		case u >= 0.999:
+			full++
+		case u <= 0.001:
+			none++
+		default:
+			partial++
+		}
+	}
+	cdf := stats.NewCDF(ratios)
+	r := &Result{ID: "fig6", Title: "Restoration ratio U of fibers (single cuts)",
+		Header: []string{"restoration ratio <=", "fraction of fibers"}}
+	for _, u := range []float64{0.0, 0.25, 0.5, 0.75, 0.9, 0.999, 1.0} {
+		r.AddRow(pct(u), pct(cdf.At(u)))
+	}
+	n := float64(len(ratios))
+	r.AddNote("measured: %s fully restorable, %s not restorable, %s partial (paper: 34%% / 4%% / 62%%)",
+		pct(float64(full)/n), pct(float64(none)/n), pct(float64(partial)/n))
+	// Fig 6(b): restoration ratio by provisioned capacity.
+	hiCap, hiCapFull := 0, 0
+	for _, b := range buckets {
+		if b.capTbps >= 2.0 {
+			hiCap++
+			if b.ratio >= 0.999 {
+				hiCapFull++
+			}
+		}
+	}
+	if hiCap > 0 {
+		r.AddNote("fibers >=2 Tbps provisioned: %d, of which fully restorable: %d (paper: large fibers almost never 100%%)", hiCap, hiCapFull)
+	}
+	return r, nil
+}
+
+func runFig21(cfg Config) (*Result, error) {
+	d := failures.MonthlyDeployments(cfg.Seed + 21)
+	months := []string{
+		"2019-11", "2019-12", "2020-01", "2020-02", "2020-03", "2020-04",
+		"2020-05", "2020-06", "2020-07", "2020-08", "2020-09", "2020-10",
+		"2020-11", "2020-12", "2021-01", "2021-02", "2021-03", "2021-04",
+	}
+	r := &Result{ID: "fig21", Title: "Monthly wavelength deployments",
+		Header: []string{"month", "wavelengths deployed"}}
+	for i, m := range months {
+		r.AddRow(m, fi(d[i]))
+	}
+	r.AddNote("paper: deployments rise from March 2020 (COVID-19)")
+	return r, nil
+}
+
+func runFig22(cfg Config) (*Result, error) {
+	tp, err := topo.Facebook(cfg.Seed + 5)
+	if err != nil {
+		return nil, err
+	}
+	// IP links per fiber.
+	perFiber := make([]float64, len(tp.Opt.Fibers))
+	for _, l := range tp.Opt.IPLinks {
+		seen := map[int]bool{}
+		for _, w := range l.Waves {
+			for _, f := range w.FiberPath {
+				if !seen[f] {
+					seen[f] = true
+					perFiber[f]++
+				}
+			}
+		}
+	}
+	var nonzero []float64
+	for _, c := range perFiber {
+		if c > 0 {
+			nonzero = append(nonzero, c)
+		}
+	}
+	linksCDF := stats.NewCDF(nonzero)
+	var waves []float64
+	for _, l := range tp.Opt.IPLinks {
+		waves = append(waves, float64(len(l.Waves)))
+	}
+	wavesCDF := stats.NewCDF(waves)
+	r := &Result{ID: "fig22", Title: "IP links per fiber and wavelengths per IP link",
+		Header: []string{"x", "P(IP links/fiber <= x)", "P(waves/IP link <= x)"}}
+	for _, x := range []float64{1, 2, 3, 4, 6, 8, 12, 16} {
+		r.AddRow(f1(x), pct(linksCDF.At(x)), pct(wavesCDF.At(x)))
+	}
+	r.AddNote("median IP links per lit fiber: %.0f; median wavelengths per IP link: %.0f",
+		linksCDF.Percentile(50), wavesCDF.Percentile(50))
+	return r, nil
+}

@@ -1,0 +1,44 @@
+package eval
+
+import (
+	"github.com/arrow-te/arrow/internal/emu"
+)
+
+func init() {
+	register(Experiment{
+		ID:         "table10",
+		Title:      "Comparison of failure-mitigation approaches (Appendix A.9)",
+		PaperClaim: "TE and OTN protection idle hardware; classical restoration is slow; ARROW is fast with no idle resources",
+		Run:        runTable10,
+	})
+}
+
+// runTable10 reproduces the qualitative comparison of Table 10, filling the
+// latency column with this repository's measured values from the emulated
+// testbed instead of the paper's order-of-magnitude estimates.
+func runTable10(cfg Config) (*Result, error) {
+	net, err := emu.Testbed()
+	if err != nil {
+		return nil, err
+	}
+	legacy, err := emu.RunRestoration(net, []int{emu.FiberDC}, emu.Config{NoiseLoading: false, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	net2, err := emu.Testbed()
+	if err != nil {
+		return nil, err
+	}
+	arrow, err := emu.RunRestoration(net2, []int{emu.FiberDC}, emu.Config{NoiseLoading: true, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{ID: "table10", Title: "Failure-mitigation approaches",
+		Header: []string{"approach", "failover config", "failover latency", "idle resources during repair"}}
+	r.AddRow("failure-aware TE (FFC/TeaVaR)", "routing table", "O(ms)", "ports + transponders of the cut fiber")
+	r.AddRow("optical path protection (OTN)", "OTN config", "O(ms)", "standby transponders")
+	r.AddRow("classical optical restoration", "ROADM config", f1(legacy.DoneSec)+" s (measured)", "none")
+	r.AddRow("ARROW", "routing + ROADM config", f1(arrow.DoneSec)+" s (measured)", "none")
+	r.AddNote("latencies measured on the emulated §5 testbed (legacy includes per-amplifier gain settling); the paper reports 10s of minutes vs 8 s")
+	return r, nil
+}

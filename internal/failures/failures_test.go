@@ -1,0 +1,131 @@
+package failures
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCorpusSize(t *testing.T) {
+	c := GenerateCorpus(1)
+	if len(c.Tickets) != 600 {
+		t.Fatalf("%d tickets, want 600", len(c.Tickets))
+	}
+	// Deterministic by seed.
+	c2 := GenerateCorpus(1)
+	for i := range c.Tickets {
+		if c.Tickets[i] != c2.Tickets[i] {
+			t.Fatal("corpus not deterministic")
+		}
+	}
+}
+
+func TestFiberCutDurationCalibration(t *testing.T) {
+	// Paper: 50% of fiber cuts > 9h, 10% > 24h.
+	c := GenerateCorpus(1)
+	cdfs := c.MTTRByCause()
+	fc := cdfs[FiberCut]
+	if fc == nil || fc.Len() == 0 {
+		t.Fatal("no fiber-cut tickets")
+	}
+	over9 := 1 - fc.At(9)
+	over24 := 1 - fc.At(24)
+	if math.Abs(over9-0.5) > 0.08 {
+		t.Fatalf("P(>9h) = %g, want ~0.5", over9)
+	}
+	if math.Abs(over24-0.10) > 0.05 {
+		t.Fatalf("P(>24h) = %g, want ~0.10", over24)
+	}
+}
+
+func TestDowntimeShareCalibration(t *testing.T) {
+	// Paper: fiber cuts are ~67% of total downtime.
+	c := GenerateCorpus(1)
+	share := c.DowntimeShare()
+	if math.Abs(share[FiberCut]-0.67) > 0.08 {
+		t.Fatalf("fiber-cut downtime share %g, want ~0.67", share[FiberCut])
+	}
+	total := 0.0
+	for _, cause := range Causes() {
+		total += share[cause]
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("shares sum to %g", total)
+	}
+}
+
+func TestFiberCutRate(t *testing.T) {
+	c := GenerateCorpus(1)
+	rate := c.FiberCutsPerMonth() * IncidentsPerTicket
+	// Paper: ~16 incidents/month.
+	if rate < 12 || rate > 20 {
+		t.Fatalf("incident rate %g/month, want ~16", rate)
+	}
+}
+
+func TestLostCapacityShape(t *testing.T) {
+	c := GenerateCorpus(1)
+	cdf := c.LostCapacityCDF()
+	if cdf.Max() > 8000+1e-9 {
+		t.Fatalf("lost capacity %g exceeds 8 Tbps cap", cdf.Max())
+	}
+	if cdf.Max() < 4000 {
+		t.Fatalf("max lost capacity %g, want multi-Tbps tail", cdf.Max())
+	}
+	if cdf.Percentile(50) < 300 || cdf.Percentile(50) > 3000 {
+		t.Fatalf("median lost capacity %g out of plausible range", cdf.Percentile(50))
+	}
+}
+
+func TestTopSitePairsAreHot(t *testing.T) {
+	c := GenerateCorpus(1)
+	top := c.TopSitePairs(4)
+	if len(top) != 4 {
+		t.Fatalf("%d pairs", len(top))
+	}
+	// The generator concentrates cuts on pairs 0..3; most of the top-4
+	// should come from there.
+	hot := 0
+	for _, p := range top {
+		if p < 4 {
+			hot++
+		}
+	}
+	if hot < 3 {
+		t.Fatalf("only %d of top-4 pairs are hot pairs (%v)", hot, top)
+	}
+	series := c.LostCapacitySeries(top[0])
+	if len(series) == 0 {
+		t.Fatal("hottest pair has no series")
+	}
+	for _, p := range series {
+		if p.LostGbps <= 0 || p.DurationHours <= 0 {
+			t.Fatalf("bad series point %+v", p)
+		}
+	}
+}
+
+func TestMonthlyDeploymentsCOVIDUptick(t *testing.T) {
+	d := MonthlyDeployments(1)
+	if len(d) != 18 {
+		t.Fatalf("%d months", len(d))
+	}
+	pre := 0.0
+	for _, v := range d[:4] {
+		pre += float64(v)
+	}
+	pre /= 4
+	post := 0.0
+	for _, v := range d[4:] {
+		post += float64(v)
+	}
+	post /= float64(len(d) - 4)
+	if post < pre*1.3 {
+		t.Fatalf("no COVID uptick: pre %g post %g", pre, post)
+	}
+}
+
+func TestCauseString(t *testing.T) {
+	if FiberCut.String() != "fiber-cut" || Cause(99).String() != "unknown" {
+		t.Fatal("cause strings wrong")
+	}
+}

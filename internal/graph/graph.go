@@ -1,0 +1,399 @@
+// Package graph provides the directed multigraph and path algorithms used by
+// both layers of the ARROW reproduction: the optical-layer fiber graph
+// (ROADMs and fibers, where surrogate restoration paths are routed) and the
+// IP-layer topology (sites and IP links, where TE tunnels are routed).
+//
+// It implements Dijkstra shortest paths, Yen's k-shortest loopless paths
+// (used for surrogate fiber paths and tunnel selection), and greedy
+// edge-disjoint path extraction (used for fiber-disjoint tunnels).
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Node identifies a vertex.
+type Node int
+
+// Edge is one directed edge of a multigraph.
+type Edge struct {
+	ID     int // position in the graph's edge list
+	From   Node
+	To     Node
+	Weight float64
+	// Label carries the caller's identifier (e.g. fiber or IP-link index).
+	Label int
+}
+
+// Graph is a directed multigraph. Add nodes implicitly by using them in
+// AddEdge. Edges keep insertion order and stable IDs.
+type Graph struct {
+	n     int
+	edges []Edge
+	out   [][]int // node -> edge IDs
+}
+
+// New returns a graph with n nodes and no edges.
+func New(n int) *Graph {
+	return &Graph{n: n, out: make([][]int, n)}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edge returns edge metadata by ID.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// Edges returns all edges in insertion order. The slice is shared; treat it
+// as read-only.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// AddEdge inserts a directed edge and returns its ID.
+func (g *Graph) AddEdge(from, to Node, weight float64, label int) int {
+	if from < 0 || int(from) >= g.n || to < 0 || int(to) >= g.n {
+		panic(fmt.Sprintf("graph: edge %d->%d outside node range [0,%d)", from, to, g.n))
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Weight: weight, Label: label})
+	g.out[from] = append(g.out[from], id)
+	return id
+}
+
+// AddBiEdge inserts a pair of opposite directed edges with the same label
+// and returns their IDs.
+func (g *Graph) AddBiEdge(a, b Node, weight float64, label int) (int, int) {
+	return g.AddEdge(a, b, weight, label), g.AddEdge(b, a, weight, label)
+}
+
+// Out returns the IDs of edges leaving n. Read-only.
+func (g *Graph) Out(n Node) []int { return g.out[n] }
+
+// Path is a sequence of edge IDs with its total weight.
+type Path struct {
+	Edges  []int
+	Weight float64
+}
+
+// Nodes expands a path to its node sequence (length len(Edges)+1).
+func (p Path) Nodes(g *Graph) []Node {
+	if len(p.Edges) == 0 {
+		return nil
+	}
+	out := make([]Node, 0, len(p.Edges)+1)
+	out = append(out, g.edges[p.Edges[0]].From)
+	for _, id := range p.Edges {
+		out = append(out, g.edges[id].To)
+	}
+	return out
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node Node
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestPath returns the minimum-weight path from src to dst, skipping
+// edges for which banned returns true (banned may be nil). ok is false when
+// dst is unreachable.
+func (g *Graph) ShortestPath(src, dst Node, banned func(edgeID int) bool) (Path, bool) {
+	dist := make([]float64, g.n)
+	prev := make([]int, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{src, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		if it.node == dst {
+			break
+		}
+		for _, id := range g.out[it.node] {
+			if banned != nil && banned(id) {
+				continue
+			}
+			e := &g.edges[id]
+			if e.Weight < 0 {
+				panic("graph: negative edge weight")
+			}
+			if nd := it.dist + e.Weight; nd < dist[e.To] {
+				dist[e.To] = nd
+				prev[e.To] = id
+				heap.Push(q, pqItem{e.To, nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, false
+	}
+	var rev []int
+	for at := dst; at != src; {
+		id := prev[at]
+		rev = append(rev, id)
+		at = g.edges[id].From
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return Path{Edges: rev, Weight: dist[dst]}, true
+}
+
+// KShortestPaths returns up to k loopless shortest paths from src to dst in
+// ascending weight order (Yen's algorithm). maxWeight, if positive, prunes
+// paths longer than it (used for modulation reach bounds).
+func (g *Graph) KShortestPaths(src, dst Node, k int, maxWeight float64) []Path {
+	if k <= 0 {
+		return nil
+	}
+	within := func(p Path) bool { return maxWeight <= 0 || p.Weight <= maxWeight+1e-9 }
+	first, ok := g.ShortestPath(src, dst, nil)
+	if !ok || !within(first) {
+		return nil
+	}
+	accepted := []Path{first}
+	var candidates []Path
+
+	for len(accepted) < k {
+		prev := accepted[len(accepted)-1]
+		prevNodes := prev.Nodes(g)
+		// Spur from each node of the previous path.
+		for i := 0; i < len(prev.Edges); i++ {
+			spurNode := prevNodes[i]
+			rootEdges := prev.Edges[:i]
+			rootWeight := 0.0
+			for _, id := range rootEdges {
+				rootWeight += g.edges[id].Weight
+			}
+			bannedEdges := map[int]bool{}
+			bannedNodes := map[Node]bool{}
+			// Ban edges that would recreate an accepted path with this root.
+			for _, p := range accepted {
+				if len(p.Edges) > i && equalInts(p.Edges[:i], rootEdges) {
+					bannedEdges[p.Edges[i]] = true
+				}
+			}
+			// Ban root nodes to keep paths loopless.
+			for _, n := range prevNodes[:i] {
+				bannedNodes[n] = true
+			}
+			spur, ok := g.ShortestPath(spurNode, dst, func(id int) bool {
+				return bannedEdges[id] || bannedNodes[g.edges[id].From] || bannedNodes[g.edges[id].To]
+			})
+			if !ok {
+				continue
+			}
+			total := Path{
+				Edges:  append(append([]int(nil), rootEdges...), spur.Edges...),
+				Weight: rootWeight + spur.Weight,
+			}
+			if !within(total) {
+				continue
+			}
+			dup := false
+			for _, c := range candidates {
+				if equalInts(c.Edges, total.Edges) {
+					dup = true
+					break
+				}
+			}
+			for _, a := range accepted {
+				if equalInts(a.Edges, total.Edges) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.SliceStable(candidates, func(a, b int) bool { return candidates[a].Weight < candidates[b].Weight })
+		accepted = append(accepted, candidates[0])
+		candidates = candidates[1:]
+	}
+	return accepted
+}
+
+// DisjointPaths greedily extracts up to k paths from src to dst that share
+// no edge label (labels typically identify fibers, so label-disjoint means
+// fiber-disjoint). Paths are found shortest-first.
+func (g *Graph) DisjointPaths(src, dst Node, k int) []Path {
+	usedLabels := map[int]bool{}
+	var out []Path
+	for len(out) < k {
+		p, ok := g.ShortestPath(src, dst, func(id int) bool { return usedLabels[g.edges[id].Label] })
+		if !ok {
+			break
+		}
+		for _, id := range p.Edges {
+			usedLabels[g.edges[id].Label] = true
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Reachable reports whether dst is reachable from src skipping banned edges.
+func (g *Graph) Reachable(src, dst Node, banned func(edgeID int) bool) bool {
+	if src == dst {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []Node{src}
+	seen[src] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, id := range g.out[n] {
+			if banned != nil && banned(id) {
+				continue
+			}
+			to := g.edges[id].To
+			if to == dst {
+				return true
+			}
+			if !seen[to] {
+				seen[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+	return false
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxFlow computes the maximum s->t flow with Edmonds-Karp (BFS augmenting
+// paths). capacity gives each edge's capacity by edge ID; opposite directed
+// edges are treated independently. Used for topology diagnostics (min-cut
+// checks) and as a combinatorial cross-check of the LP solver.
+func (g *Graph) MaxFlow(s, t Node, capacity func(edgeID int) float64) float64 {
+	if s == t {
+		return 0
+	}
+	residual := make([]float64, len(g.edges))
+	for id := range g.edges {
+		residual[id] = capacity(id)
+	}
+	// reverse[id] is the edge ID of the reverse residual arc; built lazily
+	// as a virtual arc (flow pushed back along id).
+	flowOn := make([]float64, len(g.edges))
+
+	total := 0.0
+	for {
+		// BFS over residual graph: forward arcs with residual > 0, and
+		// backward arcs with flow > 0.
+		type step struct {
+			edge    int
+			forward bool
+		}
+		prev := make(map[Node]step, g.n)
+		visited := make([]bool, g.n)
+		visited[s] = true
+		queue := []Node{s}
+		found := false
+		for len(queue) > 0 && !found {
+			u := queue[0]
+			queue = queue[1:]
+			for _, id := range g.out[u] {
+				e := &g.edges[id]
+				if residual[id] > 1e-12 && !visited[e.To] {
+					visited[e.To] = true
+					prev[e.To] = step{id, true}
+					if e.To == t {
+						found = true
+						break
+					}
+					queue = append(queue, e.To)
+				}
+			}
+			if found {
+				break
+			}
+			// Backward arcs: edges INTO u with positive flow.
+			for id := range g.edges {
+				e := &g.edges[id]
+				if e.To == u && flowOn[id] > 1e-12 && !visited[e.From] {
+					visited[e.From] = true
+					prev[e.From] = step{id, false}
+					if e.From == t {
+						found = true
+						break
+					}
+					queue = append(queue, e.From)
+				}
+			}
+		}
+		if !found {
+			return total
+		}
+		// Find bottleneck.
+		bottleneck := math.Inf(1)
+		for at := t; at != s; {
+			st := prev[at]
+			e := &g.edges[st.edge]
+			if st.forward {
+				if residual[st.edge] < bottleneck {
+					bottleneck = residual[st.edge]
+				}
+				at = e.From
+			} else {
+				if flowOn[st.edge] < bottleneck {
+					bottleneck = flowOn[st.edge]
+				}
+				at = e.To
+			}
+		}
+		for at := t; at != s; {
+			st := prev[at]
+			e := &g.edges[st.edge]
+			if st.forward {
+				residual[st.edge] -= bottleneck
+				flowOn[st.edge] += bottleneck
+				at = e.From
+			} else {
+				flowOn[st.edge] -= bottleneck
+				residual[st.edge] += bottleneck
+				at = e.To
+			}
+		}
+		total += bottleneck
+	}
+}

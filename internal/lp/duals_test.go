@@ -1,0 +1,127 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDualsKnownLP(t *testing.T) {
+	// max 3x + 2y st x+y <= 4, x+3y <= 6. Optimum x=4, y=0 at vertex of
+	// c1 and x-axis; shadow price of c1 is 3 (all slack goes to x), c2 is 0
+	// (not binding: 4 < 6... x+3y = 4 < 6, slack 2).
+	m := NewModel("dual-known")
+	m.SetMaximize(true)
+	x := m.AddVar(0, Inf, 3, "x")
+	y := m.AddVar(0, Inf, 2, "y")
+	c1 := m.AddConstr(Expr{}.Plus(1, x).Plus(1, y), LE, 4, "c1")
+	c2 := m.AddConstr(Expr{}.Plus(1, x).Plus(3, y), LE, 6, "c2")
+	sol := solveOrFail(t, m)
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if len(sol.Duals) != 2 {
+		t.Fatalf("%d duals", len(sol.Duals))
+	}
+	if math.Abs(sol.Duals[c1]-3) > 1e-7 {
+		t.Fatalf("dual(c1) = %g, want 3", sol.Duals[c1])
+	}
+	if math.Abs(sol.Duals[c2]) > 1e-7 {
+		t.Fatalf("dual(c2) = %g, want 0 (slack)", sol.Duals[c2])
+	}
+}
+
+// TestDualsFiniteDifference verifies the advertised semantics on random
+// LPs: perturbing a constraint's rhs by +eps changes the optimum by
+// approximately dual*eps (away from degenerate vertices).
+func TestDualsFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	checked := 0
+	for trial := 0; trial < 200 && checked < 40; trial++ {
+		n := 2 + rng.Intn(3)
+		m := NewModel("dual-rand")
+		m.SetMaximize(rng.Intn(2) == 0)
+		vars := make([]Var, n)
+		for j := range vars {
+			vars[j] = m.AddVar(0, float64(1+rng.Intn(5)), float64(rng.Intn(9)-4), "v")
+		}
+		rows := 1 + rng.Intn(3)
+		for i := 0; i < rows; i++ {
+			var e Expr
+			for j := range vars {
+				e = e.Plus(float64(rng.Intn(5)-1), vars[j])
+			}
+			m.AddConstr(e, []Sense{LE, GE}[rng.Intn(2)], float64(rng.Intn(10)+2), "r")
+		}
+		sol, err := Solve(m, nil)
+		if err != nil || sol.Status != StatusOptimal {
+			continue
+		}
+		const eps = 1e-5
+		ok := true
+		for ci := 0; ci < m.NumConstrs(); ci++ {
+			pert := m.Clone()
+			pert.rows[ci].rhs += eps
+			psol, err := Solve(pert, nil)
+			if err != nil || psol.Status != StatusOptimal {
+				ok = false
+				break
+			}
+			got := (psol.Objective - sol.Objective) / eps
+			want := sol.Duals[ci]
+			// Degenerate vertices can make the one-sided derivative differ
+			// from the dual; allow those trials to be skipped when the
+			// discrepancy is one-sided only.
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				pert2 := m.Clone()
+				pert2.rows[ci].rhs -= eps
+				psol2, err2 := Solve(pert2, nil)
+				if err2 == nil && psol2.Status == StatusOptimal {
+					got2 := (sol.Objective - psol2.Objective) / eps
+					if math.Abs(got2-want) > 1e-4*(1+math.Abs(want)) {
+						t.Fatalf("trial %d row %d: dual %g but finite differences %g / %g",
+							trial, ci, want, got, got2)
+					}
+				}
+			}
+		}
+		if ok {
+			checked++
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d random LPs checked", checked)
+	}
+}
+
+// TestDualsComplementarySlackness: non-binding rows must have zero duals.
+func TestDualsComplementarySlackness(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(3)
+		m := NewModel("cs")
+		m.SetMaximize(true)
+		vars := make([]Var, n)
+		for j := range vars {
+			vars[j] = m.AddVar(0, float64(1+rng.Intn(4)), float64(rng.Intn(6)), "v")
+		}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			var e Expr
+			for j := range vars {
+				e = e.Plus(float64(rng.Intn(4)), vars[j])
+			}
+			m.AddConstr(e, LE, float64(rng.Intn(14)+4), "r")
+		}
+		sol, err := Solve(m, nil)
+		if err != nil || sol.Status != StatusOptimal {
+			continue
+		}
+		for ci := 0; ci < m.NumConstrs(); ci++ {
+			lhs := m.EvalExpr(Constr(ci), sol.X)
+			slack := m.rows[ci].rhs - lhs
+			if slack > 1e-6 && math.Abs(sol.Duals[ci]) > 1e-7 {
+				t.Fatalf("trial %d: row %d slack %g but dual %g", trial, ci, slack, sol.Duals[ci])
+			}
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"github.com/arrow-te/arrow/internal/lp"
+)
+
+// Example solves a small production-planning LP: two products share two
+// machines; maximise profit.
+func Example() {
+	m := lp.NewModel("production")
+	m.SetMaximize(true)
+	x := m.AddVar(0, lp.Inf, 30, "widgets") // profit per unit
+	y := m.AddVar(0, lp.Inf, 50, "gadgets")
+	// Machine hours: widgets need 1h on A and 2h on B; gadgets 3h and 2h.
+	m.AddConstr(lp.Expr{}.Plus(1, x).Plus(3, y), lp.LE, 120, "machineA")
+	m.AddConstr(lp.Expr{}.Plus(2, x).Plus(2, y), lp.LE, 110, "machineB")
+
+	sol, err := lp.Solve(m, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("status: %v\n", sol.Status)
+	fmt.Printf("widgets=%.1f gadgets=%.1f profit=%.0f\n", sol.X[x], sol.X[y], sol.Objective)
+	// The dual of machineA says how much an extra hour there is worth.
+	fmt.Printf("machineA shadow price: %.1f\n", sol.Duals[0])
+	// Output:
+	// status: optimal
+	// widgets=22.5 gadgets=32.5 profit=2300
+	// machineA shadow price: 10.0
+}

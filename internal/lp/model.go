@@ -1,0 +1,260 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inf is the bound used for unbounded variable ranges.
+var Inf = math.Inf(1)
+
+// Sense is the relational operator of a linear constraint.
+type Sense int8
+
+// Constraint senses.
+const (
+	LE Sense = iota // left-hand side <= rhs
+	GE              // left-hand side >= rhs
+	EQ              // left-hand side == rhs
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return fmt.Sprintf("Sense(%d)", int(s))
+}
+
+// Var identifies a decision variable within a Model.
+type Var int
+
+// Constr identifies a constraint within a Model.
+type Constr int
+
+// Term is one coefficient*variable product in a linear expression.
+type Term struct {
+	Var  Var
+	Coef float64
+}
+
+// Expr is a linear expression: a sum of terms.
+type Expr []Term
+
+// Plus appends a term to the expression and returns the extended expression.
+func (e Expr) Plus(coef float64, v Var) Expr { return append(e, Term{Var: v, Coef: coef}) }
+
+// Model is a linear program under construction.
+// The zero value is an empty minimisation problem.
+type Model struct {
+	name     string
+	maximize bool
+
+	obj     []float64
+	lb, ub  []float64
+	varName []string
+	integer []bool // used by package mip; ignored by the LP solver
+
+	rows []rowData
+}
+
+type rowData struct {
+	terms []Term
+	sense Sense
+	rhs   float64
+	name  string
+}
+
+// NewModel returns an empty model with the given name.
+func NewModel(name string) *Model { return &Model{name: name} }
+
+// Name returns the model's name.
+func (m *Model) Name() string { return m.name }
+
+// SetMaximize selects between maximisation (true) and minimisation (false,
+// the default).
+func (m *Model) SetMaximize(max bool) { m.maximize = max }
+
+// Maximize reports whether the model is a maximisation problem.
+func (m *Model) Maximize() bool { return m.maximize }
+
+// AddVar adds a variable with bounds [lb, ub] and objective coefficient obj.
+// Use -Inf/Inf for unbounded sides. The name is used in diagnostics only.
+func (m *Model) AddVar(lb, ub, obj float64, name string) Var {
+	m.lb = append(m.lb, lb)
+	m.ub = append(m.ub, ub)
+	m.obj = append(m.obj, obj)
+	m.varName = append(m.varName, name)
+	m.integer = append(m.integer, false)
+	return Var(len(m.obj) - 1)
+}
+
+// AddIntVar adds a variable marked integral. The LP solver treats it as
+// continuous; package mip enforces integrality via branch and bound.
+func (m *Model) AddIntVar(lb, ub, obj float64, name string) Var {
+	v := m.AddVar(lb, ub, obj, name)
+	m.integer[v] = true
+	return v
+}
+
+// AddBinVar adds a {0,1} integer variable.
+func (m *Model) AddBinVar(obj float64, name string) Var {
+	return m.AddIntVar(0, 1, obj, name)
+}
+
+// SetObj overwrites the objective coefficient of v.
+func (m *Model) SetObj(v Var, coef float64) { m.obj[v] = coef }
+
+// Obj returns the objective coefficient of v.
+func (m *Model) Obj(v Var) float64 { return m.obj[v] }
+
+// SetBounds overwrites the bounds of v.
+func (m *Model) SetBounds(v Var, lb, ub float64) { m.lb[v], m.ub[v] = lb, ub }
+
+// Bounds returns the bounds of v.
+func (m *Model) Bounds(v Var) (lb, ub float64) { return m.lb[v], m.ub[v] }
+
+// IsInteger reports whether v was added as an integer variable.
+func (m *Model) IsInteger(v Var) bool { return m.integer[v] }
+
+// VarName returns the diagnostic name of v.
+func (m *Model) VarName(v Var) string { return m.varName[v] }
+
+// NumVars returns the number of variables.
+func (m *Model) NumVars() int { return len(m.obj) }
+
+// NumConstrs returns the number of constraints.
+func (m *Model) NumConstrs() int { return len(m.rows) }
+
+// NumIntVars returns the number of integer variables.
+func (m *Model) NumIntVars() int {
+	n := 0
+	for _, b := range m.integer {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// AddConstr adds the constraint expr (sense) rhs. Terms mentioning the same
+// variable more than once are summed. It returns the constraint handle.
+func (m *Model) AddConstr(expr Expr, sense Sense, rhs float64, name string) Constr {
+	for _, t := range expr {
+		if int(t.Var) < 0 || int(t.Var) >= len(m.obj) {
+			panic(fmt.Sprintf("lp: constraint %q references unknown variable %d", name, t.Var))
+		}
+	}
+	m.rows = append(m.rows, rowData{terms: combineTerms(expr), sense: sense, rhs: rhs, name: name})
+	return Constr(len(m.rows) - 1)
+}
+
+// combineTerms sums duplicate variables and drops zero coefficients,
+// preserving first-occurrence order.
+func combineTerms(expr Expr) []Term {
+	seen := make(map[Var]int, len(expr))
+	out := make([]Term, 0, len(expr))
+	for _, t := range expr {
+		if i, ok := seen[t.Var]; ok {
+			out[i].Coef += t.Coef
+			continue
+		}
+		seen[t.Var] = len(out)
+		out = append(out, t)
+	}
+	w := 0
+	for _, t := range out {
+		if t.Coef != 0 {
+			out[w] = t
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// Clone returns a deep copy of the model.
+func (m *Model) Clone() *Model {
+	c := &Model{
+		name:     m.name,
+		maximize: m.maximize,
+		obj:      append([]float64(nil), m.obj...),
+		lb:       append([]float64(nil), m.lb...),
+		ub:       append([]float64(nil), m.ub...),
+		varName:  append([]string(nil), m.varName...),
+		integer:  append([]bool(nil), m.integer...),
+		rows:     make([]rowData, len(m.rows)),
+	}
+	for i, r := range m.rows {
+		c.rows[i] = rowData{terms: append([]Term(nil), r.terms...), sense: r.sense, rhs: r.rhs, name: r.name}
+	}
+	return c
+}
+
+// Stats describes the size of a model.
+type Stats struct {
+	Vars, IntVars, Constrs, Nonzeros int
+}
+
+// Stats returns size statistics for the model.
+func (m *Model) Stats() Stats {
+	s := Stats{Vars: m.NumVars(), IntVars: m.NumIntVars(), Constrs: m.NumConstrs()}
+	for _, r := range m.rows {
+		s.Nonzeros += len(r.terms)
+	}
+	return s
+}
+
+// EvalExpr computes the value of a constraint's left-hand side at x.
+func (m *Model) EvalExpr(c Constr, x []float64) float64 {
+	sum := 0.0
+	for _, t := range m.rows[c].terms {
+		sum += t.Coef * x[t.Var]
+	}
+	return sum
+}
+
+// RowViolation returns how much point x violates constraint c (0 if satisfied).
+func (m *Model) RowViolation(c Constr, x []float64) float64 {
+	lhs := m.EvalExpr(c, x)
+	r := m.rows[c]
+	switch r.sense {
+	case LE:
+		return math.Max(0, lhs-r.rhs)
+	case GE:
+		return math.Max(0, r.rhs-lhs)
+	default:
+		return math.Abs(lhs - r.rhs)
+	}
+}
+
+// MaxViolation returns the largest constraint or bound violation at x.
+func (m *Model) MaxViolation(x []float64) float64 {
+	worst := 0.0
+	for i := range m.rows {
+		if v := m.RowViolation(Constr(i), x); v > worst {
+			worst = v
+		}
+	}
+	for j := range m.obj {
+		if v := m.lb[j] - x[j]; v > worst {
+			worst = v
+		}
+		if v := x[j] - m.ub[j]; v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// ObjValue computes the objective value at x (in the model's own sense).
+func (m *Model) ObjValue(x []float64) float64 {
+	sum := 0.0
+	for j, c := range m.obj {
+		sum += c * x[j]
+	}
+	return sum
+}

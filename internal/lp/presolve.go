@@ -1,0 +1,262 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Presolved wraps a model with standard LP presolve reductions applied:
+//
+//   - empty rows are checked against their rhs and dropped;
+//   - fixed variables (lb == ub) are substituted into rows and objective;
+//   - singleton rows (one variable) become bound tightenings;
+//   - variables appearing in no row are fixed at their objective-best bound.
+//
+// Reductions iterate to a fixpoint. Solve the reduced model and call
+// Restore to map its solution back to the original variable space.
+//
+// Presolve can itself detect infeasibility or unboundedness; in that case
+// Status holds the verdict and Reduced is nil.
+type Presolved struct {
+	Original *Model
+	Reduced  *Model
+	// Status is StatusOptimal when a reduced model was produced, otherwise
+	// the verdict detected during presolve.
+	Status Status
+
+	// fixed[j] holds the forced value of original variable j (NaN = free).
+	fixed []float64
+	// colMap[j] is original var j's index in the reduced model (-1 fixed).
+	colMap []int
+}
+
+// NewPresolved runs the reductions on a copy of m.
+func NewPresolved(m *Model) *Presolved {
+	p := &Presolved{Original: m, Status: StatusOptimal}
+	n := m.NumVars()
+	lb := append([]float64(nil), m.lb...)
+	ub := append([]float64(nil), m.ub...)
+	fixed := make([]float64, n)
+	for j := range fixed {
+		fixed[j] = math.NaN()
+	}
+
+	type prow struct {
+		terms []Term
+		sense Sense
+		rhs   float64
+		name  string
+		dead  bool
+	}
+	rows := make([]prow, m.NumConstrs())
+	for i, r := range m.rows {
+		rows[i] = prow{terms: append([]Term(nil), r.terms...), sense: r.sense, rhs: r.rhs, name: r.name}
+	}
+
+	appears := make([]int, n)
+	countAppearances := func() {
+		for j := range appears {
+			appears[j] = 0
+		}
+		for _, r := range rows {
+			if r.dead {
+				continue
+			}
+			for _, t := range r.terms {
+				appears[t.Var]++
+			}
+		}
+	}
+
+	const tol = 1e-9
+	changed := true
+	for changed {
+		changed = false
+		// Fix variables with collapsed bounds.
+		for j := 0; j < n; j++ {
+			if !math.IsNaN(fixed[j]) {
+				continue
+			}
+			if lb[j] > ub[j]+tol {
+				p.Status = StatusInfeasible
+				return p
+			}
+			if ub[j]-lb[j] <= tol {
+				fixed[j] = lb[j]
+				changed = true
+			}
+		}
+		// Substitute fixed variables into rows.
+		for ri := range rows {
+			r := &rows[ri]
+			if r.dead {
+				continue
+			}
+			w := 0
+			for _, t := range r.terms {
+				if v := fixed[t.Var]; !math.IsNaN(v) {
+					r.rhs -= t.Coef * v
+					changed = true
+					continue
+				}
+				r.terms[w] = t
+				w++
+			}
+			r.terms = r.terms[:w]
+			// Empty row: verify and drop.
+			if len(r.terms) == 0 {
+				sat := true
+				switch r.sense {
+				case LE:
+					sat = 0 <= r.rhs+tol
+				case GE:
+					sat = 0 >= r.rhs-tol
+				case EQ:
+					sat = math.Abs(r.rhs) <= tol
+				}
+				if !sat {
+					p.Status = StatusInfeasible
+					return p
+				}
+				r.dead = true
+				continue
+			}
+			// Singleton row: bound tightening.
+			if len(r.terms) == 1 {
+				t := r.terms[0]
+				if math.Abs(t.Coef) < tol {
+					continue
+				}
+				v := r.rhs / t.Coef
+				switch {
+				case r.sense == EQ:
+					lb[t.Var] = math.Max(lb[t.Var], v)
+					ub[t.Var] = math.Min(ub[t.Var], v)
+				case (r.sense == LE) == (t.Coef > 0): // x <= v
+					ub[t.Var] = math.Min(ub[t.Var], v)
+				default: // x >= v
+					lb[t.Var] = math.Max(lb[t.Var], v)
+				}
+				r.dead = true
+				changed = true
+			}
+		}
+		// Unconstrained columns: fix at objective-best bound. Bounds may
+		// have just been tightened by singleton rows, so re-verify
+		// consistency before fixing (a tightening that crossed the bounds
+		// means the original model is infeasible).
+		countAppearances()
+		for j := 0; j < n; j++ {
+			if !math.IsNaN(fixed[j]) || appears[j] > 0 {
+				continue
+			}
+			if lb[j] > ub[j]+tol {
+				p.Status = StatusInfeasible
+				return p
+			}
+			c := m.obj[j]
+			if m.maximize {
+				c = -c
+			}
+			// Minimising c*x over [lb, ub].
+			switch {
+			case c > tol:
+				if math.IsInf(lb[j], -1) {
+					p.Status = StatusUnbounded
+					return p
+				}
+				fixed[j] = lb[j]
+			case c < -tol:
+				if math.IsInf(ub[j], 1) {
+					p.Status = StatusUnbounded
+					return p
+				}
+				fixed[j] = ub[j]
+			default:
+				v := lb[j]
+				if math.IsInf(v, -1) {
+					v = math.Min(ub[j], 0)
+				}
+				if math.IsInf(v, 1) || math.IsInf(v, -1) {
+					v = 0
+				}
+				fixed[j] = v
+			}
+			changed = true
+		}
+	}
+
+	// Build the reduced model.
+	red := NewModel(m.name + "-presolved")
+	red.SetMaximize(m.maximize)
+	p.colMap = make([]int, n)
+	for j := 0; j < n; j++ {
+		if !math.IsNaN(fixed[j]) {
+			p.colMap[j] = -1
+			continue
+		}
+		p.colMap[j] = int(red.AddVar(lb[j], ub[j], m.obj[j], m.varName[j]))
+	}
+	for _, r := range rows {
+		if r.dead {
+			continue
+		}
+		var e Expr
+		for _, t := range r.terms {
+			e = e.Plus(t.Coef, Var(p.colMap[t.Var]))
+		}
+		red.AddConstr(e, r.sense, r.rhs, r.name)
+	}
+	p.Reduced = red
+	p.fixed = fixed
+	return p
+}
+
+// Stats reports the reduction achieved.
+func (p *Presolved) Stats() string {
+	if p.Reduced == nil {
+		return fmt.Sprintf("presolve verdict: %v", p.Status)
+	}
+	return fmt.Sprintf("presolve: %d->%d vars, %d->%d rows",
+		p.Original.NumVars(), p.Reduced.NumVars(),
+		p.Original.NumConstrs(), p.Reduced.NumConstrs())
+}
+
+// Restore maps a reduced-model solution vector back to original variables.
+func (p *Presolved) Restore(reducedX []float64) []float64 {
+	out := make([]float64, p.Original.NumVars())
+	for j := range out {
+		if p.colMap[j] >= 0 {
+			out[j] = reducedX[p.colMap[j]]
+		} else {
+			out[j] = p.fixed[j]
+		}
+	}
+	return out
+}
+
+// SolvePresolved runs presolve, solves the reduced model, and returns the
+// solution in the original variable space. Semantics match Solve.
+func SolvePresolved(m *Model, opts *Options) (*Solution, error) {
+	p := NewPresolved(m)
+	if p.Reduced == nil {
+		return &Solution{Status: p.Status}, nil
+	}
+	if p.Reduced.NumVars() == 0 {
+		// Everything fixed: evaluate directly.
+		x := p.Restore(nil)
+		if v := m.MaxViolation(x); v > 1e-7 {
+			return &Solution{Status: StatusInfeasible}, nil
+		}
+		return &Solution{Status: StatusOptimal, X: x, Objective: m.ObjValue(x)}, nil
+	}
+	sol, err := Solve(p.Reduced, opts)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != StatusOptimal {
+		return &Solution{Status: sol.Status, Iterations: sol.Iterations}, nil
+	}
+	x := p.Restore(sol.X)
+	return &Solution{Status: StatusOptimal, X: x, Objective: m.ObjValue(x), Iterations: sol.Iterations}, nil
+}

@@ -1,0 +1,118 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPresolveFixedAndSingleton(t *testing.T) {
+	m := NewModel("pres")
+	m.SetMaximize(true)
+	x := m.AddVar(3, 3, 1, "x")                               // fixed
+	y := m.AddVar(0, Inf, 2, "y")                             // bounded by singleton row
+	z := m.AddVar(0, 5, 4, "z")                               // unconstrained column
+	m.AddConstr(Expr{}.Plus(1, y), LE, 7, "ycap")             // singleton
+	m.AddConstr(Expr{}.Plus(1, x).Plus(0, y), LE, 10, "dull") // becomes empty after substitution
+	_ = z
+	p := NewPresolved(m)
+	if p.Status != StatusOptimal || p.Reduced == nil {
+		t.Fatalf("presolve status %v", p.Status)
+	}
+	// The singleton row pins y's bound, after which y leaves every row and
+	// is fixed at its objective-best bound: the model reduces to nothing.
+	if p.Reduced.NumVars() != 0 || p.Reduced.NumConstrs() != 0 {
+		t.Fatalf("reduced to %d vars %d rows: %s", p.Reduced.NumVars(), p.Reduced.NumConstrs(), p.Stats())
+	}
+	sol, err := SolvePresolved(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x=3, y=7, z=5 -> 3 + 14 + 20 = 37.
+	if math.Abs(sol.Objective-37) > 1e-9 {
+		t.Fatalf("objective %g want 37", sol.Objective)
+	}
+	if sol.X[x] != 3 || sol.X[y] != 7 || sol.X[z] != 5 {
+		t.Fatalf("solution %v", sol.X)
+	}
+}
+
+func TestPresolveDetectsInfeasibility(t *testing.T) {
+	m := NewModel("pres-infeas")
+	x := m.AddVar(2, 2, 0, "x")
+	m.AddConstr(Expr{}.Plus(1, x), LE, 1, "impossible")
+	sol, err := SolvePresolved(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status %v", sol.Status)
+	}
+	// Crossed bounds.
+	m2 := NewModel("crossed")
+	m2.AddVar(5, 2, 0, "x")
+	p := NewPresolved(m2)
+	if p.Status != StatusInfeasible {
+		t.Fatalf("status %v", p.Status)
+	}
+}
+
+func TestPresolveDetectsUnbounded(t *testing.T) {
+	m := NewModel("pres-unbounded")
+	m.SetMaximize(true)
+	m.AddVar(0, Inf, 1, "free-rider") // in no row
+	sol, err := SolvePresolved(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusUnbounded {
+		t.Fatalf("status %v", sol.Status)
+	}
+}
+
+// TestPresolveMatchesDirectSolve: property check on random LPs.
+func TestPresolveMatchesDirectSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(4)
+		m := NewModel("pres-rand")
+		m.SetMaximize(rng.Intn(2) == 0)
+		vars := make([]Var, n)
+		for j := range vars {
+			lo := float64(rng.Intn(5) - 2)
+			hi := lo + float64(rng.Intn(5))
+			if rng.Float64() < 0.2 {
+				hi = lo // fixed variable
+			}
+			vars[j] = m.AddVar(lo, hi, float64(rng.Intn(7)-3), "v")
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			var e Expr
+			// Occasionally a singleton or empty row.
+			terms := rng.Intn(n + 1)
+			for k := 0; k < terms; k++ {
+				e = e.Plus(float64(rng.Intn(5)-2), vars[rng.Intn(n)])
+			}
+			m.AddConstr(e, []Sense{LE, GE, EQ}[rng.Intn(3)], float64(rng.Intn(13)-4), "r")
+		}
+		direct, err := Solve(m, nil)
+		if err != nil {
+			t.Fatalf("trial %d direct: %v", trial, err)
+		}
+		pre, err := SolvePresolved(m, nil)
+		if err != nil {
+			t.Fatalf("trial %d presolved: %v", trial, err)
+		}
+		if direct.Status != pre.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, direct.Status, pre.Status)
+		}
+		if direct.Status == StatusOptimal {
+			if math.Abs(direct.Objective-pre.Objective) > 1e-6*(1+math.Abs(direct.Objective)) {
+				t.Fatalf("trial %d: objective %g vs %g", trial, direct.Objective, pre.Objective)
+			}
+			if v := m.MaxViolation(pre.X); v > 1e-6 {
+				t.Fatalf("trial %d: restored solution violates by %g", trial, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,616 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status is the outcome of an LP solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	StatusOptimal Status = iota
+	StatusInfeasible
+	StatusUnbounded
+	StatusIterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution holds the result of solving a Model.
+type Solution struct {
+	Status    Status
+	Objective float64   // in the model's own sense
+	X         []float64 // one value per model variable
+	// Duals holds one dual value (shadow price) per constraint, in the
+	// model's own sense: for a maximisation problem, Duals[i] is the rate
+	// at which the optimum grows per unit of extra right-hand side on
+	// constraint i. Only populated at optimality.
+	Duals      []float64
+	Iterations int
+}
+
+// Options tunes the simplex solver. The zero value selects defaults.
+type Options struct {
+	MaxIter  int     // maximum pivots (default 20000 + 40*(rows+cols))
+	FeasTol  float64 // feasibility tolerance (default 1e-7)
+	OptTol   float64 // reduced-cost optimality tolerance (default 1e-7)
+	Refactor int     // pivots between basis refactorisations (default 64)
+}
+
+func (o *Options) withDefaults(rows, cols int) Options {
+	v := Options{MaxIter: 20000 + 40*(rows+cols), FeasTol: 1e-7, OptTol: 1e-7, Refactor: 64}
+	if o == nil {
+		return v
+	}
+	if o.MaxIter > 0 {
+		v.MaxIter = o.MaxIter
+	}
+	if o.FeasTol > 0 {
+		v.FeasTol = o.FeasTol
+	}
+	if o.OptTol > 0 {
+		v.OptTol = o.OptTol
+	}
+	if o.Refactor > 0 {
+		v.Refactor = o.Refactor
+	}
+	return v
+}
+
+// Solve solves the model with the revised simplex method and returns the
+// solution. A non-nil error indicates an internal numerical failure, not
+// infeasibility: infeasible and unbounded models are reported via Status.
+func Solve(m *Model, opts *Options) (*Solution, error) {
+	sx, err := newSimplex(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	return sx.run()
+}
+
+// variable statuses within the simplex
+const (
+	atLower int8 = iota
+	atUpper
+	atFree // nonbasic free variable held at zero
+	basic
+)
+
+// simplex is the working state of one bounded-variable revised simplex solve
+// in computational standard form:
+//
+//	minimise c·x  subject to  A x = b,  l <= x <= u
+//
+// where x stacks the model's structural variables, one slack per row, and
+// one phase-1 artificial per row.
+type simplex struct {
+	opt  Options
+	m    *Model
+	nRow int
+	nStr int // structural variables
+	nTot int // structural + slacks + artificials
+
+	cols   []spCol // column j of A
+	cost   []float64
+	lb, ub []float64
+	b      []float64
+
+	status  []int8
+	x       []float64
+	basisOf []int // row -> variable occupying that basis position
+	posOf   []int // variable -> basis position, -1 if nonbasic
+
+	lu    *luFactors
+	etas  []eta
+	iters int
+
+	// scratch
+	w, y, rhs, accum []float64
+
+	degenerate int // consecutive degenerate pivots (Bland trigger)
+}
+
+type eta struct {
+	pos int // basis position replaced
+	col []float64
+	piv float64
+}
+
+// newSimplex builds the computational form of m.
+func newSimplex(m *Model, opts *Options) (*simplex, error) {
+	nRow := m.NumConstrs()
+	nStr := m.NumVars()
+	nTot := nStr + 2*nRow
+	sx := &simplex{
+		m:    m,
+		opt:  opts.withDefaults(nRow, nStr),
+		nRow: nRow, nStr: nStr, nTot: nTot,
+		cols: make([]spCol, nTot),
+		cost: make([]float64, nTot),
+		lb:   make([]float64, nTot),
+		ub:   make([]float64, nTot),
+		b:    make([]float64, nRow),
+
+		status:  make([]int8, nTot),
+		x:       make([]float64, nTot),
+		basisOf: make([]int, nRow),
+		posOf:   make([]int, nTot),
+
+		w: make([]float64, nRow), y: make([]float64, nRow),
+		rhs: make([]float64, nRow), accum: make([]float64, nRow),
+	}
+	sign := 1.0
+	if m.maximize {
+		sign = -1.0
+	}
+	for j := 0; j < nStr; j++ {
+		lb, ub := m.lb[j], m.ub[j]
+		if lb > ub {
+			// Trivially infeasible bounds; surface as infeasible later via
+			// an always-violated artificial by clamping.
+			return nil, fmt.Errorf("lp: variable %q has lb %g > ub %g", m.varName[j], lb, ub)
+		}
+		sx.lb[j], sx.ub[j] = lb, ub
+		sx.cost[j] = sign * m.obj[j]
+	}
+	for i, r := range m.rows {
+		for _, t := range r.terms {
+			sx.cols[t.Var].add(i, t.Coef)
+		}
+		s := nStr + i // slack for row i
+		sx.cols[s].add(i, 1)
+		switch r.sense {
+		case LE:
+			sx.lb[s], sx.ub[s] = 0, Inf
+		case GE:
+			sx.lb[s], sx.ub[s] = -Inf, 0
+		case EQ:
+			sx.lb[s], sx.ub[s] = 0, 0
+		}
+		sx.b[i] = r.rhs
+	}
+	for j := range sx.posOf {
+		sx.posOf[j] = -1
+	}
+	return sx, nil
+}
+
+// initialValue returns the starting value for a nonbasic variable and its
+// status: the finite bound nearest zero, or zero for free variables.
+func initialValue(lb, ub float64) (float64, int8) {
+	switch {
+	case lb <= -Inf+1 && ub >= Inf-1, math.IsInf(lb, -1) && math.IsInf(ub, 1):
+		return 0, atFree
+	case math.IsInf(lb, -1):
+		return ub, atUpper
+	case math.IsInf(ub, 1):
+		return lb, atLower
+	case math.Abs(lb) <= math.Abs(ub):
+		return lb, atLower
+	default:
+		return ub, atUpper
+	}
+}
+
+func (sx *simplex) run() (*Solution, error) {
+	// Start all structural and slack variables nonbasic at a bound.
+	for j := 0; j < sx.nStr+sx.nRow; j++ {
+		sx.x[j], sx.status[j] = initialValue(sx.lb[j], sx.ub[j])
+	}
+	// Residual r = b - A x determines artificials.
+	res := append([]float64(nil), sx.b...)
+	for j := 0; j < sx.nStr+sx.nRow; j++ {
+		if v := sx.x[j]; v != 0 {
+			c := &sx.cols[j]
+			for i, r := range c.rows {
+				res[r] -= c.vals[i] * v
+			}
+		}
+	}
+	for i := 0; i < sx.nRow; i++ {
+		a := sx.nStr + sx.nRow + i
+		coef := 1.0
+		if res[i] < 0 {
+			coef = -1.0
+		}
+		sx.cols[a].add(i, coef)
+		sx.lb[a], sx.ub[a] = 0, Inf
+		sx.x[a] = math.Abs(res[i])
+		sx.status[a] = basic
+		sx.basisOf[i] = a
+		sx.posOf[a] = i
+	}
+	if err := sx.refactorize(); err != nil {
+		return nil, err
+	}
+
+	// Phase 1: minimise the sum of artificials.
+	phase1Cost := make([]float64, sx.nTot)
+	for i := 0; i < sx.nRow; i++ {
+		phase1Cost[sx.nStr+sx.nRow+i] = 1
+	}
+	st, err := sx.iterate(phase1Cost, true)
+	if err != nil {
+		return nil, err
+	}
+	if st == StatusIterLimit {
+		return &Solution{Status: StatusIterLimit, X: sx.extract(), Iterations: sx.iters}, nil
+	}
+	if sx.artificialSum() > sx.opt.FeasTol*10 {
+		return &Solution{Status: StatusInfeasible, X: sx.extract(), Iterations: sx.iters}, nil
+	}
+	// Pin artificials to zero for phase 2.
+	for i := 0; i < sx.nRow; i++ {
+		a := sx.nStr + sx.nRow + i
+		sx.ub[a] = 0
+		if sx.status[a] != basic {
+			sx.x[a], sx.status[a] = 0, atLower
+		}
+	}
+
+	// Phase 2: minimise the true cost.
+	st, err = sx.iterate(sx.cost, false)
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{Status: st, X: sx.extract(), Iterations: sx.iters}
+	sol.Objective = sx.m.ObjValue(sol.X)
+	if st == StatusOptimal {
+		sol.Duals = sx.duals()
+	}
+	return sol, nil
+}
+
+// duals computes the shadow prices y = B^-T c_B of the final basis,
+// converted to the model's own optimisation sense.
+func (sx *simplex) duals() []float64 {
+	cb := make([]float64, sx.nRow)
+	for pos, j := range sx.basisOf {
+		cb[pos] = sx.cost[j]
+	}
+	y := make([]float64, sx.nRow)
+	sx.btran(cb, y)
+	if sx.m.maximize {
+		for i := range y {
+			y[i] = -y[i]
+		}
+	}
+	return y
+}
+
+func (sx *simplex) artificialSum() float64 {
+	s := 0.0
+	for i := 0; i < sx.nRow; i++ {
+		s += math.Abs(sx.x[sx.nStr+sx.nRow+i])
+	}
+	return s
+}
+
+func (sx *simplex) extract() []float64 {
+	out := make([]float64, sx.nStr)
+	copy(out, sx.x[:sx.nStr])
+	// Snap tiny residues and clamp to bounds for cleanliness.
+	for j := range out {
+		if math.Abs(out[j]) < 1e-11 {
+			out[j] = 0
+		}
+		if lb := sx.m.lb[j]; out[j] < lb {
+			out[j] = lb
+		}
+		if ub := sx.m.ub[j]; out[j] > ub {
+			out[j] = ub
+		}
+	}
+	return out
+}
+
+// refactorize rebuilds the LU factors of the current basis and recomputes
+// basic variable values from the nonbasic ones.
+func (sx *simplex) refactorize() error {
+	cols := make([]spCol, sx.nRow)
+	for i, j := range sx.basisOf {
+		cols[i] = sx.cols[j]
+	}
+	lu, err := factorize(sx.nRow, cols)
+	if err != nil {
+		return err
+	}
+	sx.lu = lu
+	sx.etas = sx.etas[:0]
+	sx.recomputeBasics()
+	return nil
+}
+
+// recomputeBasics solves for the basic variable values given nonbasic ones.
+func (sx *simplex) recomputeBasics() {
+	rhs := sx.rhs
+	copy(rhs, sx.b)
+	for j := 0; j < sx.nTot; j++ {
+		if sx.status[j] == basic {
+			continue
+		}
+		if v := sx.x[j]; v != 0 {
+			c := &sx.cols[j]
+			for i, r := range c.rows {
+				rhs[r] -= c.vals[i] * v
+			}
+		}
+	}
+	xb := sx.accum
+	sx.ftran(rhs, xb)
+	for pos, j := range sx.basisOf {
+		sx.x[j] = xb[pos]
+	}
+}
+
+// ftran computes v = B⁻¹ in (in is clobbered; out indexed by basis position).
+func (sx *simplex) ftran(in, out []float64) {
+	sx.lu.solve(in, out)
+	for k := range sx.etas {
+		e := &sx.etas[k]
+		t := out[e.pos] / e.piv
+		if t != 0 {
+			for i := range e.col {
+				if i != e.pos {
+					out[i] -= e.col[i] * t
+				}
+			}
+		}
+		out[e.pos] = t
+	}
+}
+
+// btran computes y = B⁻ᵀ c (c indexed by basis position; out by row).
+func (sx *simplex) btran(c, out []float64) {
+	tmp := sx.accum
+	copy(tmp, c)
+	for k := len(sx.etas) - 1; k >= 0; k-- {
+		e := &sx.etas[k]
+		s := tmp[e.pos]
+		for i := range e.col {
+			if i != e.pos {
+				s -= e.col[i] * tmp[i]
+			}
+		}
+		tmp[e.pos] = s / e.piv
+	}
+	sx.lu.solveT(tmp, out)
+	for i := range tmp {
+		tmp[i] = 0
+	}
+}
+
+// iterate runs simplex pivots with the given cost vector until optimal,
+// unbounded, or the iteration limit. phase1 permits early exit once the
+// artificial sum is (numerically) zero.
+func (sx *simplex) iterate(cost []float64, phase1 bool) (Status, error) {
+	cb := make([]float64, sx.nRow)
+	d := make([]float64, sx.nRow) // entering column in basis coordinates
+	for {
+		if sx.iters >= sx.opt.MaxIter {
+			return StatusIterLimit, nil
+		}
+		if phase1 && sx.artificialSum() <= sx.opt.FeasTol {
+			return StatusOptimal, nil
+		}
+
+		// Pricing: y = B⁻ᵀ c_B, reduced costs d_j = c_j − y·a_j.
+		for pos, j := range sx.basisOf {
+			cb[pos] = cost[j]
+		}
+		sx.btran(cb, sx.y)
+
+		useBland := sx.degenerate > 3*(sx.nRow+10)
+		enter, dir := sx.price(cost, sx.y, useBland)
+		if enter < 0 {
+			return StatusOptimal, nil
+		}
+
+		// FTRAN entering column.
+		for i := range sx.w {
+			sx.w[i] = 0
+		}
+		ec := &sx.cols[enter]
+		for i, r := range ec.rows {
+			sx.w[r] += ec.vals[i]
+		}
+		sx.ftran(sx.w, d)
+
+		st, err := sx.pivot(enter, dir, d, phase1)
+		if err != nil {
+			return 0, err
+		}
+		if st != statusContinue {
+			if st == statusUnbounded {
+				if phase1 {
+					return 0, errors.New("lp: phase-1 unbounded (internal error)")
+				}
+				return StatusUnbounded, nil
+			}
+		}
+		sx.iters++
+		if len(sx.etas) >= sx.opt.Refactor {
+			if err := sx.refactorize(); err != nil {
+				return 0, err
+			}
+		}
+	}
+}
+
+// price selects an entering variable and its direction (+1 increase from
+// lower bound / free, −1 decrease from upper bound). Dantzig rule by
+// default; Bland's rule (lowest index) when anti-cycling is engaged.
+func (sx *simplex) price(cost, y []float64, bland bool) (int, float64) {
+	best, bestScore, bestDir := -1, 0.0, 1.0
+	tol := sx.opt.OptTol
+	for j := 0; j < sx.nTot; j++ {
+		st := sx.status[j]
+		if st == basic {
+			continue
+		}
+		// Skip pinned variables (lb == ub), including retired artificials.
+		if sx.lb[j] == sx.ub[j] && st != atFree {
+			continue
+		}
+		dj := cost[j]
+		c := &sx.cols[j]
+		for i, r := range c.rows {
+			dj -= y[r] * c.vals[i]
+		}
+		var score, dir float64
+		switch {
+		case st == atLower && dj < -tol:
+			score, dir = -dj, 1
+		case st == atUpper && dj > tol:
+			score, dir = dj, -1
+		case st == atFree && math.Abs(dj) > tol:
+			score = math.Abs(dj)
+			if dj > 0 {
+				dir = -1
+			} else {
+				dir = 1
+			}
+		default:
+			continue
+		}
+		if bland {
+			return j, dir
+		}
+		if score > bestScore {
+			best, bestScore, bestDir = j, score, dir
+		}
+	}
+	return best, bestDir
+}
+
+const (
+	statusContinue Status = 100 + iota
+	statusUnbounded
+)
+
+// pivot performs the ratio test and updates the basis. d is the entering
+// column in basis coordinates (B⁻¹ a_enter).
+func (sx *simplex) pivot(enter int, dir float64, d []float64, phase1 bool) (Status, error) {
+	ftol := sx.opt.FeasTol
+	// Bound-flip limit from the entering variable's own range.
+	limit := Inf
+	if lb, ub := sx.lb[enter], sx.ub[enter]; !math.IsInf(lb, -1) && !math.IsInf(ub, 1) {
+		limit = ub - lb
+	}
+	leave, leaveT, leaveDirUp := -1, limit, false
+	pivAbs := 0.0
+	for pos := 0; pos < sx.nRow; pos++ {
+		w := dir * d[pos]
+		if math.Abs(w) < 1e-9 {
+			continue
+		}
+		jb := sx.basisOf[pos]
+		xv := sx.x[jb]
+		var t float64
+		var hitUpper bool
+		if w > 0 { // basic variable decreases toward its lower bound
+			lb := sx.lb[jb]
+			if math.IsInf(lb, -1) {
+				continue
+			}
+			t = (xv - lb) / w
+			hitUpper = false
+		} else { // basic variable increases toward its upper bound
+			ub := sx.ub[jb]
+			if math.IsInf(ub, 1) {
+				continue
+			}
+			t = (xv - ub) / w
+			hitUpper = true
+		}
+		if t < -ftol {
+			t = 0
+		}
+		if t < leaveT-1e-12 || (t < leaveT+1e-12 && math.Abs(d[pos]) > pivAbs) {
+			leave, leaveT, leaveDirUp = pos, math.Max(t, 0), hitUpper
+			pivAbs = math.Abs(d[pos])
+		}
+	}
+
+	if leave < 0 {
+		if math.IsInf(limit, 1) {
+			return statusUnbounded, nil
+		}
+		// Bound flip: entering variable moves across its whole range.
+		sx.applyStep(enter, dir, limit, d)
+		if sx.status[enter] == atLower {
+			sx.status[enter] = atUpper
+		} else {
+			sx.status[enter] = atLower
+		}
+		sx.degenerate = 0
+		return statusContinue, nil
+	}
+
+	if leaveT <= 1e-10 {
+		sx.degenerate++
+	} else {
+		sx.degenerate = 0
+	}
+
+	// Guard against a numerically tiny pivot element.
+	if math.Abs(d[leave]) < 1e-8 {
+		if len(sx.etas) > 0 {
+			if err := sx.refactorize(); err != nil {
+				return 0, err
+			}
+			return statusContinue, nil // retry with fresh factors
+		}
+	}
+
+	sx.applyStep(enter, dir, leaveT, d)
+
+	jout := sx.basisOf[leave]
+	if leaveDirUp {
+		sx.status[jout] = atUpper
+		sx.x[jout] = sx.ub[jout]
+	} else {
+		sx.status[jout] = atLower
+		sx.x[jout] = sx.lb[jout]
+	}
+	sx.posOf[jout] = -1
+
+	sx.basisOf[leave] = enter
+	sx.posOf[enter] = leave
+	sx.status[enter] = basic
+
+	// Record the eta for the new basis.
+	col := make([]float64, sx.nRow)
+	copy(col, d)
+	sx.etas = append(sx.etas, eta{pos: leave, col: col, piv: d[leave]})
+	return statusContinue, nil
+}
+
+// applyStep moves the entering variable by dir*t and updates basic values.
+func (sx *simplex) applyStep(enter int, dir, t float64, d []float64) {
+	if t == 0 {
+		return
+	}
+	sx.x[enter] += dir * t
+	for pos := 0; pos < sx.nRow; pos++ {
+		if d[pos] != 0 {
+			jb := sx.basisOf[pos]
+			sx.x[jb] -= dir * t * d[pos]
+		}
+	}
+}

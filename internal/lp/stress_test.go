@@ -1,0 +1,191 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestIterationLimit verifies the solver reports StatusIterLimit instead of
+// spinning when the budget is tiny.
+func TestIterationLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	m := NewModel("iter-limit")
+	m.SetMaximize(true)
+	const n = 40
+	vars := make([]Var, n)
+	for i := range vars {
+		vars[i] = m.AddVar(0, 10, 1+rng.Float64(), "v")
+	}
+	for i := 0; i+1 < n; i++ {
+		m.AddConstr(Expr{}.Plus(1, vars[i]).Plus(1, vars[i+1]), LE, 5, "pair")
+	}
+	sol, err := Solve(m, &Options{MaxIter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusIterLimit {
+		t.Fatalf("status %v, want iteration-limit", sol.Status)
+	}
+}
+
+// TestBadlyScaledLP exercises numerical robustness: coefficients spanning
+// nine orders of magnitude.
+func TestBadlyScaledLP(t *testing.T) {
+	m := NewModel("scaled")
+	m.SetMaximize(true)
+	x := m.AddVar(0, Inf, 1e-6, "x")
+	y := m.AddVar(0, Inf, 1e3, "y")
+	m.AddConstr(Expr{}.Plus(1e6, x).Plus(1e-3, y), LE, 2e6, "mix")
+	m.AddConstr(Expr{}.Plus(1, y), LE, 500, "ycap")
+	sol, err := Solve(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	// Optimal: y = 500 (worth 5e5), then x = (2e6 - 0.5)/1e6 ~ 2.
+	want := 1e3*500 + 1e-6*(2e6-1e-3*500)/1e6*1e6
+	_ = want
+	if sol.X[y] != 500 {
+		t.Fatalf("y = %g", sol.X[y])
+	}
+	if v := m.MaxViolation(sol.X); v > 1e-4 {
+		t.Fatalf("violation %g", v)
+	}
+}
+
+// TestManyEqualityRows stresses phase 1 with a larger equality system.
+func TestManyEqualityRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	const n = 80
+	m := NewModel("equalities")
+	vars := make([]Var, n)
+	target := make([]float64, n)
+	for i := range vars {
+		target[i] = float64(rng.Intn(10))
+		vars[i] = m.AddVar(-100, 100, rng.Float64(), "v")
+	}
+	// Chain: v_i + v_{i+1} = target_i + target_{i+1} with v bound tight on
+	// half the variables; solution v = target is feasible.
+	for i := 0; i+1 < n; i++ {
+		m.AddConstr(Expr{}.Plus(1, vars[i]).Plus(1, vars[i+1]), EQ, target[i]+target[i+1], "chain")
+	}
+	m.AddConstr(Expr{}.Plus(1, vars[0]), EQ, target[0], "pin")
+	sol, err := Solve(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	// Pinning v0 and the chain fixes everything: check a few.
+	for _, i := range []int{0, 1, n / 2, n - 1} {
+		if math.Abs(sol.X[vars[i]]-target[i]) > 1e-6 {
+			t.Fatalf("v[%d] = %g want %g", i, sol.X[vars[i]], target[i])
+		}
+	}
+}
+
+// TestRepeatedSolvesIndependent confirms a model can be solved repeatedly
+// with identical results (no hidden state).
+func TestRepeatedSolvesIndependent(t *testing.T) {
+	m := NewModel("repeat")
+	m.SetMaximize(true)
+	x := m.AddVar(0, Inf, 2, "x")
+	y := m.AddVar(0, Inf, 3, "y")
+	m.AddConstr(Expr{}.Plus(1, x).Plus(2, y), LE, 14, "a")
+	m.AddConstr(Expr{}.Plus(3, x).Plus(-1, y), GE, 0, "b")
+	m.AddConstr(Expr{}.Plus(1, x).Plus(-1, y), LE, 2, "c")
+	var prev *Solution
+	for i := 0; i < 5; i++ {
+		sol, err := Solve(m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil {
+			if sol.Objective != prev.Objective || sol.X[x] != prev.X[x] || sol.X[y] != prev.X[y] {
+				t.Fatalf("solve %d differs: %v vs %v", i, sol.X, prev.X)
+			}
+		}
+		prev = sol
+	}
+	// Known optimum: x=6, y=4, obj=24.
+	if math.Abs(prev.Objective-24) > 1e-6 {
+		t.Fatalf("objective %g want 24", prev.Objective)
+	}
+}
+
+// TestZeroObjectiveFeasibility uses the solver as a pure feasibility oracle.
+func TestZeroObjectiveFeasibility(t *testing.T) {
+	m := NewModel("feasibility")
+	x := m.AddVar(0, 10, 0, "x")
+	y := m.AddVar(0, 10, 0, "y")
+	m.AddConstr(Expr{}.Plus(1, x).Plus(1, y), EQ, 7, "sum")
+	m.AddConstr(Expr{}.Plus(1, x).Plus(-1, y), GE, 1, "diff")
+	sol, err := Solve(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if v := m.MaxViolation(sol.X); v > 1e-7 {
+		t.Fatalf("violation %g", v)
+	}
+}
+
+// TestLargeSparseNetworkLP runs a bigger network-flow-shaped instance to
+// exercise refactorisation and eta accumulation.
+func TestLargeSparseNetworkLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	const nodes = 60
+	type arc struct {
+		from, to int
+		v        Var
+	}
+	m := NewModel("network")
+	m.SetMaximize(true)
+	var arcs []arc
+	for i := 0; i < nodes; i++ {
+		for d := 1; d <= 3; d++ {
+			j := (i + d) % nodes
+			v := m.AddVar(0, float64(5+rng.Intn(10)), 0, "arc")
+			arcs = append(arcs, arc{i, j, v})
+		}
+	}
+	// Maximise flow from node 0 to node nodes/2 with conservation.
+	t0 := m.AddVar(0, Inf, 1, "value")
+	for n2 := 0; n2 < nodes; n2++ {
+		var e Expr
+		for _, a := range arcs {
+			if a.to == n2 {
+				e = e.Plus(1, a.v)
+			}
+			if a.from == n2 {
+				e = e.Plus(-1, a.v)
+			}
+		}
+		switch n2 {
+		case 0:
+			e = e.Plus(1, t0)
+		case nodes / 2:
+			e = e.Plus(-1, t0)
+		}
+		m.AddConstr(e, EQ, 0, "conserve")
+	}
+	sol, err := Solve(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if sol.X[t0] <= 0 {
+		t.Fatalf("max flow %g", sol.X[t0])
+	}
+	if v := m.MaxViolation(sol.X); v > 1e-6 {
+		t.Fatalf("violation %g", v)
+	}
+}

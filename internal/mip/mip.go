@@ -1,0 +1,227 @@
+// Package mip solves small mixed-integer linear programs by LP-based branch
+// and bound over the internal/lp simplex.
+//
+// ARROW needs integer programs in three places, all small by design: the
+// exact Routing-and-Wavelength-Assignment ILP used to validate the LP
+// relaxation (Appendix A.2), the binary LotteryTicket-selection TE
+// formulation (Table 9) used as a ground-truth comparator for the two-phase
+// LP, and the tiny joint IP/optical formulation (Table 7) whose purpose in
+// the paper is to demonstrate intractability at scale.
+package mip
+
+import (
+	"errors"
+	"math"
+
+	"github.com/arrow-te/arrow/internal/lp"
+)
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	MaxNodes int     // node budget (default 200000)
+	IntTol   float64 // integrality tolerance (default 1e-6)
+	Gap      float64 // relative optimality gap for early stop (default 0)
+	LP       *lp.Options
+}
+
+func (o *Options) withDefaults() Options {
+	v := Options{MaxNodes: 200000, IntTol: 1e-6}
+	if o == nil {
+		return v
+	}
+	if o.MaxNodes > 0 {
+		v.MaxNodes = o.MaxNodes
+	}
+	if o.IntTol > 0 {
+		v.IntTol = o.IntTol
+	}
+	if o.Gap > 0 {
+		v.Gap = o.Gap
+	}
+	v.LP = o.LP
+	return v
+}
+
+// Solution is the result of a MILP solve.
+type Solution struct {
+	Status    lp.Status
+	Objective float64
+	X         []float64
+	Nodes     int
+	// Bound is the best proven dual bound; equal to Objective at optimality.
+	Bound float64
+}
+
+// node is one open subproblem: a set of tightened variable bounds.
+type node struct {
+	lb, ub map[lp.Var]float64
+	bound  float64 // parent LP relaxation value (in solve sense: minimisation)
+}
+
+// Solve runs branch and bound on m. Variables added with AddIntVar or
+// AddBinVar are forced integral; everything else stays continuous.
+func Solve(m *lp.Model, opts *Options) (*Solution, error) {
+	opt := opts.withDefaults()
+
+	intVars := make([]lp.Var, 0)
+	for j := 0; j < m.NumVars(); j++ {
+		if m.IsInteger(lp.Var(j)) {
+			intVars = append(intVars, lp.Var(j))
+		}
+	}
+	if len(intVars) == 0 {
+		sol, err := lp.Solve(m, opt.LP)
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{Status: sol.Status, Objective: sol.Objective, X: sol.X, Nodes: 1, Bound: sol.Objective}, nil
+	}
+
+	// Internally minimise: flip sign for maximisation problems.
+	sign := 1.0
+	if m.Maximize() {
+		sign = -1.0
+	}
+
+	work := m.Clone()
+	setBounds := func(n *node) {
+		for j := 0; j < m.NumVars(); j++ {
+			l, u := m.Bounds(lp.Var(j))
+			if v, ok := n.lb[lp.Var(j)]; ok && v > l {
+				l = v
+			}
+			if v, ok := n.ub[lp.Var(j)]; ok && v < u {
+				u = v
+			}
+			work.SetBounds(lp.Var(j), l, u)
+		}
+	}
+
+	best := &Solution{Status: lp.StatusInfeasible}
+	bestVal := math.Inf(1) // minimisation incumbent
+	open := []*node{{lb: map[lp.Var]float64{}, ub: map[lp.Var]float64{}, bound: math.Inf(-1)}}
+	nodes := 0
+	sawIterLimit := false
+
+	for len(open) > 0 {
+		if nodes >= opt.MaxNodes {
+			break
+		}
+		// Best-first: pop the node with the smallest parent bound.
+		bi := 0
+		for i := 1; i < len(open); i++ {
+			if open[i].bound < open[bi].bound {
+				bi = i
+			}
+		}
+		cur := open[bi]
+		open[bi] = open[len(open)-1]
+		open = open[:len(open)-1]
+		nodes++
+
+		if cur.bound >= bestVal-1e-12 && !math.IsInf(cur.bound, -1) {
+			continue // dominated
+		}
+
+		setBounds(cur)
+		// Skip nodes with crossed bounds.
+		crossed := false
+		for j := 0; j < work.NumVars(); j++ {
+			if l, u := work.Bounds(lp.Var(j)); l > u {
+				crossed = true
+				break
+			}
+		}
+		if crossed {
+			continue
+		}
+		rel, err := lp.Solve(work, opt.LP)
+		if err != nil {
+			return nil, err
+		}
+		switch rel.Status {
+		case lp.StatusInfeasible:
+			continue
+		case lp.StatusUnbounded:
+			if nodes == 1 {
+				return &Solution{Status: lp.StatusUnbounded, Nodes: nodes}, nil
+			}
+			continue
+		case lp.StatusIterLimit:
+			sawIterLimit = true
+			continue
+		}
+		relVal := sign * rel.Objective
+		if relVal >= bestVal-1e-9*(1+math.Abs(bestVal)) {
+			continue // cannot improve
+		}
+
+		// Pick the most fractional integer variable.
+		branch, fracDist := lp.Var(-1), -1.0
+		for _, v := range intVars {
+			x := rel.X[v]
+			f := x - math.Floor(x)
+			dist := math.Min(f, 1-f)
+			if dist > opt.IntTol && dist > fracDist {
+				branch, fracDist = v, dist
+			}
+		}
+		if branch < 0 {
+			// Integral: new incumbent.
+			if relVal < bestVal {
+				bestVal = relVal
+				best = &Solution{Status: lp.StatusOptimal, Objective: rel.Objective, X: roundInts(rel.X, intVars), Nodes: nodes}
+			}
+			continue
+		}
+
+		x := rel.X[branch]
+		down := &node{lb: cloneMap(cur.lb), ub: cloneMap(cur.ub), bound: relVal}
+		down.ub[branch] = math.Floor(x)
+		up := &node{lb: cloneMap(cur.lb), ub: cloneMap(cur.ub), bound: relVal}
+		up.lb[branch] = math.Ceil(x)
+		open = append(open, down, up)
+	}
+
+	if best.Status != lp.StatusOptimal {
+		if nodes >= opt.MaxNodes || sawIterLimit {
+			return &Solution{Status: lp.StatusIterLimit, Nodes: nodes}, nil
+		}
+		return &Solution{Status: lp.StatusInfeasible, Nodes: nodes}, nil
+	}
+	best.Nodes = nodes
+	best.Bound = best.Objective
+	if len(open) > 0 {
+		// Search truncated: report the remaining bound honestly.
+		rem := math.Inf(1)
+		for _, n := range open {
+			if n.bound < rem {
+				rem = n.bound
+			}
+		}
+		if rem < bestVal {
+			best.Bound = sign * rem
+		}
+	}
+	return best, nil
+}
+
+func cloneMap(m map[lp.Var]float64) map[lp.Var]float64 {
+	c := make(map[lp.Var]float64, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func roundInts(x []float64, intVars []lp.Var) []float64 {
+	out := append([]float64(nil), x...)
+	for _, v := range intVars {
+		out[v] = math.Round(out[v])
+	}
+	return out
+}
+
+// ErrNoIncumbent is reported when branch and bound exhausts its node budget
+// without finding any integral solution.
+var ErrNoIncumbent = errors.New("mip: node budget exhausted without incumbent")

@@ -1,0 +1,251 @@
+package mip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/arrow-te/arrow/internal/lp"
+)
+
+func TestKnapsack(t *testing.T) {
+	// Classic 0/1 knapsack: values {60,100,120}, weights {10,20,30}, cap 50.
+	// Optimum = 220 (items 2 and 3).
+	m := lp.NewModel("knapsack")
+	m.SetMaximize(true)
+	v := []float64{60, 100, 120}
+	w := []float64{10, 20, 30}
+	vars := make([]lp.Var, 3)
+	var cap lp.Expr
+	for i := range vars {
+		vars[i] = m.AddBinVar(v[i], "item")
+		cap = cap.Plus(w[i], vars[i])
+	}
+	m.AddConstr(cap, lp.LE, 50, "capacity")
+	sol, err := Solve(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.StatusOptimal || math.Abs(sol.Objective-220) > 1e-6 {
+		t.Fatalf("got %v obj %g, want optimal 220", sol.Status, sol.Objective)
+	}
+	if sol.X[vars[0]] != 0 || sol.X[vars[1]] != 1 || sol.X[vars[2]] != 1 {
+		t.Fatalf("selection %v", sol.X)
+	}
+}
+
+func TestIntegerRounding(t *testing.T) {
+	// max x + y st 2x + y <= 5.5, x + 3y <= 7.7, x,y integer >= 0.
+	// LP optimum fractional; ILP optimum: enumerate: best integral = 4
+	// (e.g. x=2,y=1: 2*2+1=5<=5.5, 2+3=5<=7.7 -> obj 3; x=1,y=2: 4<=5.5,7<=7.7 obj 3;
+	//  x=2,y=1 obj 3; x=0,y=2 obj 2; x=2,y=0 obj 2; x=1,y=1 obj 2... recheck x=2,y=1=3)
+	m := lp.NewModel("round")
+	m.SetMaximize(true)
+	x := m.AddIntVar(0, lp.Inf, 1, "x")
+	y := m.AddIntVar(0, lp.Inf, 1, "y")
+	m.AddConstr(lp.Expr{}.Plus(2, x).Plus(1, y), lp.LE, 5.5, "c1")
+	m.AddConstr(lp.Expr{}.Plus(1, x).Plus(3, y), lp.LE, 7.7, "c2")
+	sol, err := Solve(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// brute force
+	best := 0.0
+	for xi := 0; xi <= 3; xi++ {
+		for yi := 0; yi <= 8; yi++ {
+			if 2*float64(xi)+float64(yi) <= 5.5 && float64(xi)+3*float64(yi) <= 7.7 {
+				if o := float64(xi + yi); o > best {
+					best = o
+				}
+			}
+		}
+	}
+	if math.Abs(sol.Objective-best) > 1e-6 {
+		t.Fatalf("obj %g want %g", sol.Objective, best)
+	}
+}
+
+func TestPureLPPassthrough(t *testing.T) {
+	m := lp.NewModel("lp-only")
+	m.SetMaximize(true)
+	x := m.AddVar(0, 2.5, 1, "x")
+	_ = x
+	sol, err := Solve(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.StatusOptimal || math.Abs(sol.Objective-2.5) > 1e-9 {
+		t.Fatalf("%v %g", sol.Status, sol.Objective)
+	}
+}
+
+func TestInfeasibleMIP(t *testing.T) {
+	m := lp.NewModel("infeasible")
+	x := m.AddIntVar(0, 10, 1, "x")
+	// 2x == 3 has no integer solution.
+	m.AddConstr(lp.Expr{}.Plus(2, x), lp.EQ, 3, "odd")
+	sol, err := Solve(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.StatusInfeasible {
+		t.Fatalf("status %v", sol.Status)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// max 2a + b with a integer in [0,3], b continuous in [0, 1.5],
+	// a + b <= 3.2 -> a=3, b=0.2, obj 6.2.
+	m := lp.NewModel("mixed")
+	m.SetMaximize(true)
+	a := m.AddIntVar(0, 3, 2, "a")
+	b := m.AddVar(0, 1.5, 1, "b")
+	m.AddConstr(lp.Expr{}.Plus(1, a).Plus(1, b), lp.LE, 3.2, "cap")
+	sol, err := Solve(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-6.2) > 1e-6 {
+		t.Fatalf("obj %g", sol.Objective)
+	}
+	if sol.X[a] != 3 {
+		t.Fatalf("a=%g", sol.X[a])
+	}
+}
+
+func TestRandomMIPAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(3)
+		m := lp.NewModel("rand-mip")
+		m.SetMaximize(true)
+		vars := make([]lp.Var, n)
+		hi := make([]int, n)
+		for j := range vars {
+			hi[j] = 1 + rng.Intn(4)
+			vars[j] = m.AddIntVar(0, float64(hi[j]), float64(rng.Intn(9)-2), "v")
+		}
+		rows := 1 + rng.Intn(3)
+		type rowRec struct {
+			a   []float64
+			rhs float64
+		}
+		var recs []rowRec
+		for i := 0; i < rows; i++ {
+			a := make([]float64, n)
+			var e lp.Expr
+			for j := range vars {
+				a[j] = float64(rng.Intn(7) - 2)
+				e = e.Plus(a[j], vars[j])
+			}
+			rhs := float64(rng.Intn(15))
+			m.AddConstr(e, lp.LE, rhs, "r")
+			recs = append(recs, rowRec{a, rhs})
+		}
+		// Brute force over the integer box.
+		best, found := math.Inf(-1), false
+		var walk func(j int, x []int)
+		walk = func(j int, x []int) {
+			if j == n {
+				for _, r := range recs {
+					s := 0.0
+					for k := range x {
+						s += r.a[k] * float64(x[k])
+					}
+					if s > r.rhs+1e-9 {
+						return
+					}
+				}
+				o := 0.0
+				for k := range x {
+					o += m.Obj(vars[k]) * float64(x[k])
+				}
+				if o > best {
+					best = o
+				}
+				found = true
+				return
+			}
+			for v := 0; v <= hi[j]; v++ {
+				x[j] = v
+				walk(j+1, x)
+			}
+		}
+		walk(0, make([]int, n))
+
+		sol, err := Solve(m, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !found {
+			if sol.Status != lp.StatusInfeasible {
+				t.Fatalf("trial %d: want infeasible, got %v", trial, sol.Status)
+			}
+			continue
+		}
+		if sol.Status != lp.StatusOptimal {
+			t.Fatalf("trial %d: status %v (brute force %g)", trial, sol.Status, best)
+		}
+		if math.Abs(sol.Objective-best) > 1e-6*(1+math.Abs(best)) {
+			t.Fatalf("trial %d: obj %g want %g", trial, sol.Objective, best)
+		}
+	}
+}
+
+func TestMaxNodesTruncation(t *testing.T) {
+	// A knapsack big enough to need several nodes; with MaxNodes=1 the
+	// solver cannot finish and must report the iteration limit.
+	m := lp.NewModel("truncate")
+	m.SetMaximize(true)
+	var cap lp.Expr
+	for i := 0; i < 4; i++ {
+		v := m.AddBinVar(10, "item")
+		cap = cap.Plus(4, v)
+	}
+	m.AddConstr(cap, lp.LE, 10, "capacity") // LP root takes 2.5 items: fractional
+	sol, err := Solve(m, &Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.StatusIterLimit {
+		t.Fatalf("status %v, want iteration-limit", sol.Status)
+	}
+	// With a generous budget it solves.
+	sol2, err := Solve(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2.Status != lp.StatusOptimal {
+		t.Fatalf("status %v", sol2.Status)
+	}
+}
+
+func TestUnboundedMIP(t *testing.T) {
+	m := lp.NewModel("unbounded-mip")
+	m.SetMaximize(true)
+	m.AddIntVar(0, lp.Inf, 1, "x")
+	sol, err := Solve(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.StatusUnbounded {
+		t.Fatalf("status %v", sol.Status)
+	}
+}
+
+func TestBoundReporting(t *testing.T) {
+	m := lp.NewModel("bound")
+	m.SetMaximize(true)
+	x := m.AddIntVar(0, 5, 3, "x")
+	m.AddConstr(lp.Expr{}.Plus(2, x), lp.LE, 7, "cap")
+	sol, err := Solve(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.StatusOptimal || sol.Objective != 9 { // x=3
+		t.Fatalf("%v obj %g", sol.Status, sol.Objective)
+	}
+	if sol.Bound != sol.Objective {
+		t.Fatalf("bound %g != objective %g at optimality", sol.Bound, sol.Objective)
+	}
+}

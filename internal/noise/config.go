@@ -1,0 +1,84 @@
+package noise
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ConfigEntry is one installable ROADM reconfiguration rule.
+type ConfigEntry struct {
+	ROADM int    `json:"roadm"`
+	Wave  int    `json:"wave"`  // execution wave: 1 = add/drop, 2 = intermediate
+	Kind  string `json:"kind"`  // "add-drop" or "intermediate"
+	Fiber int    `json:"fiber"` // fiber whose slot changes at this ROADM
+	Slot  int    `json:"slot"`
+	// Action describes the local operation: add/drop ROADMs swap ASE noise
+	// for data (or vice versa); intermediates steer the wavelength.
+	Action string `json:"action"`
+}
+
+// Config is the installable restoration plan for one failure scenario
+// (§3.3: "Arrow maps the restoration plan Z* into wavelengths'
+// reconfiguration rules and installs them on ROADM config files").
+type Config struct {
+	Scenario  string        `json:"scenario"`
+	Entries   []ConfigEntry `json:"entries"`
+	Retunes   int           `json:"transponder_retunes"`
+	ModChange int           `json:"modulation_changes"`
+	Gbps      float64       `json:"restored_gbps"`
+}
+
+// BuildConfig compiles a Plan into the installable rule list, entries
+// sorted deterministically (wave, ROADM, fiber, slot).
+func BuildConfig(scenario string, p *Plan) *Config {
+	c := &Config{Scenario: scenario, Retunes: p.Retunes, ModChange: p.ModChanges, Gbps: p.RestoredGbps}
+	for _, op := range p.AddDropOps {
+		c.Entries = append(c.Entries, ConfigEntry{
+			ROADM: int(op.ROADM), Wave: 1, Kind: "add-drop", Fiber: op.Fiber, Slot: op.Slot,
+			Action: "replace ASE noise with data channel",
+		})
+	}
+	for _, op := range p.IntermediateOps {
+		c.Entries = append(c.Entries, ConfigEntry{
+			ROADM: int(op.ROADM), Wave: 2, Kind: "intermediate", Fiber: op.Fiber, Slot: op.Slot,
+			Action: "steer wavelength to next fiber",
+		})
+	}
+	sort.SliceStable(c.Entries, func(a, b int) bool {
+		ea, eb := c.Entries[a], c.Entries[b]
+		if ea.Wave != eb.Wave {
+			return ea.Wave < eb.Wave
+		}
+		if ea.ROADM != eb.ROADM {
+			return ea.ROADM < eb.ROADM
+		}
+		if ea.Fiber != eb.Fiber {
+			return ea.Fiber < eb.Fiber
+		}
+		return ea.Slot < eb.Slot
+	})
+	return c
+}
+
+// JSON serialises the config.
+func (c *Config) JSON() ([]byte, error) { return json.MarshalIndent(c, "", "  ") }
+
+// Render prints the config as the text format a ROADM controller would
+// consume: one line per rule, wave markers separating the two parallel
+// execution groups.
+func (c *Config) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# restoration plan %s: %.0f Gbps, %d retunes, %d modulation changes\n",
+		c.Scenario, c.Gbps, c.Retunes, c.ModChange)
+	wave := 0
+	for _, e := range c.Entries {
+		if e.Wave != wave {
+			wave = e.Wave
+			fmt.Fprintf(&b, "wave %d (parallel):\n", wave)
+		}
+		fmt.Fprintf(&b, "  roadm %-3d %-12s fiber %-3d slot %-3d  %s\n", e.ROADM, e.Kind, e.Fiber, e.Slot, e.Action)
+	}
+	return b.String()
+}

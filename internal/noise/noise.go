@@ -1,0 +1,211 @@
+// Package noise models ARROW's optical noise loading (§4) and ROADM
+// reconfiguration planning (Appendix A.6).
+//
+// With ASE noise sources, every unused wavelength slot on every fiber
+// carries noise, so amplifiers always see a fully populated spectrum:
+// replacing noise with data (or vice versa) is local to the ROADMs and
+// bypasses amplifier gain reconfiguration entirely. This package tracks
+// per-fiber channel states (data / noise / dark) and compiles a restoration
+// assignment into the two parallel ROADM reconfiguration waves the paper
+// describes: add/drop ROADMs first, then intermediate ROADMs.
+package noise
+
+import (
+	"fmt"
+
+	"github.com/arrow-te/arrow/internal/optical"
+	"github.com/arrow-te/arrow/internal/rwa"
+)
+
+// ChannelState is the occupancy of one wavelength slot on one fiber.
+type ChannelState uint8
+
+// Channel states.
+const (
+	Dark  ChannelState = iota // unlit (legacy systems without noise loading)
+	Noise                     // carrying ASE noise
+	Data                      // carrying router traffic
+)
+
+func (s ChannelState) String() string {
+	switch s {
+	case Dark:
+		return "dark"
+	case Noise:
+		return "noise"
+	case Data:
+		return "data"
+	}
+	return fmt.Sprintf("ChannelState(%d)", uint8(s))
+}
+
+// SpectrumMap tracks the channel state of every slot on every fiber.
+type SpectrumMap struct {
+	states [][]ChannelState
+}
+
+// NewSpectrumMap derives the channel map from a provisioned network:
+// occupied slots carry Data; free slots carry Noise when noiseLoaded, else
+// Dark.
+func NewSpectrumMap(net *optical.Network, noiseLoaded bool) *SpectrumMap {
+	idle := Dark
+	if noiseLoaded {
+		idle = Noise
+	}
+	sm := &SpectrumMap{states: make([][]ChannelState, len(net.Fibers))}
+	for fi, f := range net.Fibers {
+		sm.states[fi] = make([]ChannelState, net.SlotCount)
+		for s := 0; s < net.SlotCount; s++ {
+			if f.Slots.Available(s) {
+				sm.states[fi][s] = idle
+			} else {
+				sm.states[fi][s] = Data
+			}
+		}
+	}
+	return sm
+}
+
+// State returns the channel state of (fiber, slot).
+func (sm *SpectrumMap) State(fiber, slot int) ChannelState { return sm.states[fiber][slot] }
+
+// Set updates the channel state of (fiber, slot).
+func (sm *SpectrumMap) Set(fiber, slot int, s ChannelState) { sm.states[fiber][slot] = s }
+
+// LitCount returns how many slots on the fiber are powered (data or noise).
+// Amplifier gain settling is triggered when this number changes on a legacy
+// system; with noise loading it never changes.
+func (sm *SpectrumMap) LitCount(fiber int) int {
+	n := 0
+	for _, s := range sm.states[fiber] {
+		if s != Dark {
+			n++
+		}
+	}
+	return n
+}
+
+// OpKind distinguishes the two ROADM reconfiguration waves (Appendix A.6).
+type OpKind uint8
+
+// Reconfiguration operation kinds.
+const (
+	AddDrop      OpKind = iota // source/destination ROADM: data <-> noise swap
+	Intermediate               // pass-through ROADM: steer the wavelength
+)
+
+// Op is one ROADM reconfiguration operation.
+type Op struct {
+	ROADM optical.ROADM
+	Kind  OpKind
+	Fiber int // fiber whose slot changes at this ROADM (entry fiber)
+	Slot  int
+}
+
+// Plan is a compiled restoration plan: the ROADM operations grouped into
+// the two parallel execution waves, plus the transponder-side adjustments.
+type Plan struct {
+	AddDropOps      []Op
+	IntermediateOps []Op
+	// Retunes counts wavelengths whose restored slot differs from their
+	// original slot (transponder frequency tuning, §5).
+	Retunes int
+	// ModChanges counts wavelengths whose surrogate path requires a lower
+	// modulation than the original (Appendix A.1).
+	ModChanges int
+	// RestoredGbps is the plan's total revived IP capacity.
+	RestoredGbps float64
+	// ReusedPorts counts the idle router ports / transponders the plan puts
+	// back to work (two per restored wavelength): ARROW's §1 answer to
+	// pre-allocating failover hardware.
+	ReusedPorts int
+}
+
+// NumAddDropROADMs returns the number of distinct add/drop ROADMs touched.
+func (p *Plan) NumAddDropROADMs() int { return distinctROADMs(p.AddDropOps) }
+
+// NumIntermediateROADMs returns the number of distinct intermediate ROADMs.
+func (p *Plan) NumIntermediateROADMs() int { return distinctROADMs(p.IntermediateOps) }
+
+func distinctROADMs(ops []Op) int {
+	seen := map[optical.ROADM]bool{}
+	for _, op := range ops {
+		seen[op.ROADM] = true
+	}
+	return len(seen)
+}
+
+// BuildPlan compiles an integral restoration assignment into ROADM
+// operations. For each restored wavelength of failed link e routed on
+// surrogate path P: the link's source and destination ROADMs perform
+// add/drop swaps (replace noise with data on the first/last fiber), and
+// every interior ROADM of P performs an intermediate steer.
+func BuildPlan(net *optical.Network, res *rwa.Result, asg *rwa.Assignment) *Plan {
+	p := &Plan{}
+	for li, linkID := range res.Failed {
+		link := net.LinkByID(linkID)
+		origMod := 0.0
+		if len(link.Waves) > 0 {
+			origMod = link.Waves[0].Modulation.GbpsPerWavelength
+		}
+		origSlots := map[int]bool{}
+		for _, w := range link.Waves {
+			origSlots[w.Slot] = true
+		}
+		for _, pick := range asg.PerLink[li] {
+			opt := res.Options[li][pick[0]]
+			slot := pick[1]
+			if !origSlots[slot] {
+				p.Retunes++
+			}
+			if opt.Modulation.GbpsPerWavelength < origMod {
+				p.ModChanges++
+			}
+			p.RestoredGbps += opt.Modulation.GbpsPerWavelength
+			p.ReusedPorts += 2
+
+			// Add/drop at the endpoints.
+			p.AddDropOps = append(p.AddDropOps,
+				Op{ROADM: link.Src, Kind: AddDrop, Fiber: opt.Fibers[0], Slot: slot},
+				Op{ROADM: link.Dst, Kind: AddDrop, Fiber: opt.Fibers[len(opt.Fibers)-1], Slot: slot},
+			)
+			// Intermediates: interior ROADMs along the path.
+			at := link.Src
+			for i, fid := range opt.Fibers {
+				f := net.Fibers[fid]
+				next := f.B
+				if at == f.B {
+					next = f.A
+				}
+				if i < len(opt.Fibers)-1 {
+					p.IntermediateOps = append(p.IntermediateOps,
+						Op{ROADM: next, Kind: Intermediate, Fiber: fid, Slot: slot})
+				}
+				at = next
+			}
+		}
+	}
+	return p
+}
+
+// Apply executes the plan on a spectrum map: the restored wavelengths'
+// slots switch from Noise (or Dark) to Data along their surrogate fibers.
+// It returns the number of fibers whose LIT count changed — zero exactly
+// when the map is noise-loaded, which is the §4 invariant that lets ARROW
+// bypass amplifier reconfiguration.
+func Apply(sm *SpectrumMap, net *optical.Network, res *rwa.Result, asg *rwa.Assignment) int {
+	changed := map[int]bool{}
+	for li := range res.Failed {
+		for _, pick := range asg.PerLink[li] {
+			opt := res.Options[li][pick[0]]
+			slot := pick[1]
+			for _, fid := range opt.Fibers {
+				if sm.State(fid, slot) == Dark {
+					changed[fid] = true
+				}
+				sm.Set(fid, slot, Data)
+			}
+		}
+	}
+	return len(changed)
+}

@@ -1,0 +1,146 @@
+package noise
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/arrow-te/arrow/internal/optical"
+	"github.com/arrow-te/arrow/internal/rwa"
+	"github.com/arrow-te/arrow/internal/spectrum"
+)
+
+// triangle builds a 3-ROADM network: direct fiber 0-1 carrying one link
+// (slot 5), detour via node 2 with slot 5 occupied so restoration must
+// retune to another slot.
+func triangle(t *testing.T, blockSlot bool) (*optical.Network, *rwa.Result, *rwa.Assignment) {
+	t.Helper()
+	n := optical.NewNetwork(3, 8)
+	n.AddFiber(0, 1, 100) // 0 direct
+	n.AddFiber(0, 2, 100) // 1
+	n.AddFiber(2, 1, 100) // 2
+	mod := spectrum.Table6[0]
+	if _, err := n.Provision(0, 1, []optical.Lightpath{{Slot: 5, Modulation: mod, FiberPath: []int{0}}}); err != nil {
+		t.Fatal(err)
+	}
+	if blockSlot {
+		n.Fibers[1].Slots.Set(5, false)
+	}
+	res, err := rwa.Solve(&rwa.Request{Net: n, Cut: []int{0}, K: 2, AllowTuning: true, AllowModulationChange: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, ok := rwa.AssignIntegral(res, []int{1})
+	if !ok {
+		t.Fatal("restoration should be feasible")
+	}
+	return n, res, asg
+}
+
+func TestSpectrumMapStates(t *testing.T) {
+	n, _, _ := triangle(t, false)
+	loaded := NewSpectrumMap(n, true)
+	if loaded.State(0, 5) != Data {
+		t.Fatalf("provisioned slot state %v", loaded.State(0, 5))
+	}
+	if loaded.State(0, 0) != Noise {
+		t.Fatalf("idle slot state %v, want noise", loaded.State(0, 0))
+	}
+	dark := NewSpectrumMap(n, false)
+	if dark.State(0, 0) != Dark {
+		t.Fatalf("idle slot state %v, want dark", dark.State(0, 0))
+	}
+	// Lit counts: loaded fiber is fully lit, dark fiber only where data.
+	if loaded.LitCount(0) != 8 || dark.LitCount(0) != 1 {
+		t.Fatalf("lit counts %d / %d", loaded.LitCount(0), dark.LitCount(0))
+	}
+}
+
+func TestBuildPlanRetuneDetection(t *testing.T) {
+	// Without blocking, the restored wave keeps slot 5: no retune.
+	_, res, asg := triangle(t, false)
+	nNet := res.Req.Net
+	plan := BuildPlan(nNet, res, asg)
+	if plan.Retunes != 0 {
+		t.Fatalf("%d retunes, want 0", plan.Retunes)
+	}
+	if plan.RestoredGbps != 100 {
+		t.Fatalf("restored %g", plan.RestoredGbps)
+	}
+	// Blocking slot 5 on the detour forces a retune.
+	_, res2, asg2 := triangle(t, true)
+	plan2 := BuildPlan(res2.Req.Net, res2, asg2)
+	if plan2.Retunes != 1 {
+		t.Fatalf("%d retunes, want 1", plan2.Retunes)
+	}
+}
+
+func TestBuildPlanWaves(t *testing.T) {
+	_, res, asg := triangle(t, false)
+	plan := BuildPlan(res.Req.Net, res, asg)
+	// Endpoints 0 and 1 add/drop; node 2 is intermediate.
+	if plan.NumAddDropROADMs() != 2 {
+		t.Fatalf("add/drop ROADMs %d, want 2", plan.NumAddDropROADMs())
+	}
+	if plan.NumIntermediateROADMs() != 1 {
+		t.Fatalf("intermediate ROADMs %d, want 1", plan.NumIntermediateROADMs())
+	}
+	for _, op := range plan.IntermediateOps {
+		if op.ROADM != 2 {
+			t.Fatalf("intermediate op at ROADM %d", op.ROADM)
+		}
+	}
+}
+
+func TestApplyInvariant(t *testing.T) {
+	n, res, asg := triangle(t, false)
+	loaded := NewSpectrumMap(n, true)
+	if changed := Apply(loaded, n, res, asg); changed != 0 {
+		t.Fatalf("noise-loaded apply changed %d fibers", changed)
+	}
+	// Restored slots now carry data on the surrogate fibers.
+	if loaded.State(1, 5) != Data || loaded.State(2, 5) != Data {
+		t.Fatal("restored slots not marked data")
+	}
+	dark := NewSpectrumMap(n, false)
+	if changed := Apply(dark, n, res, asg); changed != 2 {
+		t.Fatalf("dark apply changed %d fibers, want 2", changed)
+	}
+}
+
+func TestChannelStateString(t *testing.T) {
+	if Dark.String() != "dark" || Noise.String() != "noise" || Data.String() != "data" {
+		t.Fatal("state strings wrong")
+	}
+}
+
+func TestBuildConfigDeterministicAndComplete(t *testing.T) {
+	_, res, asg := triangle(t, false)
+	plan := BuildPlan(res.Req.Net, res, asg)
+	c1 := BuildConfig("cut-fiber-0", plan)
+	c2 := BuildConfig("cut-fiber-0", plan)
+	j1, err := c1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := c2.JSON()
+	if string(j1) != string(j2) {
+		t.Fatal("config serialisation not deterministic")
+	}
+	if len(c1.Entries) != len(plan.AddDropOps)+len(plan.IntermediateOps) {
+		t.Fatalf("%d entries for %d+%d ops", len(c1.Entries), len(plan.AddDropOps), len(plan.IntermediateOps))
+	}
+	// Wave ordering: all add/drop rules before intermediates.
+	lastWave := 0
+	for _, e := range c1.Entries {
+		if e.Wave < lastWave {
+			t.Fatal("entries not ordered by wave")
+		}
+		lastWave = e.Wave
+	}
+	txt := c1.Render()
+	for _, want := range []string{"wave 1 (parallel)", "wave 2 (parallel)", "add-drop", "intermediate", "100 Gbps"} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("rendered config missing %q:\n%s", want, txt)
+		}
+	}
+}

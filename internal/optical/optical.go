@@ -1,0 +1,331 @@
+// Package optical models the optical layer of a WAN as described in §2 of
+// the ARROW paper: ROADM sites connected by fibers, each fiber carrying
+// DWDM wavelengths on a slotted spectrum, and IP links (port-channels)
+// provisioned as bundles of wavelengths riding fiber paths.
+//
+// The model supports the cross-layer queries ARROW needs: which IP links
+// fail when a fiber is cut, what spectrum is usable on surviving fibers
+// (accounting for slots released by the failed wavelengths themselves), and
+// the restoration ratio U_phi of §2.3.
+package optical
+
+import (
+	"fmt"
+
+	"github.com/arrow-te/arrow/internal/graph"
+	"github.com/arrow-te/arrow/internal/spectrum"
+)
+
+// ROADM identifies an optical site.
+type ROADM int
+
+// Fiber is one optical fiber link between two ROADMs.
+type Fiber struct {
+	ID       int
+	A, B     ROADM
+	LengthKm float64
+	// Slots tracks spectrum availability: set bit = free slot.
+	Slots *spectrum.Bitmap
+}
+
+// Lightpath is one provisioned wavelength of an IP link: a spectrum slot
+// carried over a sequence of fibers entirely in the optical domain.
+type Lightpath struct {
+	Slot       int
+	Modulation spectrum.Modulation
+	FiberPath  []int // fiber IDs
+}
+
+// IPLink is a port-channel between two sites, realised by one or more
+// wavelengths (Fig. 1 of the paper).
+type IPLink struct {
+	ID       int
+	Src, Dst ROADM
+	Waves    []Lightpath
+}
+
+// CapacityGbps is the healthy-state provisioned capacity W_phi contribution
+// of this link: the sum of its wavelengths' data rates.
+func (l *IPLink) CapacityGbps() float64 {
+	c := 0.0
+	for _, w := range l.Waves {
+		c += w.Modulation.GbpsPerWavelength
+	}
+	return c
+}
+
+// UsesFiber reports whether any wavelength of the link traverses fiber id.
+func (l *IPLink) UsesFiber(id int) bool {
+	for _, w := range l.Waves {
+		for _, f := range w.FiberPath {
+			if f == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Network is an optical-layer topology with its provisioned IP links.
+type Network struct {
+	NumROADMs int
+	Fibers    []*Fiber
+	IPLinks   []*IPLink
+	SlotCount int
+
+	g *graph.Graph // ROADM graph; edge label = fiber ID, weight = km
+}
+
+// NewNetwork creates an empty network with n ROADM sites and the given
+// number of spectrum slots per fiber.
+func NewNetwork(nROADMs, slotCount int) *Network {
+	return &Network{NumROADMs: nROADMs, SlotCount: slotCount}
+}
+
+// AddFiber adds a fiber between two ROADMs with all slots initially free.
+func (n *Network) AddFiber(a, b ROADM, lengthKm float64) *Fiber {
+	f := &Fiber{ID: len(n.Fibers), A: a, B: b, LengthKm: lengthKm, Slots: spectrum.AllAvailable(n.SlotCount)}
+	n.Fibers = append(n.Fibers, f)
+	n.g = nil
+	return f
+}
+
+// Graph returns (building lazily) the optical graph over ROADMs: one pair of
+// directed edges per fiber, labelled with the fiber ID and weighted by km.
+func (n *Network) Graph() *graph.Graph {
+	if n.g == nil {
+		g := graph.New(n.NumROADMs)
+		for _, f := range n.Fibers {
+			g.AddBiEdge(graph.Node(f.A), graph.Node(f.B), f.LengthKm, f.ID)
+		}
+		n.g = g
+	}
+	return n.g
+}
+
+// PathLengthKm sums the lengths of the fibers in path.
+func (n *Network) PathLengthKm(path []int) float64 {
+	km := 0.0
+	for _, id := range path {
+		km += n.Fibers[id].LengthKm
+	}
+	return km
+}
+
+// Provision creates an IP link between src and dst with the given
+// wavelengths. Each lightpath's slot is claimed on every fiber of its path;
+// it is an error if a slot is already occupied (frequency collision) or a
+// path is disconnected.
+func (n *Network) Provision(src, dst ROADM, waves []Lightpath) (*IPLink, error) {
+	for wi, w := range waves {
+		if err := n.checkPath(src, dst, w.FiberPath); err != nil {
+			return nil, fmt.Errorf("wavelength %d: %w", wi, err)
+		}
+		for _, fid := range w.FiberPath {
+			if !n.Fibers[fid].Slots.Available(w.Slot) {
+				return nil, fmt.Errorf("wavelength %d: slot %d already occupied on fiber %d", wi, w.Slot, fid)
+			}
+		}
+	}
+	for _, w := range waves {
+		for _, fid := range w.FiberPath {
+			n.Fibers[fid].Slots.Set(w.Slot, false)
+		}
+	}
+	l := &IPLink{ID: len(n.IPLinks), Src: src, Dst: dst, Waves: waves}
+	n.IPLinks = append(n.IPLinks, l)
+	return l, nil
+}
+
+// checkPath validates that path is a connected fiber walk from src to dst.
+func (n *Network) checkPath(src, dst ROADM, path []int) error {
+	if len(path) == 0 {
+		return fmt.Errorf("empty fiber path")
+	}
+	at := src
+	for _, fid := range path {
+		if fid < 0 || fid >= len(n.Fibers) {
+			return fmt.Errorf("unknown fiber %d", fid)
+		}
+		f := n.Fibers[fid]
+		switch at {
+		case f.A:
+			at = f.B
+		case f.B:
+			at = f.A
+		default:
+			return fmt.Errorf("fiber %d does not touch ROADM %d", fid, at)
+		}
+	}
+	if at != dst {
+		return fmt.Errorf("path ends at ROADM %d, not %d", at, dst)
+	}
+	return nil
+}
+
+// FailedLinks returns the IDs of IP links that lose at least one wavelength
+// when the given fibers are cut. Per §6 ("when a fiber fails, all IP links
+// on this fiber fail simultaneously"), a link that traverses any cut fiber
+// is considered failed.
+func (n *Network) FailedLinks(cut []int) []int {
+	cutSet := map[int]bool{}
+	for _, id := range cut {
+		cutSet[id] = true
+	}
+	var out []int
+	for _, l := range n.IPLinks {
+		if l == nil {
+			continue // deprovisioned
+		}
+		failed := false
+		for _, w := range l.Waves {
+			for _, fid := range w.FiberPath {
+				if cutSet[fid] {
+					failed = true
+					break
+				}
+			}
+			if failed {
+				break
+			}
+		}
+		if failed {
+			out = append(out, l.ID)
+		}
+	}
+	return out
+}
+
+// SpectrumUnderCut returns, for every fiber, the spectrum available for
+// restoration when the given fibers are cut: the healthy availability plus
+// the slots released by wavelengths of failed IP links (those wavelengths
+// are being torn down, so their slots on surviving fibers become usable).
+// Cut fibers themselves are returned with no availability.
+func (n *Network) SpectrumUnderCut(cut []int) []*spectrum.Bitmap {
+	cutSet := map[int]bool{}
+	for _, id := range cut {
+		cutSet[id] = true
+	}
+	out := make([]*spectrum.Bitmap, len(n.Fibers))
+	for i, f := range n.Fibers {
+		if cutSet[i] {
+			out[i] = spectrum.NewBitmap(n.SlotCount) // all unavailable
+		} else {
+			out[i] = f.Slots.Clone()
+		}
+	}
+	for _, lid := range n.FailedLinks(cut) {
+		for _, w := range n.IPLinks[lid].Waves {
+			for _, fid := range w.FiberPath {
+				if !cutSet[fid] {
+					out[fid].Set(w.Slot, true)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ProvisionedGbpsOnFiber returns W_phi: the total bandwidth of wavelengths
+// that traverse fiber id.
+func (n *Network) ProvisionedGbpsOnFiber(id int) float64 {
+	total := 0.0
+	for _, l := range n.IPLinks {
+		if l == nil {
+			continue // deprovisioned
+		}
+		for _, w := range l.Waves {
+			for _, fid := range w.FiberPath {
+				if fid == id {
+					total += w.Modulation.GbpsPerWavelength
+					break
+				}
+			}
+		}
+	}
+	return total
+}
+
+// LinkByID returns the IP link with the given ID.
+func (n *Network) LinkByID(id int) *IPLink { return n.IPLinks[id] }
+
+// SpectrumUtilizations returns each fiber's spectrum utilisation (Fig. 5a).
+func (n *Network) SpectrumUtilizations() []float64 {
+	out := make([]float64, len(n.Fibers))
+	for i, f := range n.Fibers {
+		out[i] = f.Slots.Utilization()
+	}
+	return out
+}
+
+// Validate checks internal consistency: every provisioned wavelength's slot
+// is marked occupied on every fiber it traverses, and no two lightpaths
+// share a slot on a fiber.
+func (n *Network) Validate() error {
+	type claim struct{ link, wave int }
+	claims := make(map[[2]int]claim) // (fiber, slot) -> claimant
+	for _, l := range n.IPLinks {
+		if l == nil {
+			continue // deprovisioned
+		}
+		for wi, w := range l.Waves {
+			if err := n.checkPath(l.Src, l.Dst, w.FiberPath); err != nil {
+				return fmt.Errorf("link %d wavelength %d: %w", l.ID, wi, err)
+			}
+			for _, fid := range w.FiberPath {
+				key := [2]int{fid, w.Slot}
+				if prev, ok := claims[key]; ok {
+					return fmt.Errorf("fiber %d slot %d claimed by links %d and %d", fid, w.Slot, prev.link, l.ID)
+				}
+				claims[key] = claim{l.ID, wi}
+				if n.Fibers[fid].Slots.Available(w.Slot) {
+					return fmt.Errorf("fiber %d slot %d carries link %d but is marked free", fid, w.Slot, l.ID)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Deprovision removes an IP link, releasing its wavelengths' slots on every
+// fiber of their paths. Later links keep their IDs (the slot is left nil),
+// so existing references stay valid; LinkByID returns nil for removed IDs.
+func (n *Network) Deprovision(id int) error {
+	if id < 0 || id >= len(n.IPLinks) || n.IPLinks[id] == nil {
+		return fmt.Errorf("optical: no IP link %d", id)
+	}
+	l := n.IPLinks[id]
+	for _, w := range l.Waves {
+		for _, fid := range w.FiberPath {
+			n.Fibers[fid].Slots.Set(w.Slot, true)
+		}
+	}
+	n.IPLinks[id] = nil
+	return nil
+}
+
+// PortCount returns the provisioned router ports (equivalently, DWDM
+// transponders — the mapping is 1-to-1 per Fig. 1 of the paper): one at
+// each end of every wavelength.
+func (n *Network) PortCount() int {
+	total := 0
+	for _, l := range n.IPLinks {
+		if l == nil {
+			continue
+		}
+		total += 2 * len(l.Waves)
+	}
+	return total
+}
+
+// IdlePortsUnderCut returns how many router ports / transponders sit idle
+// when the given fibers are cut and nothing is restored — the waste that
+// motivates ARROW (§1: "when a fiber is cut, the router ports and
+// transponders associated with that fiber are still usable").
+func (n *Network) IdlePortsUnderCut(cut []int) int {
+	idle := 0
+	for _, lid := range n.FailedLinks(cut) {
+		idle += 2 * len(n.IPLinks[lid].Waves)
+	}
+	return idle
+}

@@ -1,0 +1,147 @@
+package optical
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/arrow-te/arrow/internal/spectrum"
+)
+
+// randomNetwork provisions a random but always-valid network: a ring of
+// fibers plus random single-fiber and two-fiber IP links.
+func randomNetwork(rng *rand.Rand) *Network {
+	sites := 3 + rng.Intn(5)
+	slots := 4 + rng.Intn(12)
+	n := NewNetwork(sites, slots)
+	for i := 0; i < sites; i++ {
+		n.AddFiber(ROADM(i), ROADM((i+1)%sites), 100+rng.Float64()*900)
+	}
+	mod := spectrum.Table6[rng.Intn(len(spectrum.Table6))]
+	tries := 2 + rng.Intn(8)
+	for i := 0; i < tries; i++ {
+		f1 := rng.Intn(sites)
+		var path []int
+		src := n.Fibers[f1].A
+		dst := n.Fibers[f1].B
+		path = []int{f1}
+		if rng.Intn(2) == 0 { // extend to a two-fiber path along the ring
+			f2 := (f1 + 1) % sites
+			if n.Fibers[f2].A == dst || n.Fibers[f2].B == dst {
+				path = append(path, f2)
+				if n.Fibers[f2].A == dst {
+					dst = n.Fibers[f2].B
+				} else {
+					dst = n.Fibers[f2].A
+				}
+			}
+		}
+		waves := 1 + rng.Intn(3)
+		var bms []*spectrum.Bitmap
+		for _, f := range path {
+			bms = append(bms, n.Fibers[f].Slots)
+		}
+		common := spectrum.PathSpectrum(bms)
+		var ws []Lightpath
+		for s := 0; s < common.Len() && len(ws) < waves; s++ {
+			if common.Available(s) {
+				ws = append(ws, Lightpath{Slot: s, Modulation: mod, FiberPath: path})
+			}
+		}
+		if len(ws) == 0 {
+			continue
+		}
+		if _, err := n.Provision(src, dst, ws); err != nil {
+			panic(err) // slots were checked free; Provision must accept
+		}
+	}
+	return n
+}
+
+// TestPropertyRandomNetworksValid: any provisioning sequence built from
+// free slots yields a Validate-clean network whose per-fiber bookkeeping
+// matches the links.
+func TestPropertyRandomNetworksValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomNetwork(rng)
+		if err := n.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Sum of per-fiber provisioned Gbps equals sum over links of
+		// capacity*pathlen.
+		var byFiber, byLink float64
+		for fid := range n.Fibers {
+			byFiber += n.ProvisionedGbpsOnFiber(fid)
+		}
+		for _, l := range n.IPLinks {
+			for _, w := range l.Waves {
+				byLink += w.Modulation.GbpsPerWavelength * float64(len(w.FiberPath))
+			}
+		}
+		return byFiber == byLink
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySpectrumUnderCutReleasesOnlyFailedWaves: the spectrum freed
+// by a cut is exactly the failed wavelengths' slots on surviving fibers.
+func TestPropertySpectrumUnderCutReleasesOnlyFailedWaves(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomNetwork(rng)
+		if len(n.Fibers) == 0 {
+			return true
+		}
+		cut := rng.Intn(len(n.Fibers))
+		spec := n.SpectrumUnderCut([]int{cut})
+		failedSet := map[int]bool{}
+		for _, lid := range n.FailedLinks([]int{cut}) {
+			failedSet[lid] = true
+		}
+		for fid, f2 := range n.Fibers {
+			if fid == cut {
+				if spec[fid].Count() != 0 {
+					return false
+				}
+				continue
+			}
+			for s := 0; s < n.SlotCount; s++ {
+				before := f2.Slots.Available(s)
+				after := spec[fid].Available(s)
+				if before && !after {
+					return false // a cut can only free slots, never consume
+				}
+				if !before && after {
+					// Must belong to a failed link's wavelength on this fiber.
+					found := false
+					for _, l := range n.IPLinks {
+						if !failedSet[l.ID] {
+							continue
+						}
+						for _, w := range l.Waves {
+							if w.Slot != s {
+								continue
+							}
+							for _, pf := range w.FiberPath {
+								if pf == fid {
+									found = true
+								}
+							}
+						}
+					}
+					if !found {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

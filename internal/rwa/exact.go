@@ -1,0 +1,114 @@
+package rwa
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/arrow-te/arrow/internal/lp"
+	"github.com/arrow-te/arrow/internal/mip"
+)
+
+// SolveExact solves the wavelength-assignment problem of Appendix A.2 as an
+// ILP (binary xi variables) instead of the LP relaxation, returning the
+// true maximum number of restorable wavelengths per failed link. It shares
+// the routing step with Solve.
+//
+// The ILP is NP-hard and only intended for small instances: it is the
+// ground truth used to validate that (a) the LP relaxation upper-bounds it
+// and (b) the greedy integral assignment achieves it on practical cases.
+func SolveExact(req *Request, opts *mip.Options) (*Result, error) {
+	// Reuse the routing and slot preparation from the relaxed solve.
+	res, err := Solve(req)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Failed) == 0 {
+		return res, nil
+	}
+
+	m := lp.NewModel("rwa-exact")
+	m.SetMaximize(true)
+	type xiKey struct{ link, path, slot int }
+	xi := map[xiKey]lp.Var{}
+	fiberSlot := map[[2]int]lp.Expr{}
+	linkTotal := make([]lp.Expr, len(res.Failed))
+	for li := range res.Failed {
+		for pi, opt := range res.Options[li] {
+			for _, s := range opt.Slots {
+				v := m.AddBinVar(1, fmt.Sprintf("xi_l%d_p%d_s%d", li, pi, s))
+				xi[xiKey{li, pi, s}] = v
+				linkTotal[li] = linkTotal[li].Plus(1, v)
+				for _, f := range opt.Fibers {
+					key := [2]int{f, s}
+					fiberSlot[key] = fiberSlot[key].Plus(1, v)
+				}
+			}
+		}
+	}
+	// Deterministic row order (see solveAssignmentLP).
+	keys := make([][2]int, 0, len(fiberSlot))
+	for k := range fiberSlot {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, k := range keys {
+		m.AddConstr(fiberSlot[k], lp.LE, 1, fmt.Sprintf("slot_f%d_s%d", k[0], k[1]))
+	}
+	for li, e := range linkTotal {
+		if len(e) > 0 {
+			m.AddConstr(e, lp.LE, float64(res.OrigWaves[li]), fmt.Sprintf("gamma_l%d", li))
+		}
+	}
+	if !req.AllowTuning {
+		for li := range res.Failed {
+			perSlot := map[int]lp.Expr{}
+			for pi, opt := range res.Options[li] {
+				for _, s := range opt.Slots {
+					perSlot[s] = perSlot[s].Plus(1, xi[xiKey{li, pi, s}])
+				}
+			}
+			slots := make([]int, 0, len(perSlot))
+			for s := range perSlot {
+				slots = append(slots, s)
+			}
+			sort.Ints(slots)
+			for _, s := range slots {
+				if e := perSlot[s]; len(e) > 1 {
+					m.AddConstr(e, lp.LE, 1, fmt.Sprintf("orig_l%d_s%d", li, s))
+				}
+			}
+		}
+	}
+
+	if m.NumVars() == 0 {
+		return res, nil
+	}
+	sol, err := mip.Solve(m, opts)
+	if err != nil {
+		return nil, fmt.Errorf("rwa exact: %w", err)
+	}
+	if sol.Status != lp.StatusOptimal {
+		return nil, fmt.Errorf("rwa exact: status %v", sol.Status)
+	}
+	out := &Result{
+		Req: req, Failed: res.Failed, OrigWaves: res.OrigWaves,
+		GbpsPerWave: res.GbpsPerWave, Options: res.Options,
+	}
+	out.FracWaves = make([]float64, len(res.Failed))
+	for li := range res.Failed {
+		total := 0.0
+		for pi, opt := range res.Options[li] {
+			for _, s := range opt.Slots {
+				total += sol.X[xi[xiKey{li, pi, s}]]
+			}
+		}
+		out.FracWaves[li] = total
+		out.Objective += total
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package rwa
+
+import (
+	"math"
+	"testing"
+
+	"github.com/arrow-te/arrow/internal/optical"
+	"github.com/arrow-te/arrow/internal/spectrum"
+)
+
+// TestExactVsRelaxationVsGreedy validates the three RWA layers against
+// each other on the Fig. 7 instance and on a contended triangle:
+// LP relaxation >= exact ILP >= greedy integral assignment, and on these
+// practical cases all three agree.
+func TestExactVsRelaxationVsGreedy(t *testing.T) {
+	n := optical.NewNetwork(4, 12)
+	n.AddFiber(0, 1, 100)
+	n.AddFiber(0, 2, 100)
+	n.AddFiber(2, 1, 100)
+	n.AddFiber(0, 3, 100)
+	n.AddFiber(3, 1, 100)
+	mod := spectrum.Table6[0]
+	mk := func(count, start int) []optical.Lightpath {
+		var ws []optical.Lightpath
+		for i := 0; i < count; i++ {
+			ws = append(ws, optical.Lightpath{Slot: start + i, Modulation: mod, FiberPath: []int{0}})
+		}
+		return ws
+	}
+	if _, err := n.Provision(0, 1, mk(4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Provision(0, 1, mk(8, 4)); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []int{1, 2} {
+		for s := 0; s < 9; s++ {
+			n.Fibers[f].Slots.Set(s, false)
+		}
+	}
+	for _, f := range []int{3, 4} {
+		for s := 0; s < 10; s++ {
+			n.Fibers[f].Slots.Set(s, false)
+		}
+	}
+	req := &Request{Net: n, Cut: []int{0}, K: 3, AllowTuning: true, AllowModulationChange: true}
+	relaxed, err := Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := SolveExact(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Objective > relaxed.Objective+1e-6 {
+		t.Fatalf("ILP %g exceeds LP relaxation %g", exact.Objective, relaxed.Objective)
+	}
+	greedy := 0
+	for _, c := range MaxIntegralWaves(relaxed) {
+		greedy += c
+	}
+	if float64(greedy) > exact.Objective+1e-6 {
+		t.Fatalf("greedy %d exceeds exact ILP %g", greedy, exact.Objective)
+	}
+	// On Fig. 7, all three are exactly 5.
+	if math.Abs(relaxed.Objective-5) > 1e-6 || math.Abs(exact.Objective-5) > 1e-6 || greedy != 5 {
+		t.Fatalf("LP=%g ILP=%g greedy=%d, want all 5", relaxed.Objective, exact.Objective, greedy)
+	}
+}
+
+func TestExactNoFailures(t *testing.T) {
+	n := optical.NewNetwork(2, 4)
+	n.AddFiber(0, 1, 100)
+	res, err := SolveExact(&Request{Net: n, Cut: []int{0}, K: 2, AllowTuning: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 0 {
+		t.Fatalf("failed %v", res.Failed)
+	}
+}

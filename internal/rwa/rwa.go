@@ -1,0 +1,443 @@
+// Package rwa implements ARROW's Routing and Wavelength Assignment module
+// (Appendix A.2 of the paper): given a fiber-cut scenario, it finds k
+// surrogate fiber paths for each failed IP link (k-shortest paths bounded by
+// modulation reach), then solves the relaxed wavelength-assignment LP
+// (constraints 14–17) whose fractional solution seeds LotteryTicket
+// generation. It also provides the integral greedy assignment used for
+// ticket feasibility checking and for the restoration-ratio measurements of
+// §2.3.
+package rwa
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/arrow-te/arrow/internal/graph"
+	"github.com/arrow-te/arrow/internal/lp"
+	"github.com/arrow-te/arrow/internal/optical"
+	"github.com/arrow-te/arrow/internal/spectrum"
+)
+
+// Request describes one RWA problem: restore the IP links failed by Cut.
+type Request struct {
+	Net *optical.Network
+	Cut []int // fiber IDs cut in this scenario
+
+	// K is the number of surrogate fiber paths per failed link (default 3).
+	K int
+	// AllowTuning permits transponder frequency retuning: a restored
+	// wavelength may use any slot free end-to-end instead of only its
+	// original slot (§5 "Other factors affecting the latency").
+	AllowTuning bool
+	// AllowModulationChange permits dropping to a lower-rate modulation when
+	// the surrogate path exceeds the original format's reach (Appendix A.1).
+	// When false, paths beyond the original reach are discarded.
+	AllowModulationChange bool
+}
+
+func (r *Request) k() int {
+	if r.K <= 0 {
+		return 3
+	}
+	return r.K
+}
+
+// PathOption is one usable surrogate restoration fiber path for a failed
+// IP link, with the slots free end-to-end (wavelength continuity already
+// applied) and the modulation the path length supports.
+type PathOption struct {
+	LinkID     int
+	Fibers     []int
+	LengthKm   float64
+	Modulation spectrum.Modulation
+	Slots      []int
+}
+
+// Result is the outcome of the relaxed RWA solve.
+type Result struct {
+	Req *Request
+	// Failed lists the failed IP link IDs, defining the index order of all
+	// per-link vectors (the "1..n" of Algorithm 1).
+	Failed []int
+	// FracWaves is the relaxed LP's (possibly fractional) restorable
+	// wavelength count per failed link.
+	FracWaves []float64
+	// GbpsPerWave is the effective per-wavelength data rate used to convert
+	// wavelength counts to bandwidth for each failed link (Algorithm 1
+	// line 12). It is the most conservative modulation among the link's
+	// usable surrogate paths.
+	GbpsPerWave []float64
+	// OrigWaves is gamma_e: the pre-failure wavelength count per failed link.
+	OrigWaves []int
+	// Options lists each failed link's surrogate path options.
+	Options [][]PathOption
+	// Objective is the LP's total restorable wavelength count.
+	Objective float64
+}
+
+// RestorableGbps returns the (fractional) restorable bandwidth of failed
+// link i: FracWaves[i] * GbpsPerWave[i].
+func (r *Result) RestorableGbps(i int) float64 { return r.FracWaves[i] * r.GbpsPerWave[i] }
+
+// Solve runs the two-step RWA: route surrogate paths, then solve the
+// relaxed wavelength-assignment LP.
+func Solve(req *Request) (*Result, error) {
+	res := &Result{Req: req}
+	res.Failed = req.Net.FailedLinks(req.Cut)
+	if len(res.Failed) == 0 {
+		return res, nil
+	}
+	spectra := req.Net.SpectrumUnderCut(req.Cut)
+	res.Options = make([][]PathOption, len(res.Failed))
+	res.GbpsPerWave = make([]float64, len(res.Failed))
+	res.OrigWaves = make([]int, len(res.Failed))
+	res.FracWaves = make([]float64, len(res.Failed))
+
+	for i, lid := range res.Failed {
+		link := req.Net.LinkByID(lid)
+		res.OrigWaves[i] = len(link.Waves)
+		res.Options[i] = surrogatePaths(req, spectra, link)
+		// Effective modulation: most conservative usable path, defaulting
+		// to the link's own modulation when no path exists.
+		rate := linkModulation(link).GbpsPerWavelength
+		for _, opt := range res.Options[i] {
+			if opt.Modulation.GbpsPerWavelength < rate {
+				rate = opt.Modulation.GbpsPerWavelength
+			}
+		}
+		res.GbpsPerWave[i] = rate
+	}
+
+	if err := solveAssignmentLP(req, spectra, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// linkModulation returns the modulation of the link's first wavelength (the
+// generator provisions homogeneous bundles, matching the paper's
+// simplification in footnote 3).
+func linkModulation(l *optical.IPLink) spectrum.Modulation {
+	if len(l.Waves) == 0 {
+		return spectrum.Table6[0]
+	}
+	return l.Waves[0].Modulation
+}
+
+// surrogatePaths computes up to K usable surrogate restoration paths for a
+// failed link: k-shortest paths on the optical graph avoiding cut fibers,
+// bounded by modulation reach, each annotated with its continuity slots.
+func surrogatePaths(req *Request, spectra []*spectrum.Bitmap, link *optical.IPLink) []PathOption {
+	cutSet := map[int]bool{}
+	for _, id := range req.Cut {
+		cutSet[id] = true
+	}
+	g := req.Net.Graph()
+
+	// Reach bound: with modulation change allowed, the most robust format's
+	// reach bounds the search; otherwise the original modulation's reach.
+	origMod := linkModulation(link)
+	maxReach := origMod.ReachKm
+	if req.AllowModulationChange {
+		for _, m := range spectrum.Table6 {
+			if m.ReachKm > maxReach {
+				maxReach = m.ReachKm
+			}
+		}
+	}
+
+	// Yen's algorithm over a filtered copy of the optical graph that omits
+	// the cut fibers entirely.
+	fg := graph.New(g.NumNodes())
+	for _, e := range g.Edges() {
+		if e.From < e.To && !cutSet[e.Label] { // add each fiber once, both directions
+			fg.AddBiEdge(e.From, e.To, e.Weight, e.Label)
+		}
+	}
+	paths := fg.KShortestPaths(graph.Node(link.Src), graph.Node(link.Dst), req.k(), maxReach)
+
+	var out []PathOption
+	for _, p := range paths {
+		var fibers []int
+		for _, eid := range p.Edges {
+			fibers = append(fibers, fg.Edge(eid).Label)
+		}
+		mod := origMod
+		if p.Weight > origMod.ReachKm {
+			if !req.AllowModulationChange {
+				continue
+			}
+			m, ok := spectrum.BestModulation(p.Weight)
+			if !ok {
+				continue
+			}
+			mod = m
+		}
+		slots := usableSlots(req, spectra, link, fibers)
+		if len(slots) == 0 {
+			continue
+		}
+		out = append(out, PathOption{
+			LinkID: link.ID, Fibers: fibers, LengthKm: p.Weight,
+			Modulation: mod, Slots: slots,
+		})
+	}
+	return out
+}
+
+// usableSlots returns the slots free on every fiber of the path. Without
+// frequency tuning, only the failed wavelengths' original slots qualify.
+func usableSlots(req *Request, spectra []*spectrum.Bitmap, link *optical.IPLink, fibers []int) []int {
+	var bms []*spectrum.Bitmap
+	for _, f := range fibers {
+		bms = append(bms, spectra[f])
+	}
+	common := spectrum.PathSpectrum(bms)
+	var out []int
+	if req.AllowTuning {
+		for s := 0; s < common.Len(); s++ {
+			if common.Available(s) {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	seen := map[int]bool{}
+	for _, w := range link.Waves {
+		if !seen[w.Slot] && common.Available(w.Slot) {
+			seen[w.Slot] = true
+			out = append(out, w.Slot)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// solveAssignmentLP builds and solves the relaxed wavelength-assignment LP
+// (Appendix A.2, constraints 14–17 with xi relaxed to [0,1]), maximising
+// the total restored wavelength count.
+func solveAssignmentLP(req *Request, spectra []*spectrum.Bitmap, res *Result) error {
+	m := lp.NewModel("rwa")
+	m.SetMaximize(true)
+
+	type xiKey struct{ link, path, slot int }
+	xi := map[xiKey]lp.Var{}
+	// Per-(fiber, slot) usage expressions for constraint (14).
+	fiberSlot := map[[2]int]lp.Expr{}
+	// Per-link totals for constraint (17).
+	linkTotal := make([]lp.Expr, len(res.Failed))
+
+	for li := range res.Failed {
+		for pi, opt := range res.Options[li] {
+			for _, s := range opt.Slots {
+				v := m.AddVar(0, 1, 1, fmt.Sprintf("xi_l%d_p%d_s%d", li, pi, s))
+				xi[xiKey{li, pi, s}] = v
+				linkTotal[li] = linkTotal[li].Plus(1, v)
+				for _, f := range opt.Fibers {
+					key := [2]int{f, s}
+					fiberSlot[key] = fiberSlot[key].Plus(1, v)
+				}
+			}
+		}
+	}
+	// Emit rows in sorted key order: map iteration order would otherwise
+	// change the simplex vertex between runs, breaking reproducibility.
+	fsKeys := make([][2]int, 0, len(fiberSlot))
+	for key := range fiberSlot {
+		fsKeys = append(fsKeys, key)
+	}
+	sort.Slice(fsKeys, func(a, b int) bool {
+		if fsKeys[a][0] != fsKeys[b][0] {
+			return fsKeys[a][0] < fsKeys[b][0]
+		}
+		return fsKeys[a][1] < fsKeys[b][1]
+	})
+	for _, key := range fsKeys {
+		m.AddConstr(fiberSlot[key], lp.LE, 1, fmt.Sprintf("slot_f%d_s%d", key[0], key[1]))
+	}
+	for li, e := range linkTotal {
+		if len(e) == 0 {
+			continue
+		}
+		m.AddConstr(e, lp.LE, float64(res.OrigWaves[li]), fmt.Sprintf("gamma_l%d", li))
+	}
+	// Without tuning, each original slot can restore at most one of the
+	// link's wavelengths across all paths.
+	if !req.AllowTuning {
+		for li := range res.Failed {
+			perSlot := map[int]lp.Expr{}
+			for pi, opt := range res.Options[li] {
+				for _, s := range opt.Slots {
+					perSlot[s] = perSlot[s].Plus(1, xi[xiKey{li, pi, s}])
+				}
+			}
+			slots := make([]int, 0, len(perSlot))
+			for s := range perSlot {
+				slots = append(slots, s)
+			}
+			sort.Ints(slots)
+			for _, s := range slots {
+				if e := perSlot[s]; len(e) > 1 {
+					m.AddConstr(e, lp.LE, 1, fmt.Sprintf("orig_l%d_s%d", li, s))
+				}
+			}
+		}
+	}
+
+	if m.NumVars() == 0 {
+		return nil // nothing restorable
+	}
+	sol, err := lp.Solve(m, nil)
+	if err != nil {
+		return fmt.Errorf("rwa assignment LP: %w", err)
+	}
+	if sol.Status != lp.StatusOptimal {
+		return fmt.Errorf("rwa assignment LP: status %v", sol.Status)
+	}
+	for li := range res.Failed {
+		total := 0.0
+		for pi, opt := range res.Options[li] {
+			for _, s := range opt.Slots {
+				total += sol.X[xi[xiKey{li, pi, s}]]
+			}
+		}
+		res.FracWaves[li] = math.Min(total, float64(res.OrigWaves[li]))
+		res.Objective += res.FracWaves[li]
+	}
+	return nil
+}
+
+// Assignment is an integral wavelength assignment: for each failed link
+// (by Result index), the chosen (path option, slot) pairs.
+type Assignment struct {
+	// PerLink[i] lists (pathIndex, slot) pairs for failed link i.
+	PerLink [][][2]int
+}
+
+// Waves returns the number of restored wavelengths for failed link i.
+func (a *Assignment) Waves(i int) int { return len(a.PerLink[i]) }
+
+// AssignIntegral greedily constructs an integral assignment that restores
+// target[i] wavelengths for failed link i (first-fit over paths and slots,
+// links with fewest options first). It returns the assignment and whether
+// every target was met. Targets are clamped to the link's original
+// wavelength count. The greedy check is sound (a returned complete
+// assignment is always physically feasible) but incomplete: it may fail on
+// feasible targets; callers treat that as "ticket infeasible", matching the
+// paper's conservative feasibility filter.
+func AssignIntegral(res *Result, target []int) (*Assignment, bool) {
+	n := len(res.Failed)
+	a := &Assignment{PerLink: make([][][2]int, n)}
+	used := map[[2]int]bool{} // (fiber, slot) claimed
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return slotOptionCount(res, order[x]) < slotOptionCount(res, order[y])
+	})
+
+	ok := true
+	for _, li := range order {
+		want := target[li]
+		if want > res.OrigWaves[li] {
+			want = res.OrigWaves[li]
+		}
+		// Prefer the link's original frequencies: the paper keeps the same
+		// slot whenever possible to avoid transponder retuning latency.
+		origSlot := map[int]bool{}
+		for _, w := range res.Req.Net.LinkByID(res.Failed[li]).Waves {
+			origSlot[w.Slot] = true
+		}
+		got := 0
+		usedOrig := map[int]bool{} // original-slot reuse guard (no-tuning mode)
+		for pi, opt := range res.Options[li] {
+			if got >= want {
+				break
+			}
+			slots := append([]int(nil), opt.Slots...)
+			sort.SliceStable(slots, func(a, b int) bool {
+				oa, ob := origSlot[slots[a]], origSlot[slots[b]]
+				if oa != ob {
+					return oa
+				}
+				return slots[a] < slots[b]
+			})
+			for _, s := range slots {
+				if got >= want {
+					break
+				}
+				if !res.Req.AllowTuning && usedOrig[s] {
+					continue
+				}
+				free := true
+				for _, f := range opt.Fibers {
+					if used[[2]int{f, s}] {
+						free = false
+						break
+					}
+				}
+				if !free {
+					continue
+				}
+				for _, f := range opt.Fibers {
+					used[[2]int{f, s}] = true
+				}
+				a.PerLink[li] = append(a.PerLink[li], [2]int{pi, s})
+				usedOrig[s] = true
+				got++
+			}
+		}
+		if got < want {
+			ok = false
+		}
+	}
+	return a, ok
+}
+
+func slotOptionCount(res *Result, li int) int {
+	c := 0
+	for _, opt := range res.Options[li] {
+		c += len(opt.Slots)
+	}
+	return c
+}
+
+// MaxIntegralWaves runs the greedy assignment asking for every link's full
+// wavelength count and returns the per-link restored counts. This is the
+// integral analogue of the LP objective, used for restoration-ratio
+// measurements (Fig. 6).
+func MaxIntegralWaves(res *Result) []int {
+	target := make([]int, len(res.Failed))
+	copy(target, res.OrigWaves)
+	a, _ := AssignIntegral(res, target)
+	out := make([]int, len(res.Failed))
+	for i := range out {
+		out[i] = a.Waves(i)
+	}
+	return out
+}
+
+// RestorationRatio computes U_phi for cutting exactly fiber phi: restored
+// bandwidth over provisioned bandwidth (1.0 when the fiber carries nothing).
+func RestorationRatio(net *optical.Network, fiber int, k int, allowTuning, allowModChange bool) (float64, error) {
+	res, err := Solve(&Request{Net: net, Cut: []int{fiber}, K: k, AllowTuning: allowTuning, AllowModulationChange: allowModChange})
+	if err != nil {
+		return 0, err
+	}
+	provisioned := 0.0
+	for _, li := range res.Failed {
+		provisioned += net.LinkByID(li).CapacityGbps()
+	}
+	if provisioned == 0 {
+		return 1, nil
+	}
+	counts := MaxIntegralWaves(res)
+	restored := 0.0
+	for i := range res.Failed {
+		restored += float64(counts[i]) * res.GbpsPerWave[i]
+	}
+	return restored / provisioned, nil
+}

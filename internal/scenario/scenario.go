@@ -1,0 +1,147 @@
+// Package scenario generates the probabilistic fiber-cut failure scenarios
+// used by ARROW's restoration-aware TE and by the TeaVaR baseline.
+//
+// Following §6 of the paper (which follows TeaVaR's methodology), each
+// fiber's failure probability is drawn from a Weibull distribution
+// (shape 0.8, scale 0.02); scenarios are all single and double fiber cuts
+// whose joint probability exceeds a per-topology cutoff.
+package scenario
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/arrow-te/arrow/internal/stats"
+)
+
+// Default Weibull parameters from §6 of the paper.
+const (
+	DefaultShape = 0.8
+	DefaultScale = 0.02
+)
+
+// Scenario is one failure scenario q: a set of cut fibers and the
+// probability of exactly this set failing (all others healthy).
+type Scenario struct {
+	Cut  []int
+	Prob float64
+}
+
+// Set is an ordered collection of failure scenarios for one topology.
+type Set struct {
+	// FailProb[i] is fiber i's marginal failure probability.
+	FailProb []float64
+	// Scenarios are the retained cut scenarios, most probable first.
+	Scenarios []Scenario
+	// HealthyProb is the probability that no fiber fails.
+	HealthyProb float64
+	// ResidualProb is the probability mass of scenarios below the cutoff
+	// (not enumerated). Availability computations count it as loss-free for
+	// none: callers decide how to attribute it.
+	ResidualProb float64
+}
+
+// FailureProbabilities samples a Weibull failure probability for each of n
+// fibers, deterministically from seed. Values are clamped to [0, 0.1]: the
+// Weibull(0.8, 0.02) tail occasionally produces per-epoch failure odds that
+// would dominate the scenario set, which no production fiber exhibits.
+func FailureProbabilities(n int, shape, scale float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		p := stats.Weibull(rng, shape, scale)
+		if p > 0.1 {
+			p = 0.1
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Enumerate builds the scenario set for the given per-fiber failure
+// probabilities: all single cuts and double cuts with joint probability
+// above cutoff, sorted by descending probability.
+//
+// Scenario probabilities are exact independent-failure probabilities:
+// P(exactly S fails) = prod_{i in S} p_i * prod_{j not in S} (1 - p_j).
+func Enumerate(failProb []float64, cutoff float64) *Set {
+	n := len(failProb)
+	healthy := 1.0
+	for _, p := range failProb {
+		healthy *= 1 - p
+	}
+	s := &Set{FailProb: append([]float64(nil), failProb...), HealthyProb: healthy}
+
+	// P(exactly {i}) = healthy * p_i / (1-p_i); same trick for pairs.
+	odds := make([]float64, n)
+	for i, p := range failProb {
+		if p >= 1 {
+			odds[i] = 1e18
+		} else {
+			odds[i] = p / (1 - p)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if pr := healthy * odds[i]; pr >= cutoff {
+			s.Scenarios = append(s.Scenarios, Scenario{Cut: []int{i}, Prob: pr})
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if pr := healthy * odds[i] * odds[j]; pr >= cutoff {
+				s.Scenarios = append(s.Scenarios, Scenario{Cut: []int{i, j}, Prob: pr})
+			}
+		}
+	}
+	sort.SliceStable(s.Scenarios, func(a, b int) bool { return s.Scenarios[a].Prob > s.Scenarios[b].Prob })
+
+	covered := healthy
+	for _, sc := range s.Scenarios {
+		covered += sc.Prob
+	}
+	s.ResidualProb = 1 - covered
+	if s.ResidualProb < 0 {
+		s.ResidualProb = 0
+	}
+	return s
+}
+
+// EnumerateAllK returns every scenario with exactly 1..k cut fibers,
+// ignoring probabilities (used by the FFC-k baseline, which provides
+// absolute guarantees for up to k simultaneous cuts).
+func EnumerateAllK(nFibers, k int) []Scenario {
+	var out []Scenario
+	var cur []int
+	var rec func(start, left int)
+	rec = func(start, left int) {
+		if len(cur) > 0 {
+			out = append(out, Scenario{Cut: append([]int(nil), cur...)})
+		}
+		if left == 0 {
+			return
+		}
+		for i := start; i < nFibers; i++ {
+			cur = append(cur, i)
+			rec(i+1, left-1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0, k)
+	// Deduplicate: rec emits prefixes, producing each subset exactly once.
+	return out
+}
+
+// Weighted returns scenarios annotated with probabilities from the set's
+// fail probabilities (for scenarios produced by EnumerateAllK).
+func (s *Set) Weighted(scs []Scenario) []Scenario {
+	out := make([]Scenario, len(scs))
+	for i, sc := range scs {
+		pr := s.HealthyProb
+		for _, f := range sc.Cut {
+			p := s.FailProb[f]
+			pr *= p / (1 - p)
+		}
+		out[i] = Scenario{Cut: sc.Cut, Prob: pr}
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+// Package sim replays failure timelines against a solved TE plan: fiber
+// cuts arrive as a Poisson process, repairs follow the paper's measured
+// repair-time distribution (§2.2: median nine hours, 10% over a day), and
+// between events the network delivers whatever the TE plan plus ARROW's
+// precomputed restoration allow. It turns the static availability metric of
+// §6.1 into an operational months-long view: time-weighted delivered
+// traffic, time at full service, and how often the WAN is in a failure
+// state nobody planned for.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/arrow-te/arrow/internal/availability"
+	"github.com/arrow-te/arrow/internal/stats"
+	"github.com/arrow-te/arrow/internal/te"
+)
+
+// Event is one timeline occurrence: a fiber going down or coming back.
+type Event struct {
+	TimeH float64
+	Fiber int
+	Up    bool
+}
+
+// TimelineOptions configures failure-timeline generation.
+type TimelineOptions struct {
+	// DurationH is the horizon in hours.
+	DurationH float64
+	// CutsPerMonth is the fleet-wide fiber-cut rate (the paper measures
+	// ~16/month on the production backbone; scale to your fiber count).
+	CutsPerMonth float64
+	// RepairMedianH / RepairSigma parameterise the lognormal repair time
+	// (defaults 9h / 0.7655, the §2.2 calibration).
+	RepairMedianH float64
+	RepairSigma   float64
+	Seed          int64
+}
+
+func (o TimelineOptions) withDefaults() TimelineOptions {
+	if o.DurationH <= 0 {
+		o.DurationH = 30 * 24
+	}
+	if o.CutsPerMonth <= 0 {
+		o.CutsPerMonth = 4
+	}
+	if o.RepairMedianH <= 0 {
+		o.RepairMedianH = 9
+	}
+	if o.RepairSigma <= 0 {
+		o.RepairSigma = 0.7655
+	}
+	return o
+}
+
+// GenerateTimeline builds a deterministic cut/repair event sequence for
+// nFibers fibers: exponential inter-arrival times at the configured rate,
+// uniformly random victim fibers (re-cutting an already-down fiber extends
+// nothing and is skipped), lognormal repair durations.
+func GenerateTimeline(nFibers int, opt TimelineOptions) []Event {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	ratePerH := opt.CutsPerMonth / (30 * 24)
+	downUntil := make([]float64, nFibers) // 0 = up
+
+	var events []Event
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() / ratePerH
+		if t >= opt.DurationH {
+			break
+		}
+		f := rng.Intn(nFibers)
+		if downUntil[f] > t {
+			continue // already down
+		}
+		repair := stats.LogNormal(rng, math.Log(opt.RepairMedianH), opt.RepairSigma)
+		up := t + repair
+		downUntil[f] = up
+		events = append(events, Event{TimeH: t, Fiber: f, Up: false})
+		if up < opt.DurationH {
+			events = append(events, Event{TimeH: up, Fiber: f, Up: true})
+		}
+	}
+	sort.SliceStable(events, func(a, b int) bool { return events[a].TimeH < events[b].TimeH })
+	return events
+}
+
+// Projector maps a set of cut fibers to the failed IP links.
+type Projector func(cut []int) []int
+
+// Runner replays a timeline against one solved TE allocation.
+type Runner struct {
+	Net     *te.Network
+	Alloc   *te.Allocation
+	Project Projector
+	// ECMPRebalance selects equal re-spreading semantics (for the ECMP TE).
+	ECMPRebalance bool
+
+	// plans maps a canonical failed-link-set key to the precomputed
+	// restoration of that scenario (nil for TEs without restoration).
+	plans map[string]map[int]float64
+}
+
+// NewRunner builds a runner. scenarios/restored (parallel slices) register
+// the precomputed restoration plans; pass nil restored for baseline TEs.
+func NewRunner(net *te.Network, alloc *te.Allocation, project Projector,
+	scenarios []te.FailureScenario, restored []map[int]float64) *Runner {
+	r := &Runner{Net: net, Alloc: alloc, Project: project, plans: map[string]map[int]float64{}}
+	for i, sc := range scenarios {
+		var plan map[int]float64
+		if restored != nil {
+			plan = restored[i]
+		}
+		r.plans[linkSetKey(sc.FailedLinks)] = plan
+	}
+	return r
+}
+
+func linkSetKey(links []int) string {
+	s := append([]int(nil), links...)
+	sort.Ints(s)
+	return fmt.Sprint(s)
+}
+
+// Report summarises a timeline replay.
+type Report struct {
+	// Delivered is the time-weighted average delivered demand fraction.
+	Delivered float64
+	// FullServiceFrac is the fraction of time at >= 99.9% delivery.
+	FullServiceFrac float64
+	// Worst is the lowest delivered fraction over the horizon.
+	Worst float64
+	// UnplannedHours is time spent in failure states with no precomputed
+	// restoration plan (ARROW falls back to no restoration there).
+	UnplannedHours float64
+	// Intervals is the number of distinct network states evaluated.
+	Intervals int
+}
+
+// Run replays the events over the horizon and integrates delivery.
+func (r *Runner) Run(events []Event, durationH float64) *Report {
+	ev := &availability.Evaluator{Net: r.Net, Alloc: r.Alloc, ECMPRebalance: r.ECMPRebalance}
+	rep := &Report{Worst: math.Inf(1)}
+	down := map[int]bool{}
+
+	evaluate := func(fromH, toH float64) {
+		if toH <= fromH {
+			return
+		}
+		var cut []int
+		for f := range down {
+			cut = append(cut, f)
+		}
+		sort.Ints(cut)
+		delivered := 1.0
+		if len(cut) > 0 {
+			failed := r.Project(cut)
+			var restored map[int]float64
+			if len(failed) > 0 {
+				plan, planned := r.plans[linkSetKey(failed)]
+				if planned {
+					restored = plan
+				} else {
+					rep.UnplannedHours += toH - fromH
+				}
+				delivered = ev.Delivered(&availability.ScenarioEval{Failed: failed, Restored: restored})
+			}
+		} else {
+			delivered = ev.Delivered(&availability.ScenarioEval{})
+		}
+		dt := toH - fromH
+		rep.Delivered += delivered * dt
+		if delivered >= 0.999 {
+			rep.FullServiceFrac += dt
+		}
+		if delivered < rep.Worst {
+			rep.Worst = delivered
+		}
+		rep.Intervals++
+	}
+
+	t := 0.0
+	for _, e := range events {
+		if e.TimeH > durationH {
+			break
+		}
+		evaluate(t, e.TimeH)
+		t = e.TimeH
+		if e.Up {
+			delete(down, e.Fiber)
+		} else {
+			down[e.Fiber] = true
+		}
+	}
+	evaluate(t, durationH)
+	rep.Delivered /= durationH
+	rep.FullServiceFrac /= durationH
+	if math.IsInf(rep.Worst, 1) {
+		rep.Worst = 1
+	}
+	return rep
+}

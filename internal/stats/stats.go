@@ -1,0 +1,133 @@
+// Package stats provides the small statistical helpers shared by the
+// synthetic-data generators and the evaluation harness: empirical CDFs,
+// percentiles, and the Weibull / log-normal samplers used to model fiber
+// failure probabilities (TeaVaR methodology) and repair times.
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from samples (which it copies and sorts).
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the number of samples.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P[X <= x].
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) by nearest-rank.
+func (c *CDF) Percentile(p float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return c.sorted[0]
+	}
+	if p >= 100 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(c.sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return c.sorted[rank-1]
+}
+
+// Points returns up to n evenly spaced (x, P[X<=x]) pairs for rendering.
+func (c *CDF) Points(n int) [][2]float64 {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(c.sorted) {
+		n = len(c.sorted)
+	}
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (i + 1) * len(c.sorted) / n
+		if idx > len(c.sorted) {
+			idx = len(c.sorted)
+		}
+		x := c.sorted[idx-1]
+		out = append(out, [2]float64{x, float64(idx) / float64(len(c.sorted))})
+	}
+	return out
+}
+
+// Min and Max return the sample extremes.
+func (c *CDF) Min() float64 { return c.sorted[0] }
+
+// Max returns the largest sample.
+func (c *CDF) Max() float64 { return c.sorted[len(c.sorted)-1] }
+
+// Mean returns the arithmetic mean of samples.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the total of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Weibull samples a Weibull(shape, scale) variate: used by the paper's
+// failure model ("Weibull distribution (shape=0.8, scale=0.02) to model the
+// failure probability of each fiber").
+func Weibull(rng *rand.Rand, shape, scale float64) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return scale * math.Pow(-math.Log(u), 1/shape)
+}
+
+// LogNormal samples exp(N(mu, sigma)).
+func LogNormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*rng.NormFloat64())
+}
+
+// WeightedChoice picks an index with probability proportional to weights.
+// Zero or negative total weight picks uniformly.
+func WeightedChoice(rng *rand.Rand, weights []float64) int {
+	total := Sum(weights)
+	if total <= 0 {
+		return rng.Intn(len(weights))
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if c.At(0) != 0 || c.At(1) != 0.25 || c.At(2.5) != 0.5 || c.At(4) != 1 || c.At(99) != 1 {
+		t.Fatalf("CDF values wrong: %v %v %v %v", c.At(1), c.At(2.5), c.At(4), c.At(99))
+	}
+	if c.Percentile(50) != 2 || c.Percentile(100) != 4 || c.Percentile(0) != 1 {
+		t.Fatalf("percentiles %v %v %v", c.Percentile(50), c.Percentile(100), c.Percentile(0))
+	}
+	if c.Min() != 1 || c.Max() != 4 || c.Len() != 4 {
+		t.Fatal("extremes wrong")
+	}
+}
+
+func TestCDFMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		c := NewCDF(xs)
+		prev := -1.0
+		for x := -30.0; x <= 30; x += 0.5 {
+			v := c.At(x)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	pts := NewCDF(xs).Points(10)
+	if len(pts) != 10 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[9][1] != 1 {
+		t.Fatalf("last point y=%g", pts[9][1])
+	}
+	if !sort.SliceIsSorted(pts, func(a, b int) bool { return pts[a][0] < pts[b][0] }) {
+		t.Fatal("points not sorted")
+	}
+}
+
+func TestWeibullMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 200000
+	shape, scale := 0.8, 0.02
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := Weibull(rng, shape, scale)
+		if v < 0 {
+			t.Fatal("negative Weibull sample")
+		}
+		sum += v
+	}
+	// E[X] = scale * Gamma(1 + 1/shape); Gamma(2.25) ~ 1.1330.
+	want := scale * math.Gamma(1+1/shape)
+	got := sum / n
+	if math.Abs(got-want) > 0.05*want {
+		t.Fatalf("Weibull mean %g want %g", got, want)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const n = 100001
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = LogNormal(rng, math.Log(9), 1.2)
+	}
+	sort.Float64s(xs)
+	med := xs[n/2]
+	if math.Abs(med-9) > 0.5 {
+		t.Fatalf("lognormal median %g want ~9", med)
+	}
+}
+
+func TestWeightedChoiceDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	w := []float64{1, 3, 6}
+	counts := make([]int, 3)
+	const n = 60000
+	for i := 0; i < n; i++ {
+		counts[WeightedChoice(rng, w)]++
+	}
+	for i, want := range []float64{0.1, 0.3, 0.6} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("choice %d frequency %g want %g", i, got, want)
+		}
+	}
+	// Degenerate weights fall back to uniform without panicking.
+	if i := WeightedChoice(rng, []float64{0, 0}); i < 0 || i > 1 {
+		t.Fatalf("fallback index %d", i)
+	}
+}
+
+func TestMeanSum(t *testing.T) {
+	if Mean(nil) != 0 || Sum(nil) != 0 {
+		t.Fatal("empty slices")
+	}
+	if Mean([]float64{2, 4}) != 3 || Sum([]float64{2, 4}) != 6 {
+		t.Fatal("mean/sum wrong")
+	}
+}

@@ -1,0 +1,362 @@
+package te
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/arrow-te/arrow/internal/lp"
+)
+
+// ArrowOptions tunes the two-phase restoration-aware TE.
+type ArrowOptions struct {
+	// Alpha bounds the Phase I slack: M^{z,q} = alpha * sum_e r_e^{z,q}
+	// (§3.3; the paper experiments with 0.2, 0.1 and 0.05; default 0.1).
+	Alpha float64
+	LP    *lp.Options
+}
+
+func (o *ArrowOptions) alpha() float64 {
+	if o == nil || o.Alpha <= 0 {
+		return 0.1
+	}
+	return o.Alpha
+}
+
+// Arrow runs ARROW's full two-phase restoration-aware TE (§3.3):
+// Phase I (Table 2) selects the winning LotteryTicket per failure scenario
+// through slack minimisation; Phase II (Table 3) computes the final tunnel
+// allocation using the winners. The returned Allocation carries the
+// restoration plan Z* (winning ticket index and restored capacity per
+// scenario) ready to be installed as ROADM reconfiguration rules.
+func Arrow(n *Network, scs []RestorableScenario, opts *ArrowOptions) (*Allocation, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	winners, p1stats, err := arrowPhase1WithStats(n, scs, opts)
+	if err != nil {
+		return nil, err
+	}
+	al, err := ArrowPhase2(n, scs, winners, opts)
+	if err != nil {
+		return nil, err
+	}
+	al.Stats.Phase1Vars = p1stats.Phase1Vars
+	al.Stats.Phase1Rows = p1stats.Phase1Rows
+	al.Stats.Phase1Iters = p1stats.Phase1Iters
+	// Phase I ranks tickets against its own (slack-throttled) loads, which
+	// can mis-rank when many tickets tie near zero slack. Ticket 0 is by
+	// convention the RWA-derived candidate (the |Z|=1 / Arrow-Naive plan),
+	// so solving Phase II once more against it and keeping the better
+	// allocation guarantees the demand-aware selection never does worse
+	// than restoration planned at the optical layer alone.
+	allFirst := true
+	for _, w := range winners {
+		if w != 0 {
+			allFirst = false
+			break
+		}
+	}
+	if !allFirst {
+		fallback, err := ArrowPhase2(n, scs, make([]int, len(scs)), opts)
+		if err != nil {
+			return nil, err
+		}
+		if fallback.Objective > al.Objective+1e-9 {
+			return fallback, nil
+		}
+		// On a throughput tie, prefer the plan that revives more capacity:
+		// extra restored bandwidth can only improve delivery under failures.
+		if fallback.Objective > al.Objective-1e-9 && totalRestored(fallback) > totalRestored(al)+1e-9 {
+			return fallback, nil
+		}
+	}
+	return al, nil
+}
+
+func totalRestored(al *Allocation) float64 {
+	t := 0.0
+	for _, plan := range al.RestoredGbps {
+		for _, g := range plan {
+			t += g
+		}
+	}
+	return t
+}
+
+// ArrowNaive runs Phase II only, treating each scenario's FIRST ticket as
+// the winner. Callers typically pass a single RWA-derived candidate per
+// scenario, reproducing the paper's Arrow-Naive baseline (restoration
+// planned purely at the optical layer, blind to traffic demand).
+func ArrowNaive(n *Network, scs []RestorableScenario, opts *ArrowOptions) (*Allocation, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	winners := make([]int, len(scs))
+	return ArrowPhase2(n, scs, winners, opts)
+}
+
+// ArrowPhase1 solves the Table 2 LP and returns the winning ticket index
+// for each scenario (argmin_z sum_e max(0, Delta_e^{z,q})).
+// Use Arrow for the full two-phase flow; ArrowPhase1 exists for callers
+// that want to inspect or override the ticket selection.
+//
+// The slack variables Delta_e^{z,q} are FREE (they may be negative): as the
+// paper's footnote 5 notes, the ReLU max(0, .) is applied in
+// post-processing only. Constraint (6) therefore bounds each ticket's
+// aggregate restorable-link overload — sum_e load_e <= sum_e r_e^{z,q} +
+// M^{z,q} — rather than hard-capping individual links, which would let one
+// poor ticket strangle the whole allocation. Per-link hard caps are
+// Phase II's job, once the winner is known.
+//
+// Post-processing computes each ticket's required slack directly from the
+// solved loads, sum_e max(0, load_e^{z,q} - r_e^{z,q}), which is the
+// minimal feasible value of sum_e max(0, Delta) — deterministic even when
+// the LP vertex leaves Delta off its lower envelope.
+//
+// Constraint (4) rows are deduplicated per flow across (q,z) pairs with
+// identical surviving+restorable tunnel sets, which collapses the common
+// case where every ticket restores some capacity on every link.
+func ArrowPhase1(n *Network, scs []RestorableScenario, opts *ArrowOptions) ([]int, error) {
+	winners, _, err := arrowPhase1WithStats(n, scs, opts)
+	return winners, err
+}
+
+// arrowPhase1WithStats is ArrowPhase1 plus model-size/iteration reporting.
+func arrowPhase1WithStats(n *Network, scs []RestorableScenario, opts *ArrowOptions) ([]int, SolveStats, error) {
+	for qi := range scs {
+		if len(scs[qi].Tickets) == 0 {
+			return nil, SolveStats{}, fmt.Errorf("te: arrow: scenario %d has no tickets", qi)
+		}
+	}
+	bm := newBaseModel("arrow-phase1", n)
+	alpha := opts.alpha()
+
+	// refLoad[qi][link] is the ticket-INDEPENDENT reference load used to
+	// rank tickets in post-processing: the allocation carried by every
+	// tunnel that crosses the failed link (i.e. the load the link would see
+	// under full restoration). Evaluating each ticket against per-ticket
+	// restorable sets would systematically favour tickets that restore
+	// fewer links (their Y sets shrink, so their measured loads shrink);
+	// a fixed reference keeps the comparison apples-to-apples.
+	type loadKey struct{ qi, link int }
+	refLoad := map[loadKey]lp.Expr{}
+	// coverSeen[f] dedups constraint (4) rows per flow across (q,z) pairs
+	// with identical surviving+restorable tunnel sets.
+	coverSeen := make([]map[string]bool, len(n.Flows))
+	for f := range coverSeen {
+		coverSeen[f] = map[string]bool{}
+	}
+
+	for qi := range scs {
+		q := &scs[qi]
+		failed := failedSet(q.FailedLinks)
+		// Residual tunnels do not depend on the ticket.
+		residual := make([][]int, len(n.Flows))
+		for f := range n.Flows {
+			residual[f] = residualTunnels(n, f, failed)
+		}
+		// Reference loads: every tunnel crossing the failed link.
+		for _, link := range q.FailedLinks {
+			var load lp.Expr
+			for f := range n.Flows {
+				for ti, t := range n.Tunnels[f] {
+					for _, le := range t.Links {
+						if le == link {
+							load = load.Plus(1, bm.a[f][ti])
+							break
+						}
+					}
+				}
+			}
+			refLoad[loadKey{qi, link}] = load
+		}
+		for z := range q.Tickets {
+			restored := func(link int) float64 { return q.TicketGbps(z, link) }
+			restorable := make([][]int, len(n.Flows))
+			for f := range n.Flows {
+				restorable[f] = restorableTunnels(n, f, failed, restored)
+			}
+
+			// Constraint (4): residual + restorable tunnels cover b_f.
+			for f := range n.Flows {
+				res, rst := residual[f], restorable[f]
+				if len(res)+len(rst) == len(n.Tunnels[f]) || len(res)+len(rst) == 0 {
+					// Nothing lost, or the flow is disconnected under this
+					// scenario+ticket (no residual or restorable tunnel):
+					// the guarantee is either implied by (1) or vacuous.
+					continue // nothing lost; implied by (1)
+				}
+				key := fmt.Sprint(res, rst)
+				if coverSeen[f][key] {
+					continue
+				}
+				coverSeen[f][key] = true
+				var e lp.Expr
+				for _, ti := range res {
+					e = e.Plus(1, bm.a[f][ti])
+				}
+				for _, ti := range rst {
+					e = e.Plus(1, bm.a[f][ti])
+				}
+				e = e.Plus(-1, bm.b[f])
+				bm.m.AddConstr(e, lp.GE, 0, fmt.Sprintf("p1cover_f%d_q%d_z%d", f, qi, z))
+			}
+
+			// Constraints (5)+(6) with free Delta: eliminating the free
+			// slack variables leaves the aggregate row
+			//   sum_e load_e^{z,q} <= sum_e r_e^{z,q} + M^{z,q},
+			// with M^{z,q} = alpha * sum_e r_e^{z,q}.
+			var totalLoad lp.Expr
+			totalR := 0.0
+			for _, link := range q.FailedLinks {
+				r := restored(link)
+				totalR += r
+				var load lp.Expr
+				for f := range n.Flows {
+					for _, ti := range restorable[f] {
+						for _, le := range n.Tunnels[f][ti].Links {
+							if le == link {
+								load = load.Plus(1, bm.a[f][ti])
+								break
+							}
+						}
+					}
+				}
+				if len(load) == 0 {
+					continue
+				}
+				totalLoad = append(totalLoad, load...)
+			}
+			if len(totalLoad) > 0 {
+				bm.m.AddConstr(totalLoad, lp.LE, (1+alpha)*totalR, fmt.Sprintf("p1slack_q%d_z%d", qi, z))
+			}
+		}
+	}
+
+	var lpo *lp.Options
+	if opts != nil {
+		lpo = opts.LP
+	}
+	sol, err := lp.Solve(bm.m, lpo)
+	if err != nil {
+		return nil, SolveStats{}, fmt.Errorf("te: arrow phase 1: %w", err)
+	}
+	if sol.Status != lp.StatusOptimal {
+		return nil, SolveStats{}, fmt.Errorf("te: arrow phase 1: status %v", sol.Status)
+	}
+	stats := SolveStats{Phase1Vars: bm.m.NumVars(), Phase1Rows: bm.m.NumConstrs(), Phase1Iters: sol.Iterations}
+
+	// Post-processing: winner_q = argmin_z sum_e max(0, load_e - r_e^{z,q}),
+	// ties broken toward the ticket whose restored capacity is most usable
+	// by the solved loads (sum_e min(load_e, r_e)).
+	eval := func(e lp.Expr) float64 {
+		s := 0.0
+		for _, t := range e {
+			s += t.Coef * sol.X[t.Var]
+		}
+		return s
+	}
+	winners := make([]int, len(scs))
+	for qi := range scs {
+		best, bestSlack, bestUsable, bestTotal := 0, math.Inf(1), -1.0, -1.0
+		for z := range scs[qi].Tickets {
+			slack, usable := 0.0, 0.0
+			for _, link := range scs[qi].FailedLinks {
+				r := scs[qi].TicketGbps(z, link)
+				load := 0.0
+				if e, ok := refLoad[loadKey{qi, link}]; ok {
+					load = eval(e)
+				}
+				slack += math.Max(0, load-r)
+				usable += math.Min(load, r)
+			}
+			total := scs[qi].Tickets[z].TotalGbps()
+			// Ranking: minimal slack first (the paper's criterion), then
+			// maximal TOTAL restoration (more revived capacity can only
+			// help under failures), then maximal load-matched capacity.
+			better := slack < bestSlack-1e-9 ||
+				(slack < bestSlack+1e-9 && total > bestTotal+1e-9) ||
+				(slack < bestSlack+1e-9 && total > bestTotal-1e-9 && usable > bestUsable+1e-9)
+			if better {
+				best, bestSlack, bestUsable, bestTotal = z, slack, usable, total
+			}
+		}
+		winners[qi] = best
+	}
+	return winners, stats, nil
+}
+
+// ArrowPhase2 solves the Table 3 LP with the given winning ticket per
+// scenario and returns the final allocation plus the restoration plan.
+func ArrowPhase2(n *Network, scs []RestorableScenario, winners []int, opts *ArrowOptions) (*Allocation, error) {
+	if len(winners) != len(scs) {
+		return nil, fmt.Errorf("te: arrow phase 2: %d winners for %d scenarios", len(winners), len(scs))
+	}
+	bm := newBaseModel("arrow-phase2", n)
+	for qi := range scs {
+		q := &scs[qi]
+		if winners[qi] < 0 || winners[qi] >= len(q.Tickets) {
+			return nil, fmt.Errorf("te: arrow phase 2: scenario %d winner %d out of range", qi, winners[qi])
+		}
+		z := winners[qi]
+		failed := failedSet(q.FailedLinks)
+		restored := func(link int) float64 { return q.TicketGbps(z, link) }
+
+		// Constraint (10).
+		for f := range n.Flows {
+			res := residualTunnels(n, f, failed)
+			rst := restorableTunnels(n, f, failed, restored)
+			if len(res)+len(rst) == len(n.Tunnels[f]) || len(res)+len(rst) == 0 {
+				// Nothing lost, or the flow is disconnected under this
+				// scenario+ticket (no residual or restorable tunnel):
+				// the guarantee is either implied by (1) or vacuous.
+				continue
+			}
+			var e lp.Expr
+			for _, ti := range res {
+				e = e.Plus(1, bm.a[f][ti])
+			}
+			for _, ti := range rst {
+				e = e.Plus(1, bm.a[f][ti])
+			}
+			e = e.Plus(-1, bm.b[f])
+			bm.m.AddConstr(e, lp.GE, 0, fmt.Sprintf("p2cover_f%d_q%d", f, qi))
+		}
+		// Constraint (11): hard restored-capacity limits.
+		for _, link := range q.FailedLinks {
+			var load lp.Expr
+			for f := range n.Flows {
+				for _, ti := range restorableTunnels(n, f, failed, restored) {
+					for _, le := range n.Tunnels[f][ti].Links {
+						if le == link {
+							load = load.Plus(1, bm.a[f][ti])
+							break
+						}
+					}
+				}
+			}
+			if len(load) > 0 {
+				bm.m.AddConstr(load, lp.LE, restored(link), fmt.Sprintf("p2cap_e%d_q%d", link, qi))
+			}
+		}
+	}
+
+	var lpo *lp.Options
+	if opts != nil {
+		lpo = opts.LP
+	}
+	al, err := bm.solve(n, lpo)
+	if err != nil {
+		return nil, err
+	}
+	al.WinningTicket = append([]int(nil), winners...)
+	al.RestoredGbps = make([]map[int]float64, len(scs))
+	for qi := range scs {
+		plan := map[int]float64{}
+		for _, link := range scs[qi].FailedLinks {
+			plan[link] = scs[qi].TicketGbps(winners[qi], link)
+		}
+		al.RestoredGbps[qi] = plan
+	}
+	return al, nil
+}

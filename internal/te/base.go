@@ -1,0 +1,135 @@
+package te
+
+import (
+	"fmt"
+
+	"github.com/arrow-te/arrow/internal/lp"
+)
+
+// baseModel holds the LP variables shared by every scheme: a_{f,t} and b_f,
+// with the standard constraints (1)-(3) of Table 2 already added.
+type baseModel struct {
+	m *lp.Model
+	a [][]lp.Var // a_{f,t}
+	b []lp.Var   // b_f
+}
+
+// newBaseModel builds the common part of all TE LPs:
+//
+//	maximise sum_f b_f
+//	(1) forall f: sum_t a_{f,t} >= b_f
+//	(2) forall e: sum_{f,t} a_{f,t} L[t,e] <= c_e
+//	(3) forall f: 0 <= b_f <= d_f
+func newBaseModel(name string, n *Network) *baseModel {
+	m := lp.NewModel(name)
+	m.SetMaximize(true)
+	bm := &baseModel{m: m, a: make([][]lp.Var, len(n.Flows)), b: make([]lp.Var, len(n.Flows))}
+
+	linkLoad := make([]lp.Expr, len(n.LinkCap))
+	for f := range n.Flows {
+		bm.b[f] = m.AddVar(0, n.Flows[f].Demand, 1, fmt.Sprintf("b_f%d", f)) // (3)
+		bm.a[f] = make([]lp.Var, len(n.Tunnels[f]))
+		var cover lp.Expr
+		for ti, t := range n.Tunnels[f] {
+			v := m.AddVar(0, lp.Inf, 0, fmt.Sprintf("a_f%d_t%d", f, ti))
+			bm.a[f][ti] = v
+			cover = cover.Plus(1, v)
+			for _, e := range t.Links {
+				linkLoad[e] = linkLoad[e].Plus(1, v)
+			}
+		}
+		cover = cover.Plus(-1, bm.b[f])
+		m.AddConstr(cover, lp.GE, 0, fmt.Sprintf("cover_f%d", f)) // (1)
+	}
+	for e, expr := range linkLoad {
+		if len(expr) > 0 {
+			m.AddConstr(expr, lp.LE, n.LinkCap[e], fmt.Sprintf("cap_e%d", e)) // (2)
+		}
+	}
+	return bm
+}
+
+// extract converts an LP solution into an Allocation.
+func (bm *baseModel) extract(n *Network, sol *lp.Solution) *Allocation {
+	al := &Allocation{
+		B:         make([]float64, len(n.Flows)),
+		A:         make([][]float64, len(n.Flows)),
+		Objective: sol.Objective,
+	}
+	for f := range n.Flows {
+		al.B[f] = sol.X[bm.b[f]]
+		al.A[f] = make([]float64, len(bm.a[f]))
+		for ti, v := range bm.a[f] {
+			al.A[f][ti] = sol.X[v]
+		}
+	}
+	return al
+}
+
+// solve runs the LP and fails on any non-optimal status: every TE model in
+// this package is feasible by construction (b_f = a_{f,t} = 0 always works)
+// and bounded (b_f <= d_f), so anything else is an internal error.
+func (bm *baseModel) solve(n *Network, opts *lp.Options) (*Allocation, error) {
+	sol, err := lp.Solve(bm.m, opts)
+	if err != nil {
+		return nil, fmt.Errorf("te: %s: %w", bm.m.Name(), err)
+	}
+	if sol.Status != lp.StatusOptimal {
+		return nil, fmt.Errorf("te: %s: unexpected status %v", bm.m.Name(), sol.Status)
+	}
+	al := bm.extract(n, sol)
+	al.Stats.Phase2Vars = bm.m.NumVars()
+	al.Stats.Phase2Rows = bm.m.NumConstrs()
+	al.Stats.Phase2Iters = sol.Iterations
+	return al, nil
+}
+
+// MaxConcurrentScale solves the max-concurrent-flow problem: the largest
+// uniform demand scale s such that EVERY flow can be fully satisfied at
+// demand s*d_f within link capacities. Used to normalise traffic matrices
+// to the paper's "demand scale 1.0" (a fully satisfiable starting state).
+func MaxConcurrentScale(n *Network) (float64, error) {
+	if err := n.Validate(); err != nil {
+		return 0, err
+	}
+	m := lp.NewModel("max-concurrent")
+	m.SetMaximize(true)
+	s := m.AddVar(0, lp.Inf, 1, "scale")
+	linkLoad := make([]lp.Expr, len(n.LinkCap))
+	for f := range n.Flows {
+		var cover lp.Expr
+		for ti, t := range n.Tunnels[f] {
+			v := m.AddVar(0, lp.Inf, 0, fmt.Sprintf("a_f%d_t%d", f, ti))
+			cover = cover.Plus(1, v)
+			for _, e := range t.Links {
+				linkLoad[e] = linkLoad[e].Plus(1, v)
+			}
+		}
+		cover = cover.Plus(-n.Flows[f].Demand, s)
+		m.AddConstr(cover, lp.GE, 0, fmt.Sprintf("cover_f%d", f))
+	}
+	for e, expr := range linkLoad {
+		if len(expr) > 0 {
+			m.AddConstr(expr, lp.LE, n.LinkCap[e], fmt.Sprintf("cap_e%d", e))
+		}
+	}
+	sol, err := lp.Solve(m, nil)
+	if err != nil {
+		return 0, fmt.Errorf("te: max-concurrent: %w", err)
+	}
+	if sol.Status != lp.StatusOptimal {
+		return 0, fmt.Errorf("te: max-concurrent: status %v", sol.Status)
+	}
+	return sol.X[s], nil
+}
+
+// MaxThroughput solves the failure-oblivious multi-commodity flow problem:
+// constraints (1)-(3) only. It doubles as the hypothetical Fully Restorable
+// TE of Fig. 16 (a TE that can always restore every failure needs no
+// failure constraints).
+func MaxThroughput(n *Network) (*Allocation, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return newBaseModel("max-throughput", n).solve(n, nil)
+}

@@ -1,0 +1,161 @@
+package te
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/arrow-te/arrow/internal/optical"
+	"github.com/arrow-te/arrow/internal/rwa"
+	"github.com/arrow-te/arrow/internal/spectrum"
+	"github.com/arrow-te/arrow/internal/ticket"
+)
+
+// randomJointInstance builds a small random optical network with adjacency
+// IP links, a TE view over it, and single-cut restorable scenarios with
+// LotteryTickets.
+func randomJointInstance(rng *rand.Rand) (*Network, *optical.Network, []RestorableScenario, [][]int, bool) {
+	sites := 4 + rng.Intn(2)
+	slots := 6 + rng.Intn(4)
+	opt := optical.NewNetwork(sites, slots)
+	// Ring + one chord for path diversity.
+	for i := 0; i < sites; i++ {
+		opt.AddFiber(optical.ROADM(i), optical.ROADM((i+1)%sites), 200+rng.Float64()*400)
+	}
+	opt.AddFiber(0, optical.ROADM(sites/2), 300+rng.Float64()*300)
+	mod := spectrum.Table6[0]
+
+	// One IP link per fiber with 1-3 wavelengths (random slots may collide,
+	// so use first-fit).
+	for f := range opt.Fibers {
+		want := 1 + rng.Intn(3)
+		var ws []optical.Lightpath
+		for s := 0; s < slots && len(ws) < want; s++ {
+			if opt.Fibers[f].Slots.Available(s) {
+				ws = append(ws, optical.Lightpath{Slot: s, Modulation: mod, FiberPath: []int{f}})
+			}
+		}
+		if len(ws) == 0 {
+			continue
+		}
+		if _, err := opt.Provision(opt.Fibers[f].A, opt.Fibers[f].B, ws); err != nil {
+			return nil, nil, nil, nil, false
+		}
+	}
+	if len(opt.IPLinks) < 3 {
+		return nil, nil, nil, nil, false
+	}
+
+	// TE view: flows between random site pairs, tunnels = up to 3 link
+	// paths found by BFS over the IP adjacency.
+	caps := make([]float64, len(opt.IPLinks))
+	adj := map[int][][2]int{} // site -> (link, other)
+	for i, l := range opt.IPLinks {
+		caps[i] = l.CapacityGbps()
+		adj[int(l.Src)] = append(adj[int(l.Src)], [2]int{l.ID, int(l.Dst)})
+		adj[int(l.Dst)] = append(adj[int(l.Dst)], [2]int{l.ID, int(l.Src)})
+	}
+	findPaths := func(src, dst int) []Tunnel {
+		var out []Tunnel
+		var dfs func(at int, visited map[int]bool, path []int)
+		dfs = func(at int, visited map[int]bool, path []int) {
+			if len(out) >= 3 {
+				return
+			}
+			if at == dst {
+				out = append(out, Tunnel{Links: append([]int(nil), path...)})
+				return
+			}
+			if len(path) >= 3 {
+				return
+			}
+			for _, h := range adj[at] {
+				if visited[h[1]] {
+					continue
+				}
+				visited[h[1]] = true
+				dfs(h[1], visited, append(path, h[0]))
+				visited[h[1]] = false
+			}
+		}
+		dfs(src, map[int]bool{src: true}, nil)
+		return out
+	}
+	net := &Network{LinkCap: caps}
+	for fi := 0; fi < 3; fi++ {
+		src, dst := rng.Intn(sites), rng.Intn(sites)
+		if src == dst {
+			dst = (src + 1) % sites
+		}
+		tun := findPaths(src, dst)
+		if len(tun) == 0 {
+			return nil, nil, nil, nil, false
+		}
+		net.Flows = append(net.Flows, Flow{Src: src, Dst: dst, Demand: 100 + float64(rng.Intn(4))*100})
+		net.Tunnels = append(net.Tunnels, tun)
+	}
+
+	// Two single-cut scenarios with rounded tickets.
+	var scs []RestorableScenario
+	var cuts [][]int
+	for _, cut := range []int{0, 1} {
+		res, err := rwa.Solve(&rwa.Request{Net: opt, Cut: []int{cut}, K: 2, AllowTuning: true, AllowModulationChange: true})
+		if err != nil || len(res.Failed) == 0 {
+			continue
+		}
+		counts := rwa.MaxIntegralWaves(res)
+		naive := ticket.Ticket{Waves: counts, Gbps: make([]float64, len(counts))}
+		for i, c := range counts {
+			naive.Gbps[i] = float64(c) * res.GbpsPerWave[i]
+		}
+		tks := append([]ticket.Ticket{naive},
+			ticket.Generate(res, ticket.Options{Count: 8, Seed: rng.Int63(), CheckFeasibility: true, Dedup: true})...)
+		scs = append(scs, RestorableScenario{
+			FailureScenario: FailureScenario{Prob: 0.01, FailedLinks: res.Failed},
+			TicketLinks:     res.Failed,
+			Tickets:         tks,
+		})
+		cuts = append(cuts, []int{cut})
+	}
+	if len(scs) == 0 {
+		return nil, nil, nil, nil, false
+	}
+	return net, opt, scs, cuts, true
+}
+
+// TestTwoPhaseNeverBeatsJointILP: on random small instances, the joint
+// IP/optical ILP (which chooses the restoration plan with full freedom) is
+// an upper bound for ARROW's two-phase objective, and the binary ILP over
+// the same ticket set is sandwiched between them.
+func TestTwoPhaseNeverBeatsJointILP(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	checked := 0
+	for trial := 0; trial < 40 && checked < 12; trial++ {
+		net, opt, scs, cuts, ok := randomJointInstance(rng)
+		if !ok {
+			continue
+		}
+		twoPhase, err := Arrow(net, scs, nil)
+		if err != nil {
+			t.Fatalf("trial %d arrow: %v", trial, err)
+		}
+		binAl, _, err := BinaryILP(net, scs, nil)
+		if err != nil {
+			t.Fatalf("trial %d binary ilp: %v", trial, err)
+		}
+		joint, err := JointILP(&JointInstance{Net: net, Opt: opt, Cuts: cuts, K: 2, AllowTuning: true, AllowModulationChange: true}, nil)
+		if err != nil {
+			t.Fatalf("trial %d joint ilp: %v", trial, err)
+		}
+		const tol = 1e-5
+		if twoPhase.Objective > binAl.Objective+tol {
+			t.Fatalf("trial %d: two-phase %g beats binary ILP %g", trial, twoPhase.Objective, binAl.Objective)
+		}
+		if binAl.Objective > joint.Objective+tol {
+			t.Fatalf("trial %d: binary ILP %g beats joint ILP %g", trial, binAl.Objective, joint.Objective)
+		}
+		checked++
+	}
+	if checked < 5 {
+		t.Fatalf("only %d instances validated", checked)
+	}
+}

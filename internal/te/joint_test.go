@@ -1,0 +1,48 @@
+package te
+
+import (
+	"testing"
+
+	"github.com/arrow-te/arrow/internal/optical"
+	"github.com/arrow-te/arrow/internal/spectrum"
+)
+
+// fig7Joint builds the optical network of the paper's Fig. 7 together with
+// its IP-layer TE view. IP link IDs match optical link IDs: link 0 = IP1
+// (4 x 100G), link 1 = IP2 (8 x 100G). Surrogate capacity: 3 slots via the
+// top detour, 2 via the bottom.
+func fig7Joint(t *testing.T) (*Network, *optical.Network) {
+	t.Helper()
+	opt := optical.NewNetwork(4, 12)
+	opt.AddFiber(0, 1, 100) // 0: B-C direct
+	opt.AddFiber(0, 2, 100) // 1: top
+	opt.AddFiber(2, 1, 100) // 2: top
+	opt.AddFiber(0, 3, 100) // 3: bottom
+	opt.AddFiber(3, 1, 100) // 4: bottom
+	mod := spectrum.Table6[0]
+	mk := func(count, start int) []optical.Lightpath {
+		var ws []optical.Lightpath
+		for i := 0; i < count; i++ {
+			ws = append(ws, optical.Lightpath{Slot: start + i, Modulation: mod, FiberPath: []int{0}})
+		}
+		return ws
+	}
+	if _, err := opt.Provision(0, 1, mk(4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.Provision(0, 1, mk(8, 4)); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []int{1, 2} {
+		for s := 0; s < 9; s++ {
+			opt.Fibers[f].Slots.Set(s, false)
+		}
+	}
+	for _, f := range []int{3, 4} {
+		for s := 0; s < 10; s++ {
+			opt.Fibers[f].Slots.Set(s, false)
+		}
+	}
+	net := parallelLinks()
+	return net, opt
+}

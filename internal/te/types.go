@@ -1,0 +1,230 @@
+// Package te implements ARROW's restoration-aware traffic engineering
+// (§3.3 of the paper) and every TE scheme it is evaluated against:
+//
+//   - Arrow: the two-phase LP of Tables 2 and 3 (Phase I selects the
+//     winning LotteryTicket per failure scenario via slack minimisation;
+//     Phase II computes tunnel allocations using the winners).
+//   - ArrowNaive: Phase II only, with a single restoration candidate from
+//     the optical-layer RWA (no demand awareness).
+//   - FFC-k [63]: proactive guarantees for all <=k fiber-cut scenarios.
+//   - TeaVaR [17]: CVaR-based probabilistic TE at availability target beta.
+//   - ECMP [21]: equal splitting, failure-oblivious.
+//   - MaxThroughput: plain multi-commodity flow; also the hypothetical
+//     "Fully Restorable TE" baseline of Fig. 16.
+//   - BinaryILP (Table 9) and the joint IP/optical formulation (Table 7)
+//     for small ground-truth instances, plus the Table 8 size counter.
+//
+// All schemes share the notation of FFC: flows f with demand d_f, tunnels
+// T_f over IP links e with capacity c_e, failure scenarios q, allocations
+// a_{f,t} and admitted bandwidth b_f.
+package te
+
+import (
+	"fmt"
+
+	"github.com/arrow-te/arrow/internal/ticket"
+)
+
+// Flow is one aggregated ingress-egress demand pair.
+type Flow struct {
+	Src, Dst int
+	Demand   float64 // d_f in Gbps
+}
+
+// Tunnel is one routing path of a flow: the IP links it traverses.
+type Tunnel struct {
+	Links []int
+}
+
+// Network is the standard TE input (Table 1): IP links with capacities,
+// flows with demands, and each flow's tunnel set.
+type Network struct {
+	LinkCap []float64  // c_e, by IP link ID
+	Flows   []Flow     // F
+	Tunnels [][]Tunnel // T_f, indexed by flow
+}
+
+// Validate checks referential integrity of the instance.
+func (n *Network) Validate() error {
+	if len(n.Flows) != len(n.Tunnels) {
+		return fmt.Errorf("te: %d flows but %d tunnel sets", len(n.Flows), len(n.Tunnels))
+	}
+	for f, ts := range n.Tunnels {
+		if len(ts) == 0 {
+			return fmt.Errorf("te: flow %d has no tunnels", f)
+		}
+		for ti, t := range ts {
+			if len(t.Links) == 0 {
+				return fmt.Errorf("te: flow %d tunnel %d is empty", f, ti)
+			}
+			for _, e := range t.Links {
+				if e < 0 || e >= len(n.LinkCap) {
+					return fmt.Errorf("te: flow %d tunnel %d references unknown link %d", f, ti, e)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TotalDemand returns sum of d_f.
+func (n *Network) TotalDemand() float64 {
+	s := 0.0
+	for _, f := range n.Flows {
+		s += f.Demand
+	}
+	return s
+}
+
+// Scaled returns a copy of the network with all demands multiplied by s.
+func (n *Network) Scaled(s float64) *Network {
+	c := &Network{LinkCap: n.LinkCap, Tunnels: n.Tunnels, Flows: make([]Flow, len(n.Flows))}
+	copy(c.Flows, n.Flows)
+	for i := range c.Flows {
+		c.Flows[i].Demand *= s
+	}
+	return c
+}
+
+// FailureScenario is one fiber-cut scenario projected onto the IP layer.
+type FailureScenario struct {
+	// Prob is the scenario probability (0 for FFC's absolute scenarios).
+	Prob float64
+	// FailedLinks are the IP link IDs that go down.
+	FailedLinks []int
+}
+
+// RestorableScenario couples a failure scenario with its LotteryTickets.
+type RestorableScenario struct {
+	FailureScenario
+	// TicketLinks gives the order of failed links inside each ticket's
+	// vectors (the rwa.Result.Failed order).
+	TicketLinks []int
+	// Tickets is the candidate set Z^q for this scenario.
+	Tickets []ticket.Ticket
+}
+
+// TicketGbps returns ticket z's restored capacity for IP link e (0 when the
+// link is not in the ticket).
+func (rs *RestorableScenario) TicketGbps(z int, link int) float64 {
+	for i, l := range rs.TicketLinks {
+		if l == link {
+			return rs.Tickets[z].Gbps[i]
+		}
+	}
+	return 0
+}
+
+// Allocation is the output of a TE solve: admitted bandwidth per flow and
+// its distribution over tunnels.
+type Allocation struct {
+	B []float64   // b_f
+	A [][]float64 // a_{f,t}, indexed [flow][tunnel]
+	// WinningTicket[qi] is the index into scenario qi's ticket set chosen by
+	// Phase I (Arrow only; nil otherwise).
+	WinningTicket []int
+	// RestoredGbps[qi][e] is the restored capacity the plan provides for
+	// link e under scenario qi (Arrow/ArrowNaive only).
+	RestoredGbps []map[int]float64
+	// Objective is the solver's total throughput sum(b_f).
+	Objective float64
+	// Stats describes the LP(s) behind this allocation (filled by the
+	// ARROW solvers; zero for baselines).
+	Stats SolveStats
+}
+
+// SolveStats records model sizes and simplex effort for observability
+// (the Fig. 15 runtime analysis reports these alongside wall-clock).
+type SolveStats struct {
+	Phase1Vars, Phase1Rows, Phase1Iters int
+	Phase2Vars, Phase2Rows, Phase2Iters int
+}
+
+// Throughput returns sum(b_f) / sum(d_f), the paper's throughput metric.
+func (a *Allocation) Throughput(n *Network) float64 {
+	total := n.TotalDemand()
+	if total == 0 {
+		return 1
+	}
+	s := 0.0
+	for _, b := range a.B {
+		s += b
+	}
+	return s / total
+}
+
+// SplitRatios returns omega_{f,t} = a_{f,t} / sum_t a_{f,t} (§3.3). Flows
+// with no allocation split uniformly.
+func (a *Allocation) SplitRatios() [][]float64 {
+	out := make([][]float64, len(a.A))
+	for f, as := range a.A {
+		out[f] = make([]float64, len(as))
+		sum := 0.0
+		for _, v := range as {
+			sum += v
+		}
+		if sum <= 0 {
+			for t := range as {
+				out[f][t] = 1 / float64(len(as))
+			}
+			continue
+		}
+		for t, v := range as {
+			out[f][t] = v / sum
+		}
+	}
+	return out
+}
+
+// residualTunnels returns the indices of flow f's tunnels that avoid every
+// failed link (T_f^q).
+func residualTunnels(n *Network, f int, failed map[int]bool) []int {
+	var out []int
+	for ti, t := range n.Tunnels[f] {
+		ok := true
+		for _, e := range t.Links {
+			if failed[e] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, ti)
+		}
+	}
+	return out
+}
+
+// restorableTunnels returns Y_f^{z,q}: tunnels of f that cross at least one
+// failed link and whose every failed link has positive restored capacity
+// under the given per-link restoration (§3.3: "if every failed link e that
+// tunnel t traverses is available after restoration ... this tunnel is
+// restorable").
+func restorableTunnels(n *Network, f int, failed map[int]bool, restored func(link int) float64) []int {
+	var out []int
+	for ti, t := range n.Tunnels[f] {
+		crossesFailed := false
+		ok := true
+		for _, e := range t.Links {
+			if failed[e] {
+				crossesFailed = true
+				if restored(e) <= 0 {
+					ok = false
+					break
+				}
+			}
+		}
+		if crossesFailed && ok {
+			out = append(out, ti)
+		}
+	}
+	return out
+}
+
+func failedSet(links []int) map[int]bool {
+	m := make(map[int]bool, len(links))
+	for _, e := range links {
+		m[e] = true
+	}
+	return m
+}

@@ -1,0 +1,220 @@
+// Package ticket implements ARROW's LotteryTicket abstraction (§3.2):
+// partial restoration candidates generated from the relaxed RWA solution by
+// repeated randomized rounding (Algorithm 1), the feasibility filter that
+// drops candidates violating the optical constraints, and the probabilistic
+// optimality guarantee of Theorem 3.1.
+package ticket
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/arrow-te/arrow/internal/rwa"
+)
+
+// Ticket is one LotteryTicket R^{z,q}: for each failed IP link of a
+// scenario (in rwa.Result.Failed order), a restorable wavelength count and
+// the corresponding bandwidth.
+type Ticket struct {
+	// Waves[i] is the restored wavelength count for failed link i.
+	Waves []int
+	// Gbps[i] = Waves[i] * GbpsPerWave[i] (Algorithm 1 line 12).
+	Gbps []float64
+}
+
+// TotalGbps returns the ticket's total restored bandwidth.
+func (t *Ticket) TotalGbps() float64 {
+	s := 0.0
+	for _, g := range t.Gbps {
+		s += g
+	}
+	return s
+}
+
+// Key returns a canonical string for deduplication.
+func (t *Ticket) Key() string { return fmt.Sprint(t.Waves) }
+
+// Options configures LotteryTicket generation.
+type Options struct {
+	// Count is |Z|, the number of tickets to generate (before filtering).
+	Count int
+	// Stride is delta, the maximum rounding stride (default 2).
+	//
+	// Note on fidelity: Algorithm 1 line 9 literally reads
+	// min(ceil(lambda)+x1, orig) with x1 in [1,delta], which would make
+	// plain ceil(lambda) unreachable — contradicting the paper's own
+	// footnote 2 example (6.3 rounds to 7 w.p. 0.3). We therefore use the
+	// offset x1-1, so delta=1 degenerates to classic randomized rounding
+	// and larger strides widen exploration, matching Theorem 3.1's 1/delta
+	// stride-probability.
+	Stride int
+	// Seed makes generation deterministic.
+	Seed int64
+	// CheckFeasibility drops tickets whose integral assignment cannot be
+	// constructed in the optical domain (§3.2 "Handling LotteryTickets'
+	// feasibility").
+	CheckFeasibility bool
+	// Dedup removes duplicate tickets after generation.
+	Dedup bool
+}
+
+func (o Options) stride() int {
+	if o.Stride <= 0 {
+		return 2
+	}
+	return o.Stride
+}
+
+// Probabilities of the non-fractional rounding rule (Appendix A.2): when
+// the LP returns an integer, round up w.p. 0.3, down w.p. 0.3, keep w.p. 0.4.
+const (
+	nonFracUp   = 0.3
+	nonFracDown = 0.3
+)
+
+// fracEps is the tolerance below which an LP value counts as integral.
+const fracEps = 1e-9
+
+// Generate runs Algorithm 1: it derives |Z| LotteryTickets from the relaxed
+// RWA solution by randomized rounding. The RWA itself (Algorithm 1 line 2)
+// must already be solved and is passed as res.
+func Generate(res *rwa.Result, opts Options) []Ticket {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	delta := opts.stride()
+	n := len(res.Failed)
+	var out []Ticket
+	seen := map[string]bool{}
+	for z := 0; z < opts.Count; z++ {
+		tk := Ticket{Waves: make([]int, n), Gbps: make([]float64, n)}
+		for e := 0; e < n; e++ {
+			tk.Waves[e] = roundOnce(rng, res.FracWaves[e], res.OrigWaves[e], delta)
+			tk.Gbps[e] = float64(tk.Waves[e]) * res.GbpsPerWave[e]
+		}
+		if opts.CheckFeasibility {
+			if _, ok := rwa.AssignIntegral(res, tk.Waves); !ok {
+				continue
+			}
+		}
+		if opts.Dedup {
+			k := tk.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		out = append(out, tk)
+	}
+	return out
+}
+
+// roundOnce applies the two-step randomized rounding of Algorithm 1
+// (lines 5–11) to one link's fractional wavelength count.
+func roundOnce(rng *rand.Rand, lambda float64, orig, delta int) int {
+	offset := rng.Intn(delta) // x1 - 1: stride offset in [0, delta)
+	frac := lambda - math.Floor(lambda)
+	if frac < fracEps || frac > 1-fracEps {
+		// Non-fractional case (Appendix A.2): explicit 0.3/0.3/0.4 rule
+		// with stride x1 = offset+1.
+		v := int(math.Round(lambda))
+		switch p := rng.Float64(); {
+		case p < nonFracUp:
+			return clamp(v+offset+1, 0, orig)
+		case p < nonFracUp+nonFracDown:
+			return clamp(v-offset-1, 0, orig)
+		default:
+			return clamp(v, 0, orig)
+		}
+	}
+	if rng.Float64() < frac { // round up (line 8-9)
+		return clamp(int(math.Ceil(lambda))+offset, 0, orig)
+	}
+	return clamp(int(math.Floor(lambda))-offset, 0, orig) // line 11
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// RoundProbability returns the probability that roundOnce(lambda, orig,
+// delta) produces exactly target. This is the per-link factor of kappa in
+// Theorem 3.1 (1/delta times the round-up/down probability, with boundary
+// clamping accounted for).
+func RoundProbability(lambda float64, orig, target, delta int) float64 {
+	if target < 0 || target > orig {
+		return 0
+	}
+	frac := lambda - math.Floor(lambda)
+
+	if frac < fracEps || frac > 1-fracEps {
+		v := clamp(int(math.Round(lambda)), 0, orig)
+		p := 0.0
+		if target == v {
+			p += 1 - nonFracUp - nonFracDown
+		}
+		// Up: value clamp(v+x1, 0, orig), x1 in [1,delta].
+		p += nonFracUp * strideHitProb(v, target, delta, orig, +1)
+		// Down: value clamp(v-x1, 0, orig).
+		p += nonFracDown * strideHitProb(v, target, delta, orig, -1)
+		return p
+	}
+
+	p := 0.0
+	up := int(math.Ceil(lambda))
+	down := int(math.Floor(lambda))
+	// Round up: value = clamp(up+offset, 0, orig), offset in [0, delta).
+	p += frac * offsetHitProb(up, target, delta, orig, +1)
+	// Round down: value = clamp(down-offset, 0, orig).
+	p += (1 - frac) * offsetHitProb(down, target, delta, orig, -1)
+	return p
+}
+
+// offsetHitProb returns P[clamp(base + dir*offset, 0, orig) == target] with
+// offset uniform in [0, delta).
+func offsetHitProb(base, target, delta, orig, dir int) float64 {
+	hits := 0
+	for o := 0; o < delta; o++ {
+		if clamp(base+dir*o, 0, orig) == target {
+			hits++
+		}
+	}
+	return float64(hits) / float64(delta)
+}
+
+// strideHitProb returns P[clamp(base + dir*x1, 0, orig) == target] with x1
+// uniform in [1, delta].
+func strideHitProb(base, target, delta, orig, dir int) float64 {
+	hits := 0
+	for x := 1; x <= delta; x++ {
+		if clamp(base+dir*x, 0, orig) == target {
+			hits++
+		}
+	}
+	return float64(hits) / float64(delta)
+}
+
+// Kappa computes the probability (Theorem 3.1, Eq. 13) that a single
+// generated ticket equals the given target restoration vector.
+func Kappa(res *rwa.Result, target []int, delta int) float64 {
+	if delta <= 0 {
+		delta = 2
+	}
+	k := 1.0
+	for e := range res.Failed {
+		k *= RoundProbability(res.FracWaves[e], res.OrigWaves[e], target[e], delta)
+	}
+	return k
+}
+
+// Rho computes the probability (Theorem 3.1, Eq. 12) that at least one of
+// numTickets independently generated tickets is the optimal one, given the
+// single-draw probability kappa.
+func Rho(kappa float64, numTickets int) float64 {
+	return 1 - math.Pow(1-kappa, float64(numTickets))
+}

@@ -1,0 +1,111 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleTopo = `
+# four-site ring
+sites 4 16
+fiber 0 1 560
+fiber 1 2 560
+fiber 2 3 520
+fiber 3 0 520
+link 0 1 2 200 0
+link 2 3 2 200 2
+link 0 3 4 200 3
+`
+
+func TestParseBasic(t *testing.T) {
+	tp, err := Parse(strings.NewReader(sampleTopo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tp.Stats()
+	if s.Routers != 4 || s.Fibers != 4 || s.IPLinks != 3 || s.Wavelengths != 8 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.TotalCapacityGbps != 1600 {
+		t.Fatalf("capacity %g", s.TotalCapacityGbps)
+	}
+}
+
+func TestParseRouterSubset(t *testing.T) {
+	in := `
+sites 3 8
+router 0 2
+fiber 0 1 100
+fiber 1 2 100
+link 0 2 1 100 0,1
+`
+	tp, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumRouters() != 2 {
+		t.Fatalf("%d routers", tp.NumRouters())
+	}
+	if tp.RouterOf(1) != -1 {
+		t.Fatal("ROADM 1 should be pass-through")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"no-sites", "fiber 0 1 100\n"},
+		{"bad-count", "sites x\n"},
+		{"fiber-range", "sites 2\nfiber 0 5 100\n"},
+		{"bad-modulation", "sites 2\nfiber 0 1 100\nlink 0 1 1 123 0\n"},
+		{"link-to-passthrough", "sites 3\nrouter 0\nfiber 0 1 100\nlink 0 1 1 100 0\n"},
+		{"unknown-directive", "sites 2\nwat 1 2\n"},
+		{"too-many-waves", "sites 2 2\nfiber 0 1 100\nlink 0 1 5 100 0\n"},
+		{"dup-router", "sites 2\nrouter 0 0\nfiber 0 1 100\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.in)); err == nil {
+			t.Fatalf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	orig, err := Parse(strings.NewReader(sampleTopo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if orig.Stats() != back.Stats() {
+		t.Fatalf("round trip changed stats: %+v vs %+v", orig.Stats(), back.Stats())
+	}
+}
+
+func TestEncodeGeneratedTopology(t *testing.T) {
+	tp, err := B4(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, tp); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parse generated B4: %v", err)
+	}
+	bs, os := back.Stats(), tp.Stats()
+	if bs.Fibers != os.Fibers || bs.IPLinks != os.IPLinks || bs.Wavelengths != os.Wavelengths {
+		t.Fatalf("round trip changed B4: %+v vs %+v", bs, os)
+	}
+}

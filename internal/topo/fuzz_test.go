@@ -1,0 +1,29 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the topology parser: arbitrary input must either parse
+// into a Validate-clean topology or return an error — never panic.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleTopo)
+	f.Add("sites 2\nfiber 0 1 100\nlink 0 1 1 100 0\n")
+	f.Add("sites 3 8\nrouter 0 2\nfiber 0 1 100\nfiber 1 2 100\nlink 0 2 1 100 0,1\n")
+	f.Add("sites x\n")
+	f.Add("fiber 0 1 1e309\n")
+	f.Add("sites 2\nfiber 0 1 -5\nlink 0 1 0 100 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tp, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if tp == nil {
+			t.Fatal("nil topology without error")
+		}
+		if err := tp.Opt.Validate(); err != nil {
+			t.Fatalf("parsed topology fails validation: %v", err)
+		}
+	})
+}
