@@ -31,11 +31,13 @@
 package arrow
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/arrow-te/arrow/internal/availability"
 	"github.com/arrow-te/arrow/internal/noise"
 	"github.com/arrow-te/arrow/internal/optical"
+	"github.com/arrow-te/arrow/internal/par"
 	"github.com/arrow-te/arrow/internal/rwa"
 	"github.com/arrow-te/arrow/internal/scenario"
 	"github.com/arrow-te/arrow/internal/spectrum"
@@ -176,6 +178,11 @@ type PlanOptions struct {
 	// TunnelsPerFlow bounds each flow's tunnel set (default 4).
 	TunnelsPerFlow int
 	Seed           int64
+	// Parallelism is the worker count for the per-scenario RWA solves and
+	// LotteryTicket generation (the offline stage is embarrassingly
+	// parallel). 0 selects runtime.NumCPU(); 1 runs fully sequentially.
+	// The plan is identical for every setting.
+	Parallelism int
 }
 
 // Planner holds the offline artifacts: failure scenarios, RWA solutions and
@@ -213,16 +220,27 @@ func (n *Network) Plan(opts PlanOptions) (*Planner, error) {
 	}
 	set := scenario.Enumerate(probs, opts.Cutoff)
 	p := &Planner{net: n, probs: probs, tunnels: opts.TunnelsPerFlow, set: set}
-	for si, sc := range set.Scenarios {
+
+	// The per-scenario RWA + ticket generation is embarrassingly parallel:
+	// fan out over the bounded pool into index-addressed slots (each
+	// scenario's RNG seed derives from its enumerated index si, never from
+	// the schedule), then compact in probability order. The resulting plan
+	// is byte-identical to sequential execution.
+	n.opt.Graph() // pre-build the shared memoised graph before fan-out
+	type planned struct {
+		res *rwa.Result
+		tks []ticket.Ticket
+	}
+	arts, err := par.Map(context.Background(), opts.Parallelism, len(set.Scenarios), func(_ context.Context, si int) (*planned, error) {
 		res, err := rwa.Solve(&rwa.Request{
-			Net: n.opt, Cut: sc.Cut, K: opts.SurrogatePaths,
+			Net: n.opt, Cut: set.Scenarios[si].Cut, K: opts.SurrogatePaths,
 			AllowTuning: true, AllowModulationChange: true,
 		})
 		if err != nil {
 			return nil, err
 		}
 		if len(res.Failed) == 0 {
-			continue
+			return &planned{res: res}, nil
 		}
 		counts := rwa.MaxIntegralWaves(res)
 		naive := ticket.Ticket{Waves: counts, Gbps: make([]float64, len(counts))}
@@ -238,9 +256,18 @@ func (n *Network) Plan(opts PlanOptions) (*Planner, error) {
 				tks = append(tks, tk)
 			}
 		}
-		fs := te.FailureScenario{Prob: sc.Prob, FailedLinks: res.Failed}
-		p.scenarios = append(p.scenarios, te.RestorableScenario{FailureScenario: fs, TicketLinks: res.Failed, Tickets: tks})
-		p.naive = append(p.naive, te.RestorableScenario{FailureScenario: fs, TicketLinks: res.Failed, Tickets: tks[:1]})
+		return &planned{res: res, tks: tks}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, a := range arts {
+		if len(a.res.Failed) == 0 {
+			continue
+		}
+		fs := te.FailureScenario{Prob: set.Scenarios[si].Prob, FailedLinks: a.res.Failed}
+		p.scenarios = append(p.scenarios, te.RestorableScenario{FailureScenario: fs, TicketLinks: a.res.Failed, Tickets: a.tks})
+		p.naive = append(p.naive, te.RestorableScenario{FailureScenario: fs, TicketLinks: a.res.Failed, Tickets: a.tks[:1]})
 	}
 	return p, nil
 }

@@ -14,12 +14,14 @@ package arrow
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/arrow-te/arrow/internal/emu"
 	"github.com/arrow-te/arrow/internal/eval"
 	"github.com/arrow-te/arrow/internal/lp"
 	"github.com/arrow-te/arrow/internal/rwa"
+	"github.com/arrow-te/arrow/internal/sim"
 	"github.com/arrow-te/arrow/internal/te"
 	"github.com/arrow-te/arrow/internal/ticket"
 	"github.com/arrow-te/arrow/internal/topo"
@@ -194,6 +196,75 @@ func benchPipeline(b *testing.B, tickets int) (*eval.Pipeline, *te.Network) {
 		b.Fatal(err)
 	}
 	return pl, base.Scaled(3)
+}
+
+// --- parallel scenario engine (worker-pool fan-out) ---
+
+// benchWorkerCounts is the ladder exercised by the parallel benchmarks:
+// sequential, two workers, and one worker per core.
+func benchWorkerCounts() []int {
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkBuildPipeline times the offline per-scenario RWA + LotteryTicket
+// stage at increasing worker counts. Outputs are identical at every setting
+// (internal/eval TestBuildPipelineDeterministicAcrossParallelism).
+func BenchmarkBuildPipeline(b *testing.B) {
+	tp, err := topo.B4(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tp.Opt.Graph() // pre-build the memoised optical graph; time the solves
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pl, err := eval.BuildPipeline(tp, eval.PipelineOptions{
+					Cutoff: 0.001, NumTickets: 12, Seed: 1, MaxScenarios: 16,
+					Parallelism: w,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(pl.Scenarios) == 0 {
+					b.Fatal("empty pipeline")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimParallel times the failure-timeline replay (per-interval
+// delivery evaluations fan out) at increasing worker counts.
+func BenchmarkSimParallel(b *testing.B) {
+	tp, err := topo.B4(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, n := benchPipeline(b, 12)
+	al, restored, err := pl.SolveScheme(eval.SchemeArrow, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const horizon = 365 * 24.0
+	events := sim.GenerateTimeline(len(tp.Opt.Fibers), sim.TimelineOptions{
+		DurationH: horizon, CutsPerMonth: 16, Seed: 17,
+	})
+	project := func(cut []int) []int { return tp.Opt.FailedLinks(cut) }
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := sim.NewRunner(n, al, project, pl.Plain, restored)
+				r.Parallelism = w
+				if rep := r.Run(events, horizon); rep.Intervals == 0 {
+					b.Fatal("no intervals evaluated")
+				}
+			}
+		})
+	}
 }
 
 // --- ablations (DESIGN.md) ---

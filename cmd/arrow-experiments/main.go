@@ -4,37 +4,56 @@
 // Usage:
 //
 //	arrow-experiments -list
-//	arrow-experiments -exp fig13 [-full] [-seed 1]
+//	arrow-experiments -exp fig13 [-full] [-seed 1] [-parallelism 8]
 //	arrow-experiments -all [-full]
+//	arrow-experiments -bench-json [-bench-out BENCH_pipeline.json]
 //
 // Without -full, experiments run in fast mode: smaller sweeps with the same
-// comparison structure, sized for a single core.
+// comparison structure. Independent experiments fan out over the worker
+// pool (and each experiment's scenario-independent inner loops fan out
+// further); -parallelism 1 restores fully sequential execution with
+// identical output.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"github.com/arrow-te/arrow/internal/eval"
+	"github.com/arrow-te/arrow/internal/par"
 )
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list registered experiments")
-		exp  = flag.String("exp", "", "comma-separated experiment IDs to run (e.g. fig13,table5)")
-		all  = flag.Bool("all", false, "run every registered experiment")
-		full = flag.Bool("full", false, "full-scale sweeps (slow) instead of fast mode")
-		md   = flag.Bool("md", false, "emit GitHub-flavoured markdown instead of text tables")
-		seed = flag.Int64("seed", 1, "random seed for all generators")
+		list     = flag.Bool("list", false, "list registered experiments")
+		exp      = flag.String("exp", "", "comma-separated experiment IDs to run (e.g. fig13,table5)")
+		all      = flag.Bool("all", false, "run every registered experiment")
+		full     = flag.Bool("full", false, "full-scale sweeps (slow) instead of fast mode")
+		md       = flag.Bool("md", false, "emit GitHub-flavoured markdown instead of text tables")
+		seed     = flag.Int64("seed", 1, "random seed for all generators")
+		parallel = flag.Int("parallelism", 0, "worker count for scenario-parallel loops (0 = NumCPU, 1 = sequential; results are identical)")
+		bench    = flag.Bool("bench-json", false, "measure the parallel offline pipeline + simulator and write a perf snapshot JSON")
+		benchOut = flag.String("bench-out", "BENCH_pipeline.json", "path for the -bench-json snapshot")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range eval.Experiments() {
 			fmt.Printf("%-8s %s\n         paper: %s\n", e.ID, e.Title, e.PaperClaim)
+		}
+		return
+	}
+
+	if *bench {
+		if err := writeBenchSnapshot(*benchOut, *seed, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-json:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -48,34 +67,134 @@ func main() {
 	case *exp != "":
 		ids = strings.Split(*exp, ",")
 	default:
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -list, -exp <ids> or -all")
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -list, -exp <ids>, -all or -bench-json")
 		os.Exit(2)
 	}
 
-	cfg := eval.Config{Fast: !*full, Seed: *seed}
-	failed := 0
-	for _, id := range ids {
-		e, ok := eval.ByID(strings.TrimSpace(id))
+	cfg := eval.Config{Fast: !*full, Seed: *seed, Parallelism: *parallel}
+
+	// Independent experiments are themselves scenario-independent jobs:
+	// fan them out on the shared pool and print the rendered outputs in
+	// request order. Errors don't abort sibling experiments, so every
+	// failure is reported (matching the sequential CLI's behaviour).
+	type outcome struct {
+		text string
+		err  error
+	}
+	outs, _ := par.Map(context.Background(), *parallel, len(ids), func(_ context.Context, i int) (outcome, error) {
+		id := strings.TrimSpace(ids[i])
+		e, ok := eval.ByID(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
-			failed++
-			continue
+			return outcome{err: fmt.Errorf("unknown experiment %q (use -list)", id)}, nil
 		}
 		start := time.Now()
 		res, err := e.Run(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			return outcome{err: fmt.Errorf("%s: %w", e.ID, err)}, nil
+		}
+		var b strings.Builder
+		if *md {
+			fmt.Fprintln(&b, eval.RenderMarkdown(res))
+		} else {
+			b.WriteString(eval.RenderText(res))
+		}
+		fmt.Fprintf(&b, "(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		return outcome{text: b.String()}, nil
+	})
+
+	failed := 0
+	for _, o := range outs {
+		if o.err != nil {
+			fmt.Fprintln(os.Stderr, o.err)
 			failed++
 			continue
 		}
-		if *md {
-			fmt.Println(eval.RenderMarkdown(res))
-		} else {
-			fmt.Print(eval.RenderText(res))
-		}
-		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		fmt.Print(o.text)
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// benchSnapshot is the BENCH_pipeline.json schema: wall-clock measurements
+// of the two parallelised hot paths at 1, 2 and N workers, so future PRs
+// can track the perf trajectory of the offline stage.
+type benchSnapshot struct {
+	GoVersion   string             `json:"go_version"`
+	NumCPU      int                `json:"num_cpu"`
+	Seed        int64              `json:"seed"`
+	Timestamp   string             `json:"timestamp"`
+	Pipeline    []benchMeasurement `json:"build_pipeline"`
+	Fig13       []benchMeasurement `json:"fig13_availability"`
+	SpeedupPipe float64            `json:"build_pipeline_speedup"`
+	SpeedupF13  float64            `json:"fig13_speedup"`
+}
+
+type benchMeasurement struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+}
+
+func writeBenchSnapshot(path string, seed int64, parallelism int) error {
+	workerSets := []int{1, 2}
+	if n := par.Workers(parallelism); n > 2 {
+		workerSets = append(workerSets, n)
+	}
+	snap := &benchSnapshot{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Seed:      seed,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	for _, w := range workerSets {
+		secs, err := timeBuildPipeline(seed, w)
+		if err != nil {
+			return err
+		}
+		snap.Pipeline = append(snap.Pipeline, benchMeasurement{Workers: w, Seconds: secs})
+		fmt.Fprintf(os.Stderr, "build-pipeline workers=%d: %.3fs\n", w, secs)
+	}
+	for _, w := range workerSets {
+		secs, err := timeFig13(seed, w)
+		if err != nil {
+			return err
+		}
+		snap.Fig13 = append(snap.Fig13, benchMeasurement{Workers: w, Seconds: secs})
+		fmt.Fprintf(os.Stderr, "fig13 workers=%d: %.3fs\n", w, secs)
+	}
+	snap.SpeedupPipe = snap.Pipeline[0].Seconds / snap.Pipeline[len(snap.Pipeline)-1].Seconds
+	snap.SpeedupF13 = snap.Fig13[0].Seconds / snap.Fig13[len(snap.Fig13)-1].Seconds
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (pipeline speedup %.2fx, fig13 speedup %.2fx at %d workers)\n",
+		path, snap.SpeedupPipe, snap.SpeedupF13, workerSets[len(workerSets)-1])
+	return nil
+}
+
+func timeBuildPipeline(seed int64, workers int) (float64, error) {
+	start := time.Now()
+	if err := eval.BuildPipelineBench(seed, workers); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+func timeFig13(seed int64, workers int) (float64, error) {
+	e, ok := eval.ByID("fig13")
+	if !ok {
+		return 0, fmt.Errorf("fig13 not registered")
+	}
+	eval.ResetSweepCache() // measure the computation, not the memo
+	start := time.Now()
+	if _, err := e.Run(eval.Config{Fast: true, Seed: seed, Parallelism: workers}); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
 }

@@ -37,19 +37,20 @@ func main() {
 		cutoff   = flag.Float64("cutoff", 1e-3, "failure scenario probability cutoff")
 		seed     = flag.Int64("seed", 1, "random seed")
 		naive    = flag.Bool("naive", false, "skip Phase I (Arrow-Naive)")
+		parallel = flag.Int("parallelism", 0, "worker count for per-scenario offline planning (0 = NumCPU, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 	if *topoFile == "" || *demFile == "" {
 		fmt.Fprintln(os.Stderr, "arrow-plan: -topo and -demands are required")
 		os.Exit(2)
 	}
-	if err := run(*topoFile, *demFile, *out, *roadmDir, *tickets, *cutoff, *seed, *naive); err != nil {
+	if err := run(*topoFile, *demFile, *out, *roadmDir, *tickets, *cutoff, *seed, *parallel, *naive); err != nil {
 		fmt.Fprintln(os.Stderr, "arrow-plan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topoFile, demFile, out, roadmDir string, tickets int, cutoff float64, seed int64, naive bool) error {
+func run(topoFile, demFile, out, roadmDir string, tickets int, cutoff float64, seed int64, parallelism int, naive bool) error {
 	net, err := loadNetwork(topoFile)
 	if err != nil {
 		return err
@@ -61,7 +62,7 @@ func run(topoFile, demFile, out, roadmDir string, tickets int, cutoff float64, s
 	fmt.Fprintf(os.Stderr, "loaded %d sites, %d fibers, %d IP links, %d demands\n",
 		net.NumSites(), net.NumFibers(), net.NumLinks(), len(demands))
 
-	planner, err := net.Plan(arrow.PlanOptions{Tickets: tickets, Cutoff: cutoff, Seed: seed})
+	planner, err := net.Plan(arrow.PlanOptions{Tickets: tickets, Cutoff: cutoff, Seed: seed, Parallelism: parallelism})
 	if err != nil {
 		return err
 	}

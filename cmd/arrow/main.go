@@ -30,17 +30,18 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		flows    = flag.Int("flows", 40, "number of largest flows kept from the traffic matrix")
 		file     = flag.String("file", "", "load a custom topology file instead of -topo (see internal/topo/format.go)")
+		parallel = flag.Int("parallelism", 0, "worker count for the per-scenario offline stage (0 = NumCPU, 1 = sequential; results are identical)")
 		verbose  = flag.Bool("v", false, "print the per-scenario restoration plan")
 	)
 	flag.Parse()
 
-	if err := run(*topoName, *file, *scheme, *scale, *tickets, *seed, *flows, *verbose); err != nil {
+	if err := run(*topoName, *file, *scheme, *scale, *tickets, *seed, *flows, *parallel, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "arrow:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topoName, file, scheme string, scale float64, tickets int, seed int64, flows int, verbose bool) error {
+func run(topoName, file, scheme string, scale float64, tickets int, seed int64, flows, parallelism int, verbose bool) error {
 	var tp *topo.Topology
 	var err error
 	if file != "" {
@@ -62,6 +63,7 @@ func run(topoName, file, scheme string, scale float64, tickets int, seed int64, 
 
 	pl, err := eval.BuildPipeline(tp, eval.PipelineOptions{
 		Cutoff: 0.001, NumTickets: tickets, Seed: seed, MaxScenarios: 24,
+		Parallelism: parallelism,
 	})
 	if err != nil {
 		return err

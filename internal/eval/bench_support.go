@@ -1,0 +1,28 @@
+package eval
+
+import "github.com/arrow-te/arrow/internal/topo"
+
+// ResetSweepCache drops the memoised availability sweeps. The
+// arrow-experiments -bench-json snapshot uses it so repeated fig13 runs
+// measure the computation rather than the cache hit.
+func ResetSweepCache() {
+	sweepMu.Lock()
+	defer sweepMu.Unlock()
+	sweepCache = map[string]*sweepEntry{}
+}
+
+// BuildPipelineBench runs one standard B4 offline pipeline build (the same
+// instance bench_test.go uses) at the given worker count. It exists so
+// cmd/arrow-experiments can time the offline stage without importing test
+// code; the result is discarded.
+func BuildPipelineBench(seed int64, workers int) error {
+	tp, err := topo.B4(seed + 5)
+	if err != nil {
+		return err
+	}
+	_, err = BuildPipeline(tp, PipelineOptions{
+		Cutoff: 0.001, NumTickets: 12, Seed: seed, MaxScenarios: 16,
+		Parallelism: workers,
+	})
+	return err
+}

@@ -18,6 +18,11 @@ type Config struct {
 	// configuration matches the paper's parameters where feasible.
 	Fast bool
 	Seed int64
+	// Parallelism is the worker count for the scenario-independent hot
+	// loops (pipeline construction, availability sweeps, timeline replay).
+	// 0 selects runtime.NumCPU(); 1 restores fully sequential execution.
+	// Results are identical for every setting and seed.
+	Parallelism int
 }
 
 // Result is one regenerated table or figure.

@@ -1,10 +1,13 @@
 package eval
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/arrow-te/arrow/internal/availability"
+	"github.com/arrow-te/arrow/internal/par"
 	"github.com/arrow-te/arrow/internal/te"
 	"github.com/arrow-te/arrow/internal/topo"
 	"github.com/arrow-te/arrow/internal/traffic"
@@ -80,13 +83,36 @@ type sweepData struct {
 	avail  map[Scheme][]float64
 }
 
-var sweepCache = map[string]*sweepData{}
+// sweepEntry memoises one sweep computation; the sync.Once collapses
+// concurrent requests for the same key (fig13 and table5 fan out together
+// under -parallelism) into a single computation.
+type sweepEntry struct {
+	once sync.Once
+	d    *sweepData
+	err  error
+}
+
+var (
+	sweepMu    sync.Mutex
+	sweepCache = map[string]*sweepEntry{}
+)
 
 func availabilitySweep(cfg Config, name string) (*sweepData, error) {
+	// Parallelism is deliberately absent from the key: the sweep is
+	// bit-identical for every worker count, so all settings share one entry.
 	key := fmt.Sprintf("%s-%v-%d", name, cfg.Fast, cfg.Seed)
-	if d, ok := sweepCache[key]; ok {
-		return d, nil
+	sweepMu.Lock()
+	e, ok := sweepCache[key]
+	if !ok {
+		e = &sweepEntry{}
+		sweepCache[key] = e
 	}
+	sweepMu.Unlock()
+	e.once.Do(func() { e.d, e.err = computeSweep(cfg, name) })
+	return e.d, e.err
+}
+
+func computeSweep(cfg Config, name string) (*sweepData, error) {
 	p := paramsFor(name, cfg.Fast)
 	tp, err := topo.ByName(name, cfg.Seed+5)
 	if err != nil {
@@ -94,6 +120,7 @@ func availabilitySweep(cfg Config, name string) (*sweepData, error) {
 	}
 	pl, err := BuildPipeline(tp, PipelineOptions{
 		Cutoff: p.cutoff, NumTickets: p.tickets, Seed: cfg.Seed, MaxScenarios: p.maxScenarios,
+		Parallelism: cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -110,22 +137,40 @@ func availabilitySweep(cfg Config, name string) (*sweepData, error) {
 	for _, s := range AllSchemes() {
 		d.avail[s] = make([]float64, len(scales))
 	}
-	for _, m := range ms {
-		base, err := pl.BaseNetwork(m, p.tunnels)
-		if err != nil {
+
+	// The (matrix, scale, scheme) grid cells are independent TE solves:
+	// fan them out, then reduce in the sequential path's exact iteration
+	// order so the floating-point sums are bit-identical to Parallelism 1.
+	bases := make([]*te.Network, len(ms))
+	for mi, m := range ms {
+		if bases[mi], err = pl.BaseNetwork(m, p.tunnels); err != nil {
 			return nil, err
 		}
-		for si, scale := range scales {
-			for _, s := range AllSchemes() {
-				a, _, err := pl.SchemeAvailability(s, base, scale)
-				if err != nil {
-					return nil, fmt.Errorf("%s at scale %g: %w", s, scale, err)
-				}
-				d.avail[s][si] += a / float64(len(ms))
+	}
+	schemes := AllSchemes()
+	type cell struct{ mi, si, zi int }
+	var jobs []cell
+	for mi := range ms {
+		for si := range scales {
+			for zi := range schemes {
+				jobs = append(jobs, cell{mi, si, zi})
 			}
 		}
 	}
-	sweepCache[key] = d
+	avails, err := par.Map(context.Background(), cfg.Parallelism, len(jobs), func(_ context.Context, j int) (float64, error) {
+		c := jobs[j]
+		a, _, err := pl.SchemeAvailability(schemes[c.zi], bases[c.mi], scales[c.si])
+		if err != nil {
+			return 0, fmt.Errorf("%s at scale %g: %w", schemes[c.zi], scales[c.si], err)
+		}
+		return a, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for j, c := range jobs {
+		d.avail[schemes[c.zi]][c.si] += avails[j] / float64(len(ms))
+	}
 	return d, nil
 }
 
@@ -237,7 +282,7 @@ func runFig14(cfg Config) (*Result, error) {
 		Header: []string{"tickets |Z|", "throughput"}}
 	var series []float64
 	for _, tc := range ticketCounts {
-		pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: tc, Seed: cfg.Seed, MaxScenarios: p.maxScenarios})
+		pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: tc, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Parallelism: cfg.Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -275,7 +320,7 @@ func runFig15(cfg Config) (*Result, error) {
 	r := &Result{ID: "fig15", Title: "ARROW TE solve time vs |Z| (B4, this machine)",
 		Header: []string{"tickets |Z|", "phase I+II solve (s)", "phase I rows", "simplex iters"}}
 	for _, tc := range ticketCounts {
-		pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: tc, Seed: cfg.Seed, MaxScenarios: p.maxScenarios})
+		pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: tc, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Parallelism: cfg.Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -303,7 +348,7 @@ func runFig16(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: d.cutoff, NumTickets: d.tickets, Seed: cfg.Seed, MaxScenarios: d.maxScenarios})
+	pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: d.cutoff, NumTickets: d.tickets, Seed: cfg.Seed, MaxScenarios: d.maxScenarios, Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}

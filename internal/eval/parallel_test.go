@@ -1,0 +1,132 @@
+package eval
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/arrow-te/arrow/internal/rwa"
+	"github.com/arrow-te/arrow/internal/scenario"
+	"github.com/arrow-te/arrow/internal/sim"
+	"github.com/arrow-te/arrow/internal/topo"
+	"github.com/arrow-te/arrow/internal/traffic"
+)
+
+// TestBuildPipelineDeterministicAcrossParallelism checks the tentpole
+// contract: the worker count must not change the pipeline in any way.
+// Per-scenario RNGs are derived from the enumerated scenario index, and
+// compaction happens in enumeration order, so Parallelism 1 and 8 must
+// produce byte-identical artifacts.
+func TestBuildPipelineDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two full pipelines")
+	}
+	build := func(workers int) *Pipeline {
+		t.Helper()
+		tp, err := topo.B4(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := BuildPipeline(tp, PipelineOptions{
+			Cutoff: 0.001, NumTickets: 8, Seed: 1, MaxScenarios: 12, Parallelism: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pl
+	}
+	seq, par := build(1), build(8)
+	if !reflect.DeepEqual(seq.Scenarios, par.Scenarios) {
+		t.Error("Scenarios differ between Parallelism 1 and 8")
+	}
+	if !reflect.DeepEqual(seq.Naive, par.Naive) {
+		t.Error("Naive scenarios differ between Parallelism 1 and 8")
+	}
+	if !reflect.DeepEqual(seq.Plain, par.Plain) {
+		t.Error("Plain scenarios differ between Parallelism 1 and 8")
+	}
+	if len(seq.RWAResults) != len(par.RWAResults) {
+		t.Fatalf("RWAResults length: %d vs %d", len(seq.RWAResults), len(par.RWAResults))
+	}
+	for i := range seq.RWAResults {
+		if !reflect.DeepEqual(seq.RWAResults[i].Failed, par.RWAResults[i].Failed) ||
+			!reflect.DeepEqual(seq.RWAResults[i].FracWaves, par.RWAResults[i].FracWaves) {
+			t.Errorf("RWAResults[%d] differs between Parallelism 1 and 8", i)
+		}
+	}
+
+	// The simulator must be schedule-independent too: same events, same
+	// plan, identical report at every worker count.
+	m := traffic.Generate(traffic.Options{
+		Sites: seq.Topo.NumRouters(), Count: 1, MaxFlows: 40, TotalGbps: 1, Seed: 8,
+	})[0]
+	base, err := seq.BaseNetwork(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := base.Scaled(3)
+	al, restored, err := seq.SolveScheme(SchemeArrow, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 90 * 24.0
+	events := sim.GenerateTimeline(len(seq.Topo.Opt.Fibers), sim.TimelineOptions{
+		DurationH: horizon, CutsPerMonth: 8, Seed: 17,
+	})
+	replay := func(workers int) sim.Report {
+		r := sim.NewRunner(n, al, func(cut []int) []int { return seq.Topo.Opt.FailedLinks(cut) },
+			seq.Plain, restored)
+		r.Parallelism = workers
+		return *r.Run(events, horizon)
+	}
+	if r1, r8 := replay(1), replay(8); r1 != r8 {
+		t.Errorf("sim reports differ between Parallelism 1 and 8:\n  1: %+v\n  8: %+v", r1, r8)
+	}
+}
+
+// TestBuildPipelineErrorCancelsPool injects a failing RWA solve and checks
+// that the first error cancels the pool promptly (far fewer solves than
+// enumerated scenarios), that the reported error is the lowest-index one
+// (schedule-independent), and that no worker goroutines leak.
+func TestBuildPipelineErrorCancelsPool(t *testing.T) {
+	tp, err := topo.B4(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := scenario.FailureProbabilities(len(tp.Opt.Fibers), scenario.DefaultShape, scenario.DefaultScale, 1)
+	total := len(scenario.Enumerate(probs, 0.001).Scenarios)
+
+	orig := solveRWA
+	defer func() { solveRWA = orig }()
+	var calls atomic.Int64
+	solveRWA = func(req *rwa.Request) (*rwa.Result, error) {
+		calls.Add(1)
+		return nil, errors.New("injected rwa failure")
+	}
+
+	before := runtime.NumGoroutine()
+	_, err = BuildPipeline(tp, PipelineOptions{Cutoff: 0.001, NumTickets: 4, Seed: 1, Parallelism: 8})
+	if err == nil {
+		t.Fatal("expected pipeline build to fail")
+	}
+	if !strings.Contains(err.Error(), "scenario 0") || !strings.Contains(err.Error(), "injected rwa failure") {
+		t.Fatalf("want lowest-index scenario error, got: %v", err)
+	}
+	if got := int(calls.Load()); got >= total {
+		t.Errorf("pool not cancelled: %d solves attempted out of %d scenarios", got, total)
+	}
+
+	// par.Map joins its workers before returning, so any lingering goroutine
+	// is a leak. Allow the runtime a moment to reap exiting goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutine leak: %d before, %d after", before, after)
+	}
+}

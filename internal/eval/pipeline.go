@@ -1,10 +1,12 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"github.com/arrow-te/arrow/internal/availability"
+	"github.com/arrow-te/arrow/internal/par"
 	"github.com/arrow-te/arrow/internal/rwa"
 	"github.com/arrow-te/arrow/internal/scenario"
 	"github.com/arrow-te/arrow/internal/te"
@@ -40,9 +42,16 @@ type PipelineOptions struct {
 	Stride     int     // rounding stride delta
 	K          int     // surrogate paths per failed link
 	Seed       int64
-	// MaxScenarios truncates the (probability-sorted) scenario list to keep
-	// LP sizes tractable; 0 = no truncation.
+	// MaxScenarios caps the number of RELEVANT scenarios (cuts that fail at
+	// least one IP link) kept from the probability-sorted list, to keep LP
+	// sizes tractable; 0 = no cap. Cuts that touch no IP link never count
+	// against the budget.
 	MaxScenarios int
+	// Parallelism is the worker count for the per-scenario RWA solves and
+	// LotteryTicket generation (the offline stage is embarrassingly
+	// parallel, §6.3). 0 selects runtime.NumCPU(); 1 is fully sequential.
+	// Results are identical for every setting.
+	Parallelism int
 	// BaseUtilization positions demand scale 1.0 relative to the
 	// max-concurrent-flow saturation point (default 0.1: production WANs
 	// are over-provisioned, so the paper's sweep starts from a comfortably
@@ -51,10 +60,35 @@ type PipelineOptions struct {
 	BaseUtilization float64
 }
 
+// solveRWA is rwa.Solve behind a seam so tests can inject failures into
+// the parallel offline stage without constructing a pathological topology.
+var solveRWA = rwa.Solve
+
 // BuildPipeline runs the offline stage of ARROW for every scenario above
 // the cutoff: RWA (Algorithm 1 line 2) and LotteryTicket generation with
-// feasibility filtering (§3.2).
+// feasibility filtering (§3.2). The per-scenario solves fan out over
+// opts.Parallelism workers; results are identical to the sequential path.
 func BuildPipeline(tp *topo.Topology, opts PipelineOptions) (*Pipeline, error) {
+	return BuildPipelineContext(context.Background(), tp, opts)
+}
+
+// scenarioArtifacts is the output of the offline stage for one enumerated
+// scenario, written into an index-addressed slot by its worker.
+type scenarioArtifacts struct {
+	res     *rwa.Result
+	tickets []ticket.Ticket
+	naive   ticket.Ticket
+}
+
+// relevant reports whether the scenario's cut fails at least one IP link
+// (cuts that touch none are irrelevant to the TE and never enter the
+// pipeline or count against the MaxScenarios budget).
+func (a *scenarioArtifacts) relevant() bool { return a.res != nil && len(a.res.Failed) > 0 }
+
+// BuildPipelineContext is BuildPipeline with cancellation: ctx aborts the
+// worker pool between scenario solves (a failing RWA solve likewise
+// cancels all outstanding work).
+func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineOptions) (*Pipeline, error) {
 	if opts.NumTickets <= 0 {
 		opts.NumTickets = 20
 	}
@@ -63,27 +97,35 @@ func BuildPipeline(tp *topo.Topology, opts PipelineOptions) (*Pipeline, error) {
 	}
 	probs := scenario.FailureProbabilities(len(tp.Opt.Fibers), scenario.DefaultShape, scenario.DefaultScale, opts.Seed)
 	set := scenario.Enumerate(probs, opts.Cutoff)
-	if opts.MaxScenarios > 0 && len(set.Scenarios) > opts.MaxScenarios {
-		set.Scenarios = set.Scenarios[:opts.MaxScenarios]
-	}
 	p := &Pipeline{Topo: tp, Set: set, baseUtilization: opts.BaseUtilization}
 
-	for si, sc := range set.Scenarios {
-		res, err := rwa.Solve(&rwa.Request{
-			Net: tp.Opt, Cut: sc.Cut, K: opts.K,
+	// Pre-build the lazily-memoised optical graph once, on this goroutine,
+	// before fanning out (the memoisation itself is also mutex-guarded; this
+	// just avoids serialising the first wave of workers on that lock).
+	tp.Opt.Graph()
+
+	// buildOne runs the offline stage for enumerated scenario si. It only
+	// reads shared state (topology, scenario set), derives its RNG from the
+	// enumerated index — opts.Seed + si*977, independent of how many
+	// scenarios before it were relevant — and returns fresh artifacts, so
+	// scenarios parallelise freely and results cannot depend on schedule.
+	buildOne := func(_ context.Context, si int) (*scenarioArtifacts, error) {
+		res, err := solveRWA(&rwa.Request{
+			Net: tp.Opt, Cut: set.Scenarios[si].Cut, K: opts.K,
 			AllowTuning: true, AllowModulationChange: true,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("eval: scenario %d rwa: %w", si, err)
 		}
+		a := &scenarioArtifacts{res: res}
 		if len(res.Failed) == 0 {
-			continue // cut touches no IP link: irrelevant to the TE
+			return a, nil // cut touches no IP link: irrelevant to the TE
 		}
 		// Ticket #1 is always the RWA-derived candidate itself (Fig. 14:
 		// "when the number of LotteryTickets is one ... it represents the
 		// Arrow-Naive approach"); randomized rounding fills the rest of Z.
-		naive := naiveTicket(res)
-		tks := []ticket.Ticket{naive}
+		a.naive = naiveTicket(res)
+		a.tickets = []ticket.Ticket{a.naive}
 		if opts.NumTickets > 1 {
 			rolled := ticket.Generate(res, ticket.Options{
 				Count:            opts.NumTickets - 1,
@@ -93,20 +135,52 @@ func BuildPipeline(tp *topo.Topology, opts PipelineOptions) (*Pipeline, error) {
 				Dedup:            true,
 			})
 			for _, tk := range rolled {
-				if tk.Key() != naive.Key() {
-					tks = append(tks, tk)
+				if tk.Key() != a.naive.Key() {
+					a.tickets = append(a.tickets, tk)
 				}
 			}
 		}
-		fs := te.FailureScenario{Prob: sc.Prob, FailedLinks: res.Failed}
-		p.Scenarios = append(p.Scenarios, te.RestorableScenario{
-			FailureScenario: fs, TicketLinks: res.Failed, Tickets: tks,
+		return a, nil
+	}
+
+	// Solve in probability-ordered chunks until MaxScenarios RELEVANT
+	// scenarios are collected (or the list is exhausted). Chunk boundaries
+	// only determine which extra irrelevant scenarios get solved and thrown
+	// away — the compacted pipeline is the same for every chunking and
+	// every worker count.
+	budget := opts.MaxScenarios
+	if budget <= 0 || budget > len(set.Scenarios) {
+		budget = len(set.Scenarios)
+	}
+	kept := 0
+	for lo := 0; lo < len(set.Scenarios) && kept < budget; {
+		hi := lo + (budget - kept)
+		if hi > len(set.Scenarios) {
+			hi = len(set.Scenarios)
+		}
+		arts, err := par.Map(ctx, opts.Parallelism, hi-lo, func(ctx context.Context, i int) (*scenarioArtifacts, error) {
+			return buildOne(ctx, lo+i)
 		})
-		p.Naive = append(p.Naive, te.RestorableScenario{
-			FailureScenario: fs, TicketLinks: res.Failed, Tickets: []ticket.Ticket{naive},
-		})
-		p.Plain = append(p.Plain, fs)
-		p.RWAResults = append(p.RWAResults, res)
+		if err != nil {
+			return nil, err
+		}
+		// Compact in enumerated (probability) order.
+		for i, a := range arts {
+			if !a.relevant() || kept >= budget {
+				continue
+			}
+			kept++
+			fs := te.FailureScenario{Prob: set.Scenarios[lo+i].Prob, FailedLinks: a.res.Failed}
+			p.Scenarios = append(p.Scenarios, te.RestorableScenario{
+				FailureScenario: fs, TicketLinks: a.res.Failed, Tickets: a.tickets,
+			})
+			p.Naive = append(p.Naive, te.RestorableScenario{
+				FailureScenario: fs, TicketLinks: a.res.Failed, Tickets: []ticket.Ticket{a.naive},
+			})
+			p.Plain = append(p.Plain, fs)
+			p.RWAResults = append(p.RWAResults, a.res)
+		}
+		lo = hi
 	}
 	return p, nil
 }

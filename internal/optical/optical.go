@@ -11,6 +11,7 @@ package optical
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/arrow-te/arrow/internal/graph"
 	"github.com/arrow-te/arrow/internal/spectrum"
@@ -73,7 +74,10 @@ type Network struct {
 	IPLinks   []*IPLink
 	SlotCount int
 
-	g *graph.Graph // ROADM graph; edge label = fiber ID, weight = km
+	// gMu guards the lazily-built g: concurrent per-scenario RWA solves
+	// (the parallel offline stage) all call Graph() on the shared network.
+	gMu sync.Mutex
+	g   *graph.Graph // ROADM graph; edge label = fiber ID, weight = km
 }
 
 // NewNetwork creates an empty network with n ROADM sites and the given
@@ -86,13 +90,18 @@ func NewNetwork(nROADMs, slotCount int) *Network {
 func (n *Network) AddFiber(a, b ROADM, lengthKm float64) *Fiber {
 	f := &Fiber{ID: len(n.Fibers), A: a, B: b, LengthKm: lengthKm, Slots: spectrum.AllAvailable(n.SlotCount)}
 	n.Fibers = append(n.Fibers, f)
+	n.gMu.Lock()
 	n.g = nil
+	n.gMu.Unlock()
 	return f
 }
 
 // Graph returns (building lazily) the optical graph over ROADMs: one pair of
 // directed edges per fiber, labelled with the fiber ID and weighted by km.
+// Safe for concurrent use once the topology is no longer being mutated.
 func (n *Network) Graph() *graph.Graph {
+	n.gMu.Lock()
+	defer n.gMu.Unlock()
 	if n.g == nil {
 		g := graph.New(n.NumROADMs)
 		for _, f := range n.Fibers {

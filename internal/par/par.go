@@ -1,0 +1,123 @@
+// Package par is the shared parallel-execution layer for the offline
+// stage's embarrassingly parallel loops (per-scenario RWA + LotteryTicket
+// generation, per-scenario TE evaluation, independent experiment runs).
+//
+// The paper notes the offline optimization "can be parallelized per
+// scenario" (§6.3): every unit of work is independent, already owns a
+// deterministic per-index RNG seed, and writes into an index-addressed
+// slot. This package supplies the one concurrency pattern all of those
+// call sites share — a bounded worker pool over the index range [0, n)
+// with ordered result collection, context cancellation, and first-error
+// propagation — so the call sites stay free of goroutine plumbing and the
+// results stay byte-identical to the sequential path.
+//
+// Determinism contract: fn(i) must depend only on i (plus read-only
+// captured state). ForEach/Map make no ordering guarantees between
+// indices, but Map returns results in index order and ForEach reports the
+// error of the lowest failed index, so output never depends on the worker
+// count or goroutine schedule.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalises a parallelism request: values <= 0 select
+// runtime.NumCPU() (the default everywhere in this repo); 1 means fully
+// sequential execution on the caller's goroutine.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// ForEach invokes fn(ctx, i) for every i in [0, n), distributing indices
+// over at most workers goroutines (workers <= 0 selects NumCPU; workers
+// is additionally capped at n). It returns when every started call has
+// finished — no goroutines outlive the call.
+//
+// On the first error, the pool's context is cancelled and no new indices
+// are dispatched; in-flight calls run to completion. The returned error
+// is the one recorded at the lowest index, which makes error reporting
+// independent of the goroutine schedule whenever a single deterministic
+// index fails. If the parent context is cancelled before all indices
+// complete, ctx.Err() is returned.
+//
+// workers == 1 runs fn sequentially in index order on the calling
+// goroutine, restoring exactly the pre-parallel behaviour.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || pctx.Err() != nil {
+					return
+				}
+				if err := fn(pctx, i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return ctx.Err()
+}
+
+// Map runs fn for every index in [0, n) on the bounded pool and collects
+// the results in index order. On error the partial results are discarded
+// and the lowest-index error is returned (same contract as ForEach).
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -9,12 +9,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
 	"github.com/arrow-te/arrow/internal/availability"
+	"github.com/arrow-te/arrow/internal/par"
 	"github.com/arrow-te/arrow/internal/stats"
 	"github.com/arrow-te/arrow/internal/te"
 )
@@ -99,6 +101,12 @@ type Runner struct {
 	Project Projector
 	// ECMPRebalance selects equal re-spreading semantics (for the ECMP TE).
 	ECMPRebalance bool
+	// Parallelism is the worker count for the per-interval delivery
+	// evaluations (each interval's network state is independent of the
+	// others once the event sweep has fixed the down-set). 0 selects
+	// runtime.NumCPU(); 1 restores sequential replay. Reports are
+	// identical for every setting.
+	Parallelism int
 
 	// plans maps a canonical failed-link-set key to the precomputed
 	// restoration of that scenario (nil for TEs without restoration).
@@ -141,54 +149,35 @@ type Report struct {
 	Intervals int
 }
 
-// Run replays the events over the horizon and integrates delivery.
-func (r *Runner) Run(events []Event, durationH float64) *Report {
-	ev := &availability.Evaluator{Net: r.Net, Alloc: r.Alloc, ECMPRebalance: r.ECMPRebalance}
-	rep := &Report{Worst: math.Inf(1)}
-	down := map[int]bool{}
+// interval is one constant network state of the replay: the fibers down
+// between two consecutive events.
+type interval struct {
+	fromH, toH float64
+	cut        []int // sorted
+}
 
-	evaluate := func(fromH, toH float64) {
+// intervals sweeps the (time-sorted) events once and returns the list of
+// positive-length constant states covering [0, durationH].
+func (r *Runner) intervals(events []Event, durationH float64) []interval {
+	var out []interval
+	down := map[int]bool{}
+	emit := func(fromH, toH float64) {
 		if toH <= fromH {
 			return
 		}
-		var cut []int
+		cut := make([]int, 0, len(down))
 		for f := range down {
 			cut = append(cut, f)
 		}
 		sort.Ints(cut)
-		delivered := 1.0
-		if len(cut) > 0 {
-			failed := r.Project(cut)
-			var restored map[int]float64
-			if len(failed) > 0 {
-				plan, planned := r.plans[linkSetKey(failed)]
-				if planned {
-					restored = plan
-				} else {
-					rep.UnplannedHours += toH - fromH
-				}
-				delivered = ev.Delivered(&availability.ScenarioEval{Failed: failed, Restored: restored})
-			}
-		} else {
-			delivered = ev.Delivered(&availability.ScenarioEval{})
-		}
-		dt := toH - fromH
-		rep.Delivered += delivered * dt
-		if delivered >= 0.999 {
-			rep.FullServiceFrac += dt
-		}
-		if delivered < rep.Worst {
-			rep.Worst = delivered
-		}
-		rep.Intervals++
+		out = append(out, interval{fromH: fromH, toH: toH, cut: cut})
 	}
-
 	t := 0.0
 	for _, e := range events {
 		if e.TimeH > durationH {
 			break
 		}
-		evaluate(t, e.TimeH)
+		emit(t, e.TimeH)
 		t = e.TimeH
 		if e.Up {
 			delete(down, e.Fiber)
@@ -196,7 +185,62 @@ func (r *Runner) Run(events []Event, durationH float64) *Report {
 			down[e.Fiber] = true
 		}
 	}
-	evaluate(t, durationH)
+	emit(t, durationH)
+	return out
+}
+
+// intervalEval is one interval's evaluated delivery.
+type intervalEval struct {
+	delivered float64
+	unplanned bool // failure state with no precomputed restoration plan
+}
+
+// Run replays the events over the horizon and integrates delivery. The
+// per-interval evaluations fan out over r.Parallelism workers (each
+// interval's state is fixed by the event sweep, the plan lookup table is
+// read-only, and the integration happens afterwards in time order), so the
+// report is identical for every worker count.
+func (r *Runner) Run(events []Event, durationH float64) *Report {
+	ev := &availability.Evaluator{Net: r.Net, Alloc: r.Alloc, ECMPRebalance: r.ECMPRebalance}
+	ivs := r.intervals(events, durationH)
+
+	evals, err := par.Map(context.Background(), r.Parallelism, len(ivs), func(_ context.Context, i int) (intervalEval, error) {
+		iv := ivs[i]
+		out := intervalEval{delivered: 1}
+		if len(iv.cut) > 0 {
+			failed := r.Project(iv.cut)
+			if len(failed) > 0 {
+				restored, planned := r.plans[linkSetKey(failed)]
+				out.unplanned = !planned
+				out.delivered = ev.Delivered(&availability.ScenarioEval{Failed: failed, Restored: restored})
+			}
+		} else {
+			out.delivered = ev.Delivered(&availability.ScenarioEval{})
+		}
+		return out, nil
+	})
+	if err != nil {
+		// The evaluation function never fails and the context is never
+		// cancelled; this branch is unreachable but kept explicit.
+		panic(err)
+	}
+
+	rep := &Report{Worst: math.Inf(1)}
+	for i, iv := range ivs {
+		dt := iv.toH - iv.fromH
+		e := evals[i]
+		if e.unplanned {
+			rep.UnplannedHours += dt
+		}
+		rep.Delivered += e.delivered * dt
+		if e.delivered >= 0.999 {
+			rep.FullServiceFrac += dt
+		}
+		if e.delivered < rep.Worst {
+			rep.Worst = e.delivered
+		}
+		rep.Intervals++
+	}
 	rep.Delivered /= durationH
 	rep.FullServiceFrac /= durationH
 	if math.IsInf(rep.Worst, 1) {
