@@ -35,7 +35,9 @@ import (
 	"fmt"
 
 	"github.com/arrow-te/arrow/internal/availability"
+	"github.com/arrow-te/arrow/internal/lp"
 	"github.com/arrow-te/arrow/internal/noise"
+	"github.com/arrow-te/arrow/internal/obs"
 	"github.com/arrow-te/arrow/internal/optical"
 	"github.com/arrow-te/arrow/internal/par"
 	"github.com/arrow-te/arrow/internal/rwa"
@@ -194,11 +196,21 @@ type Planner struct {
 	probs     []float64
 	tunnels   int
 	set       *scenario.Set
+	rec       obs.Recorder
 }
 
 // Plan runs ARROW's offline stage: enumerate probable fiber-cut scenarios,
 // solve the relaxed RWA for each, and generate LotteryTickets.
 func (n *Network) Plan(opts PlanOptions) (*Planner, error) {
+	return n.PlanContext(context.Background(), opts)
+}
+
+// PlanContext is Plan with a context: cancellation aborts the per-scenario
+// worker pool, and a metrics Recorder attached via obs.WithRecorder (as the
+// CLIs do) instruments the RWA solves, ticket generation and worker pool
+// without appearing in this package's API. A plain context reproduces Plan
+// exactly.
+func (n *Network) PlanContext(ctx context.Context, opts PlanOptions) (*Planner, error) {
 	if opts.Tickets <= 0 {
 		opts.Tickets = 20
 	}
@@ -219,7 +231,7 @@ func (n *Network) Plan(opts PlanOptions) (*Planner, error) {
 		return nil, fmt.Errorf("arrow: %d failure probabilities for %d fibers", len(probs), len(n.opt.Fibers))
 	}
 	set := scenario.Enumerate(probs, opts.Cutoff)
-	p := &Planner{net: n, probs: probs, tunnels: opts.TunnelsPerFlow, set: set}
+	p := &Planner{net: n, probs: probs, tunnels: opts.TunnelsPerFlow, set: set, rec: obs.FromContext(ctx)}
 
 	// The per-scenario RWA + ticket generation is embarrassingly parallel:
 	// fan out over the bounded pool into index-addressed slots (each
@@ -227,14 +239,18 @@ func (n *Network) Plan(opts PlanOptions) (*Planner, error) {
 	// the schedule), then compact in probability order. The resulting plan
 	// is byte-identical to sequential execution.
 	n.opt.Graph() // pre-build the shared memoised graph before fan-out
+	rec := p.rec
+	endPlan := obs.Span(ctx, "plan.offline")
+	defer endPlan()
 	type planned struct {
 		res *rwa.Result
 		tks []ticket.Ticket
 	}
-	arts, err := par.Map(context.Background(), opts.Parallelism, len(set.Scenarios), func(_ context.Context, si int) (*planned, error) {
+	arts, err := par.Map(ctx, opts.Parallelism, len(set.Scenarios), func(_ context.Context, si int) (*planned, error) {
 		res, err := rwa.Solve(&rwa.Request{
 			Net: n.opt, Cut: set.Scenarios[si].Cut, K: opts.SurrogatePaths,
 			AllowTuning: true, AllowModulationChange: true,
+			Recorder: rec,
 		})
 		if err != nil {
 			return nil, err
@@ -251,6 +267,7 @@ func (n *Network) Plan(opts PlanOptions) (*Planner, error) {
 		for _, tk := range ticket.Generate(res, ticket.Options{
 			Count: opts.Tickets - 1, Seed: opts.Seed + int64(si)*977,
 			CheckFeasibility: true, Dedup: true,
+			Recorder: rec,
 		}) {
 			if tk.Key() != naive.Key() {
 				tks = append(tks, tk)
@@ -328,6 +345,9 @@ func (p *Planner) Solve(demands []Demand, opts SolveOptions) (*TrafficPlan, erro
 		return nil, err
 	}
 	teOpts := &te.ArrowOptions{Alpha: opts.Alpha}
+	if p.rec != nil {
+		teOpts.LP = &lp.Options{Recorder: p.rec}
+	}
 	var alloc *te.Allocation
 	if opts.NaiveOnly {
 		alloc, err = te.ArrowNaive(net, p.naive, teOpts)

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/arrow-te/arrow/internal/eval"
+	"github.com/arrow-te/arrow/internal/obs"
 	"github.com/arrow-te/arrow/internal/par"
 )
 
@@ -41,6 +42,7 @@ func main() {
 		bench    = flag.Bool("bench-json", false, "measure the parallel offline pipeline + simulator and write a perf snapshot JSON")
 		benchOut = flag.String("bench-out", "BENCH_pipeline.json", "path for the -bench-json snapshot")
 	)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -50,10 +52,29 @@ func main() {
 		return
 	}
 
+	sess, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arrow-experiments:", err)
+		os.Exit(1)
+	}
+	if addr := sess.DebugAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s\n", addr)
+	}
+	exitCode := 0
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "arrow-experiments:", err)
+			if exitCode == 0 {
+				exitCode = 1
+			}
+		}
+		os.Exit(exitCode)
+	}()
+
 	if *bench {
 		if err := writeBenchSnapshot(*benchOut, *seed, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "bench-json:", err)
-			os.Exit(1)
+			exitCode = 1
 		}
 		return
 	}
@@ -68,10 +89,11 @@ func main() {
 		ids = strings.Split(*exp, ",")
 	default:
 		fmt.Fprintln(os.Stderr, "nothing to do: pass -list, -exp <ids>, -all or -bench-json")
-		os.Exit(2)
+		exitCode = 2
+		return
 	}
 
-	cfg := eval.Config{Fast: !*full, Seed: *seed, Parallelism: *parallel}
+	cfg := eval.Config{Fast: !*full, Seed: *seed, Parallelism: *parallel, Recorder: sess.Recorder()}
 
 	// Independent experiments are themselves scenario-independent jobs:
 	// fan them out on the shared pool and print the rendered outputs in
@@ -81,7 +103,7 @@ func main() {
 		text string
 		err  error
 	}
-	outs, _ := par.Map(context.Background(), *parallel, len(ids), func(_ context.Context, i int) (outcome, error) {
+	outs, _ := par.Map(obs.WithRecorder(context.Background(), sess.Recorder()), *parallel, len(ids), func(_ context.Context, i int) (outcome, error) {
 		id := strings.TrimSpace(ids[i])
 		e, ok := eval.ByID(id)
 		if !ok {
@@ -112,7 +134,7 @@ func main() {
 		fmt.Print(o.text)
 	}
 	if failed > 0 {
-		os.Exit(1)
+		exitCode = 1
 	}
 }
 
@@ -128,6 +150,11 @@ type benchSnapshot struct {
 	Fig13       []benchMeasurement `json:"fig13_availability"`
 	SpeedupPipe float64            `json:"build_pipeline_speedup"`
 	SpeedupF13  float64            `json:"fig13_speedup"`
+	// Metrics is the solver/pipeline metrics snapshot of one instrumented
+	// standard build (workers = max of the measured set), so the perf
+	// trajectory carries the work counts (LP pivots, MIP nodes, rounding
+	// attempts) alongside the wall-clock numbers.
+	Metrics *obs.Snapshot `json:"metrics"`
 }
 
 type benchMeasurement struct {
@@ -165,6 +192,14 @@ func writeBenchSnapshot(path string, seed int64, parallelism int) error {
 	}
 	snap.SpeedupPipe = snap.Pipeline[0].Seconds / snap.Pipeline[len(snap.Pipeline)-1].Seconds
 	snap.SpeedupF13 = snap.Fig13[0].Seconds / snap.Fig13[len(snap.Fig13)-1].Seconds
+
+	// One more instrumented build to embed the work counters (timed runs
+	// stay uninstrumented so the measurements keep the zero-overhead path).
+	reg := obs.NewRegistry()
+	if err := eval.BuildPipelineInstrumented(seed, workerSets[len(workerSets)-1], reg); err != nil {
+		return err
+	}
+	snap.Metrics = reg.Snapshot()
 
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +25,7 @@ import (
 	"strings"
 
 	arrow "github.com/arrow-te/arrow"
+	"github.com/arrow-te/arrow/internal/obs"
 	"github.com/arrow-te/arrow/internal/topo"
 )
 
@@ -39,18 +41,31 @@ func main() {
 		naive    = flag.Bool("naive", false, "skip Phase I (Arrow-Naive)")
 		parallel = flag.Int("parallelism", 0, "worker count for per-scenario offline planning (0 = NumCPU, 1 = sequential; results are identical)")
 	)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *topoFile == "" || *demFile == "" {
 		fmt.Fprintln(os.Stderr, "arrow-plan: -topo and -demands are required")
 		os.Exit(2)
 	}
-	if err := run(*topoFile, *demFile, *out, *roadmDir, *tickets, *cutoff, *seed, *parallel, *naive); err != nil {
+	sess, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arrow-plan:", err)
+		os.Exit(1)
+	}
+	if addr := sess.DebugAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s\n", addr)
+	}
+	err = run(*topoFile, *demFile, *out, *roadmDir, *tickets, *cutoff, *seed, *parallel, *naive, sess.Recorder())
+	if cerr := sess.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "arrow-plan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topoFile, demFile, out, roadmDir string, tickets int, cutoff float64, seed int64, parallelism int, naive bool) error {
+func run(topoFile, demFile, out, roadmDir string, tickets int, cutoff float64, seed int64, parallelism int, naive bool, rec obs.Recorder) error {
 	net, err := loadNetwork(topoFile)
 	if err != nil {
 		return err
@@ -62,7 +77,9 @@ func run(topoFile, demFile, out, roadmDir string, tickets int, cutoff float64, s
 	fmt.Fprintf(os.Stderr, "loaded %d sites, %d fibers, %d IP links, %d demands\n",
 		net.NumSites(), net.NumFibers(), net.NumLinks(), len(demands))
 
-	planner, err := net.Plan(arrow.PlanOptions{Tickets: tickets, Cutoff: cutoff, Seed: seed, Parallelism: parallelism})
+	// The recorder rides the context so the public Plan API stays obs-free.
+	ctx := obs.WithRecorder(context.Background(), rec)
+	planner, err := net.PlanContext(ctx, arrow.PlanOptions{Tickets: tickets, Cutoff: cutoff, Seed: seed, Parallelism: parallelism})
 	if err != nil {
 		return err
 	}

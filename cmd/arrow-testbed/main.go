@@ -9,8 +9,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/arrow-te/arrow/internal/emu"
+	"github.com/arrow-te/arrow/internal/obs"
 )
 
 func main() {
@@ -18,14 +20,27 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random seed for device timing jitter")
 		series = flag.Bool("series", false, "print the restored-capacity time series")
 	)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(*seed, *series); err != nil {
+	sess, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arrow-testbed:", err)
+		os.Exit(1)
+	}
+	if addr := sess.DebugAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s\n", addr)
+	}
+	err = run(*seed, *series, sess.Recorder())
+	if cerr := sess.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "arrow-testbed:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, series bool) error {
+func run(seed int64, series bool, rec obs.Recorder) error {
 	fmt.Println("testbed: 4 ROADMs (A,B,D,C), 4 fiber spans, 2160 km, 34 amplifiers, 16x200G wavelengths")
 	fmt.Println("cutting fiber D-C (carries 14 wavelengths, 2.8 Tbps over links AC, BD, CD)")
 
@@ -38,9 +53,15 @@ func run(seed int64, series bool) error {
 		if err != nil {
 			return err
 		}
+		start := time.Now()
 		tr, err := emu.RunRestoration(net, []int{emu.FiberDC}, emu.Config{NoiseLoading: mode.noise, Seed: seed})
 		if err != nil {
 			return err
+		}
+		if rec != nil {
+			rec.SpanDone("testbed.trial", 0, start, time.Since(start))
+			rec.Add("testbed.trials", 1)
+			rec.Observe("testbed.restore_seconds", tr.DoneSec)
 		}
 		results = append(results, tr)
 		fmt.Printf("\n--- %s ---\n", mode.name)

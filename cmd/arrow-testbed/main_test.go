@@ -3,10 +3,10 @@ package main
 import "testing"
 
 func TestRunTestbedTrial(t *testing.T) {
-	if err := run(1, false); err != nil {
+	if err := run(1, false, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(2, true); err != nil {
+	if err := run(2, true, nil); err != nil {
 		t.Fatal(err)
 	}
 }

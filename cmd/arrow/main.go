@@ -17,6 +17,7 @@ import (
 
 	"github.com/arrow-te/arrow/internal/availability"
 	"github.com/arrow-te/arrow/internal/eval"
+	"github.com/arrow-te/arrow/internal/obs"
 	"github.com/arrow-te/arrow/internal/topo"
 	"github.com/arrow-te/arrow/internal/traffic"
 )
@@ -33,15 +34,28 @@ func main() {
 		parallel = flag.Int("parallelism", 0, "worker count for the per-scenario offline stage (0 = NumCPU, 1 = sequential; results are identical)")
 		verbose  = flag.Bool("v", false, "print the per-scenario restoration plan")
 	)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*topoName, *file, *scheme, *scale, *tickets, *seed, *flows, *parallel, *verbose); err != nil {
+	sess, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arrow:", err)
+		os.Exit(1)
+	}
+	if addr := sess.DebugAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s\n", addr)
+	}
+	err = run(*topoName, *file, *scheme, *scale, *tickets, *seed, *flows, *parallel, *verbose, sess.Recorder())
+	if cerr := sess.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "arrow:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topoName, file, scheme string, scale float64, tickets int, seed int64, flows, parallelism int, verbose bool) error {
+func run(topoName, file, scheme string, scale float64, tickets int, seed int64, flows, parallelism int, verbose bool, rec obs.Recorder) error {
 	var tp *topo.Topology
 	var err error
 	if file != "" {
@@ -63,7 +77,7 @@ func run(topoName, file, scheme string, scale float64, tickets int, seed int64, 
 
 	pl, err := eval.BuildPipeline(tp, eval.PipelineOptions{
 		Cutoff: 0.001, NumTickets: tickets, Seed: seed, MaxScenarios: 24,
-		Parallelism: parallelism,
+		Parallelism: parallelism, Recorder: rec,
 	})
 	if err != nil {
 		return err

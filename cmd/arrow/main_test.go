@@ -6,13 +6,13 @@ func TestRunB4Arrow(t *testing.T) {
 	if testing.Short() {
 		t.Skip("solves TE instances")
 	}
-	if err := run("B4", "", "ARROW", 2.0, 4, 1, 10, 0, true); err != nil {
+	if err := run("B4", "", "ARROW", 2.0, 4, 1, 10, 0, true, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownTopology(t *testing.T) {
-	if err := run("nope", "", "ARROW", 1, 1, 1, 5, 1, false); err == nil {
+	if err := run("nope", "", "ARROW", 1, 1, 1, 5, 1, false, nil); err == nil {
 		t.Fatal("unknown topology accepted")
 	}
 }
@@ -21,7 +21,7 @@ func TestRunUnknownScheme(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds a pipeline")
 	}
-	if err := run("B4", "", "WAT", 1, 2, 1, 5, 0, false); err == nil {
+	if err := run("B4", "", "WAT", 1, 2, 1, 5, 0, false, nil); err == nil {
 		t.Fatal("unknown scheme accepted")
 	}
 }

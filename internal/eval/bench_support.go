@@ -1,6 +1,9 @@
 package eval
 
-import "github.com/arrow-te/arrow/internal/topo"
+import (
+	"github.com/arrow-te/arrow/internal/obs"
+	"github.com/arrow-te/arrow/internal/topo"
+)
 
 // ResetSweepCache drops the memoised availability sweeps. The
 // arrow-experiments -bench-json snapshot uses it so repeated fig13 runs
@@ -16,13 +19,20 @@ func ResetSweepCache() {
 // cmd/arrow-experiments can time the offline stage without importing test
 // code; the result is discarded.
 func BuildPipelineBench(seed int64, workers int) error {
+	return BuildPipelineInstrumented(seed, workers, nil)
+}
+
+// BuildPipelineInstrumented is BuildPipelineBench with a metrics recorder
+// attached, used by the -bench-json snapshot to embed the solver counters
+// of the standard build. A nil recorder reproduces BuildPipelineBench.
+func BuildPipelineInstrumented(seed int64, workers int, rec obs.Recorder) error {
 	tp, err := topo.B4(seed + 5)
 	if err != nil {
 		return err
 	}
 	_, err = BuildPipeline(tp, PipelineOptions{
 		Cutoff: 0.001, NumTickets: 12, Seed: seed, MaxScenarios: 16,
-		Parallelism: workers,
+		Parallelism: workers, Recorder: rec,
 	})
 	return err
 }

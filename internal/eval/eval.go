@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"github.com/arrow-te/arrow/internal/obs"
 )
 
 // Config controls experiment scale.
@@ -23,6 +25,10 @@ type Config struct {
 	// 0 selects runtime.NumCPU(); 1 restores fully sequential execution.
 	// Results are identical for every setting and seed.
 	Parallelism int
+	// Recorder receives solver and pipeline metrics from every layer an
+	// experiment touches. A nil Recorder costs nothing and never changes
+	// any result.
+	Recorder obs.Recorder
 }
 
 // Result is one regenerated table or figure.

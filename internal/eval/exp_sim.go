@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"github.com/arrow-te/arrow/internal/availability"
+	"github.com/arrow-te/arrow/internal/lp"
+	"github.com/arrow-te/arrow/internal/obs"
 	"github.com/arrow-te/arrow/internal/par"
 	"github.com/arrow-te/arrow/internal/te"
 	"github.com/arrow-te/arrow/internal/topo"
@@ -112,6 +114,15 @@ func availabilitySweep(cfg Config, name string) (*sweepData, error) {
 	return e.d, e.err
 }
 
+// arrowOptsFor forwards the config's recorder into a direct te.Arrow call;
+// nil when no recorder is attached, exactly as before instrumentation.
+func arrowOptsFor(cfg Config) *te.ArrowOptions {
+	if cfg.Recorder == nil {
+		return nil
+	}
+	return &te.ArrowOptions{LP: &lp.Options{Recorder: cfg.Recorder}}
+}
+
 func computeSweep(cfg Config, name string) (*sweepData, error) {
 	p := paramsFor(name, cfg.Fast)
 	tp, err := topo.ByName(name, cfg.Seed+5)
@@ -120,7 +131,7 @@ func computeSweep(cfg Config, name string) (*sweepData, error) {
 	}
 	pl, err := BuildPipeline(tp, PipelineOptions{
 		Cutoff: p.cutoff, NumTickets: p.tickets, Seed: cfg.Seed, MaxScenarios: p.maxScenarios,
-		Parallelism: cfg.Parallelism,
+		Parallelism: cfg.Parallelism, Recorder: cfg.Recorder,
 	})
 	if err != nil {
 		return nil, err
@@ -157,7 +168,7 @@ func computeSweep(cfg Config, name string) (*sweepData, error) {
 			}
 		}
 	}
-	avails, err := par.Map(context.Background(), cfg.Parallelism, len(jobs), func(_ context.Context, j int) (float64, error) {
+	avails, err := par.Map(obs.WithRecorder(context.Background(), cfg.Recorder), cfg.Parallelism, len(jobs), func(_ context.Context, j int) (float64, error) {
 		c := jobs[j]
 		a, _, err := pl.SchemeAvailability(schemes[c.zi], bases[c.mi], scales[c.si])
 		if err != nil {
@@ -282,7 +293,7 @@ func runFig14(cfg Config) (*Result, error) {
 		Header: []string{"tickets |Z|", "throughput"}}
 	var series []float64
 	for _, tc := range ticketCounts {
-		pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: tc, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Parallelism: cfg.Parallelism})
+		pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: tc, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Parallelism: cfg.Parallelism, Recorder: cfg.Recorder})
 		if err != nil {
 			return nil, err
 		}
@@ -291,7 +302,7 @@ func runFig14(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		n := base.Scaled(scale)
-		al, err := te.Arrow(n, pl.Scenarios, nil)
+		al, err := te.Arrow(n, pl.Scenarios, arrowOptsFor(cfg))
 		if err != nil {
 			return nil, err
 		}
@@ -320,7 +331,7 @@ func runFig15(cfg Config) (*Result, error) {
 	r := &Result{ID: "fig15", Title: "ARROW TE solve time vs |Z| (B4, this machine)",
 		Header: []string{"tickets |Z|", "phase I+II solve (s)", "phase I rows", "simplex iters"}}
 	for _, tc := range ticketCounts {
-		pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: tc, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Parallelism: cfg.Parallelism})
+		pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: tc, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Parallelism: cfg.Parallelism, Recorder: cfg.Recorder})
 		if err != nil {
 			return nil, err
 		}
@@ -330,7 +341,7 @@ func runFig15(cfg Config) (*Result, error) {
 		}
 		n := base.Scaled(2.5)
 		start := time.Now()
-		al, err := te.Arrow(n, pl.Scenarios, nil)
+		al, err := te.Arrow(n, pl.Scenarios, arrowOptsFor(cfg))
 		if err != nil {
 			return nil, err
 		}
@@ -348,7 +359,7 @@ func runFig16(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: d.cutoff, NumTickets: d.tickets, Seed: cfg.Seed, MaxScenarios: d.maxScenarios, Parallelism: cfg.Parallelism})
+	pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: d.cutoff, NumTickets: d.tickets, Seed: cfg.Seed, MaxScenarios: d.maxScenarios, Parallelism: cfg.Parallelism, Recorder: cfg.Recorder})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,128 @@
+package eval
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/arrow-te/arrow/internal/obs"
+	"github.com/arrow-te/arrow/internal/sim"
+	"github.com/arrow-te/arrow/internal/topo"
+	"github.com/arrow-te/arrow/internal/traffic"
+)
+
+// pipelineFingerprint reduces a pipeline's artifacts to a comparable string
+// covering everything the TE consumes: scenarios, tickets, naive candidates
+// and the fractional RWA solutions.
+func pipelineFingerprint(p *Pipeline) string {
+	return fmt.Sprintf("%v|%v|%v|%v", p.Scenarios, p.Naive, p.Plain, func() []any {
+		var out []any
+		for _, r := range p.RWAResults {
+			out = append(out, r.Failed, r.FracWaves, r.OrigWaves, r.GbpsPerWave)
+		}
+		return out
+	}())
+}
+
+// TestInstrumentationPreservesDeterminism is the observability layer's core
+// guarantee: attaching a Recorder (with tracing enabled) must not change a
+// single byte of any artifact, at any worker count. The instrumented builds
+// at Parallelism 1 and 4 are compared against the uninstrumented
+// Parallelism-1 baseline.
+func TestInstrumentationPreservesDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds three full pipelines")
+	}
+	build := func(workers int, rec obs.Recorder) *Pipeline {
+		t.Helper()
+		tp, err := topo.B4(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := BuildPipeline(tp, PipelineOptions{
+			Cutoff: 0.001, NumTickets: 8, Seed: 1, MaxScenarios: 12,
+			Parallelism: workers, Recorder: rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pl
+	}
+	tracingRegistry := func() *obs.Registry {
+		r := obs.NewRegistry()
+		r.EnableTrace()
+		return r
+	}
+
+	baseline := build(1, nil)
+	want := pipelineFingerprint(baseline)
+	regSeq, regPar := tracingRegistry(), tracingRegistry()
+	for _, tc := range []struct {
+		name string
+		pl   *Pipeline
+	}{
+		{"instrumented sequential", build(1, regSeq)},
+		{"instrumented parallel", build(4, regPar)},
+	} {
+		if got := pipelineFingerprint(tc.pl); got != want {
+			t.Errorf("%s pipeline differs from uninstrumented baseline", tc.name)
+		}
+	}
+	// The instrumented runs must actually have recorded something, or the
+	// comparison above proves nothing.
+	for name, reg := range map[string]*obs.Registry{"sequential": regSeq, "parallel": regPar} {
+		s := reg.Snapshot()
+		if s.Counters["rwa.solves"] == 0 || s.Counters["lp.pivots"] == 0 {
+			t.Errorf("%s run recorded no work: rwa.solves=%d lp.pivots=%d",
+				name, s.Counters["rwa.solves"], s.Counters["lp.pivots"])
+		}
+	}
+
+	// The TE solve and the timeline replay must be equally oblivious to the
+	// recorder. Solve the scheme on the baseline (uninstrumented) and on an
+	// instrumented pipeline, then replay instrumented at 1 and 4 workers.
+	m := traffic.Generate(traffic.Options{
+		Sites: baseline.Topo.NumRouters(), Count: 1, MaxFlows: 40, TotalGbps: 1, Seed: 8,
+	})[0]
+	base, err := baseline.BaseNetwork(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := base.Scaled(3)
+	al, restored, err := baseline.SolveScheme(SchemeArrow, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrumented := build(1, tracingRegistry())
+	alObs, restoredObs, err := instrumented.SolveScheme(SchemeArrow, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(al.B, alObs.B) || !reflect.DeepEqual(al.A, alObs.A) ||
+		!reflect.DeepEqual(al.WinningTicket, alObs.WinningTicket) ||
+		!reflect.DeepEqual(restored, restoredObs) {
+		t.Error("TE allocation differs with a recorder attached")
+	}
+
+	const horizon = 90 * 24.0
+	events := sim.GenerateTimeline(len(baseline.Topo.Opt.Fibers), sim.TimelineOptions{
+		DurationH: horizon, CutsPerMonth: 8, Seed: 17,
+	})
+	replay := func(workers int, rec obs.Recorder) sim.Report {
+		r := sim.NewRunner(n, al, func(cut []int) []int { return baseline.Topo.Opt.FailedLinks(cut) },
+			baseline.Plain, restored)
+		r.Parallelism = workers
+		r.Recorder = rec
+		return *r.Run(events, horizon)
+	}
+	wantRep := replay(1, nil)
+	for _, workers := range []int{1, 4} {
+		reg := tracingRegistry()
+		if got := replay(workers, reg); got != wantRep {
+			t.Errorf("instrumented sim report at %d workers differs:\n  want %+v\n  got  %+v", workers, wantRep, got)
+		}
+		if reg.Snapshot().Counters["sim.intervals"] == 0 {
+			t.Errorf("instrumented replay at %d workers recorded no intervals", workers)
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"sort"
 
 	"github.com/arrow-te/arrow/internal/availability"
+	"github.com/arrow-te/arrow/internal/lp"
+	"github.com/arrow-te/arrow/internal/obs"
 	"github.com/arrow-te/arrow/internal/par"
 	"github.com/arrow-te/arrow/internal/rwa"
 	"github.com/arrow-te/arrow/internal/scenario"
@@ -33,6 +35,7 @@ type Pipeline struct {
 	RWAResults []*rwa.Result
 
 	baseUtilization float64
+	rec             obs.Recorder
 }
 
 // PipelineOptions configures pipeline construction.
@@ -58,6 +61,12 @@ type PipelineOptions struct {
 	// satisfiable state — every scheme admits 100% — and scales up
 	// several-fold until the failure-protection knees separate the schemes).
 	BaseUtilization float64
+	// Recorder receives pipeline metrics (scenario counts, stage spans,
+	// relaxation gaps) and is threaded through every layer the offline
+	// stage touches: RWA, ticket generation, the LP solver and the worker
+	// pool, plus the TE solves issued later via SolveScheme. A nil
+	// Recorder costs nothing and never changes the pipeline.
+	Recorder obs.Recorder
 }
 
 // solveRWA is rwa.Solve behind a seam so tests can inject failures into
@@ -95,9 +104,16 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 	if opts.K <= 0 {
 		opts.K = 3
 	}
+	ctx = obs.WithRecorder(ctx, opts.Recorder)
+	endBuild := obs.Span(ctx, "pipeline.build")
+	defer endBuild()
+
+	endEnum := obs.Span(ctx, "pipeline.enumerate")
 	probs := scenario.FailureProbabilities(len(tp.Opt.Fibers), scenario.DefaultShape, scenario.DefaultScale, opts.Seed)
 	set := scenario.Enumerate(probs, opts.Cutoff)
-	p := &Pipeline{Topo: tp, Set: set, baseUtilization: opts.BaseUtilization}
+	endEnum()
+	obs.Add(opts.Recorder, "pipeline.scenarios_enumerated", int64(len(set.Scenarios)))
+	p := &Pipeline{Topo: tp, Set: set, baseUtilization: opts.BaseUtilization, rec: opts.Recorder}
 
 	// Pre-build the lazily-memoised optical graph once, on this goroutine,
 	// before fanning out (the memoisation itself is also mutex-guarded; this
@@ -113,6 +129,7 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 		res, err := solveRWA(&rwa.Request{
 			Net: tp.Opt, Cut: set.Scenarios[si].Cut, K: opts.K,
 			AllowTuning: true, AllowModulationChange: true,
+			Recorder: opts.Recorder,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("eval: scenario %d rwa: %w", si, err)
@@ -125,6 +142,17 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 		// "when the number of LotteryTickets is one ... it represents the
 		// Arrow-Naive approach"); randomized rounding fills the rest of Z.
 		a.naive = naiveTicket(res)
+		if opts.Recorder != nil && res.Objective > 0 {
+			// Relaxation gap: how much restorable capacity the LP promises
+			// beyond what the integral (naive) assignment realises.
+			integral := 0.0
+			for _, w := range a.naive.Waves {
+				integral += float64(w)
+			}
+			if gap := (res.Objective - integral) / res.Objective; gap > 0 {
+				opts.Recorder.Observe("rwa.relaxation_gap", gap)
+			}
+		}
 		a.tickets = []ticket.Ticket{a.naive}
 		if opts.NumTickets > 1 {
 			rolled := ticket.Generate(res, ticket.Options{
@@ -133,6 +161,7 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 				Seed:             opts.Seed + int64(si)*977,
 				CheckFeasibility: true,
 				Dedup:            true,
+				Recorder:         opts.Recorder,
 			})
 			for _, tk := range rolled {
 				if tk.Key() != a.naive.Key() {
@@ -152,6 +181,8 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 	if budget <= 0 || budget > len(set.Scenarios) {
 		budget = len(set.Scenarios)
 	}
+	endOffline := obs.Span(ctx, "pipeline.offline")
+	defer endOffline()
 	kept := 0
 	for lo := 0; lo < len(set.Scenarios) && kept < budget; {
 		hi := lo + (budget - kept)
@@ -182,6 +213,7 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 		}
 		lo = hi
 	}
+	obs.Add(opts.Recorder, "pipeline.scenarios_relevant", int64(kept))
 	return p, nil
 }
 
@@ -219,15 +251,21 @@ func AllSchemes() []Scheme {
 // SolveScheme runs one TE scheme on the network and returns its allocation
 // plus the per-scenario restored-capacity maps to use during evaluation.
 func (p *Pipeline) SolveScheme(s Scheme, n *te.Network) (*te.Allocation, []map[int]float64, error) {
+	// Thread the pipeline's recorder into the two-phase LP solves; with no
+	// recorder the options stay nil exactly as before.
+	var arrowOpts *te.ArrowOptions
+	if p.rec != nil {
+		arrowOpts = &te.ArrowOptions{LP: &lp.Options{Recorder: p.rec}}
+	}
 	switch s {
 	case SchemeArrow:
-		al, err := te.Arrow(n, p.Scenarios, nil)
+		al, err := te.Arrow(n, p.Scenarios, arrowOpts)
 		if err != nil {
 			return nil, nil, err
 		}
 		return al, al.RestoredGbps, nil
 	case SchemeArrowNaive:
-		al, err := te.ArrowNaive(n, p.Naive, nil)
+		al, err := te.ArrowNaive(n, p.Naive, arrowOpts)
 		if err != nil {
 			return nil, nil, err
 		}

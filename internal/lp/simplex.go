@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"github.com/arrow-te/arrow/internal/obs"
 )
 
 // Status is the outcome of an LP solve.
@@ -50,6 +52,11 @@ type Options struct {
 	FeasTol  float64 // feasibility tolerance (default 1e-7)
 	OptTol   float64 // reduced-cost optimality tolerance (default 1e-7)
 	Refactor int     // pivots between basis refactorisations (default 64)
+	// Recorder receives per-solve metrics (pivots, refactorisations,
+	// degenerate steps, eta depth). Counters accumulate locally during the
+	// solve and flush once at the end, so a nil Recorder costs nothing and
+	// a live one never perturbs the pivot sequence.
+	Recorder obs.Recorder
 }
 
 func (o *Options) withDefaults(rows, cols int) Options {
@@ -57,6 +64,7 @@ func (o *Options) withDefaults(rows, cols int) Options {
 	if o == nil {
 		return v
 	}
+	v.Recorder = o.Recorder
 	if o.MaxIter > 0 {
 		v.MaxIter = o.MaxIter
 	}
@@ -123,6 +131,12 @@ type simplex struct {
 	w, y, rhs, accum []float64
 
 	degenerate int // consecutive degenerate pivots (Bland trigger)
+
+	// local metric accumulators, flushed to opt.Recorder once per solve
+	phase1Iters int
+	refactors   int
+	degenTotal  int
+	maxEtaDepth int
 }
 
 type eta struct {
@@ -208,6 +222,32 @@ func initialValue(lb, ub float64) (float64, int8) {
 }
 
 func (sx *simplex) run() (*Solution, error) {
+	sol, err := sx.solve()
+	if err == nil {
+		sx.flushMetrics()
+	}
+	return sol, err
+}
+
+// flushMetrics reports the solve's accumulated counters to the recorder in
+// one batch (no-op without one).
+func (sx *simplex) flushMetrics() {
+	r := sx.opt.Recorder
+	if r == nil {
+		return
+	}
+	r.Add("lp.solves", 1)
+	r.Add("lp.pivots", int64(sx.iters))
+	r.Add("lp.phase1_pivots", int64(sx.phase1Iters))
+	r.Add("lp.refactorizations", int64(sx.refactors))
+	r.Add("lp.degenerate_pivots", int64(sx.degenTotal))
+	r.Observe("lp.pivots_per_solve", float64(sx.iters))
+	r.Observe("lp.eta_depth_max", float64(sx.maxEtaDepth))
+	r.Observe("lp.rows", float64(sx.nRow))
+	r.Observe("lp.structural_vars", float64(sx.nStr))
+}
+
+func (sx *simplex) solve() (*Solution, error) {
 	// Start all structural and slack variables nonbasic at a bound.
 	for j := 0; j < sx.nStr+sx.nRow; j++ {
 		sx.x[j], sx.status[j] = initialValue(sx.lb[j], sx.ub[j])
@@ -245,6 +285,7 @@ func (sx *simplex) run() (*Solution, error) {
 		phase1Cost[sx.nStr+sx.nRow+i] = 1
 	}
 	st, err := sx.iterate(phase1Cost, true)
+	sx.phase1Iters = sx.iters
 	if err != nil {
 		return nil, err
 	}
@@ -330,6 +371,7 @@ func (sx *simplex) refactorize() error {
 	if err != nil {
 		return err
 	}
+	sx.refactors++
 	sx.lu = lu
 	sx.etas = sx.etas[:0]
 	sx.recomputeBasics()
@@ -564,6 +606,7 @@ func (sx *simplex) pivot(enter int, dir float64, d []float64, phase1 bool) (Stat
 
 	if leaveT <= 1e-10 {
 		sx.degenerate++
+		sx.degenTotal++
 	} else {
 		sx.degenerate = 0
 	}
@@ -598,6 +641,9 @@ func (sx *simplex) pivot(enter int, dir float64, d []float64, phase1 bool) (Stat
 	col := make([]float64, sx.nRow)
 	copy(col, d)
 	sx.etas = append(sx.etas, eta{pos: leave, col: col, piv: d[leave]})
+	if len(sx.etas) > sx.maxEtaDepth {
+		sx.maxEtaDepth = len(sx.etas)
+	}
 	return statusContinue, nil
 }
 

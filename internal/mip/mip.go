@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"github.com/arrow-te/arrow/internal/lp"
+	"github.com/arrow-te/arrow/internal/obs"
 )
 
 // Options tunes the branch-and-bound search.
@@ -22,6 +23,11 @@ type Options struct {
 	IntTol   float64 // integrality tolerance (default 1e-6)
 	Gap      float64 // relative optimality gap for early stop (default 0)
 	LP       *lp.Options
+	// Recorder receives per-solve metrics (nodes explored/pruned,
+	// incumbent updates) and is forwarded to the node LP relaxations.
+	// Counters accumulate locally and flush once per Solve; a nil Recorder
+	// costs nothing and never changes the search.
+	Recorder obs.Recorder
 }
 
 func (o *Options) withDefaults() Options {
@@ -39,7 +45,22 @@ func (o *Options) withDefaults() Options {
 		v.Gap = o.Gap
 	}
 	v.LP = o.LP
+	v.Recorder = o.Recorder
 	return v
+}
+
+// lpOptions returns the options for node relaxations, forwarding the
+// recorder into the LP layer when one is attached.
+func (o Options) lpOptions() *lp.Options {
+	if o.Recorder == nil {
+		return o.LP
+	}
+	var v lp.Options
+	if o.LP != nil {
+		v = *o.LP
+	}
+	v.Recorder = o.Recorder
+	return &v
 }
 
 // Solution is the result of a MILP solve.
@@ -69,11 +90,14 @@ func Solve(m *lp.Model, opts *Options) (*Solution, error) {
 			intVars = append(intVars, lp.Var(j))
 		}
 	}
+	lpOpts := opt.lpOptions()
 	if len(intVars) == 0 {
-		sol, err := lp.Solve(m, opt.LP)
+		sol, err := lp.Solve(m, lpOpts)
 		if err != nil {
 			return nil, err
 		}
+		obs.Add(opt.Recorder, "mip.solves", 1)
+		obs.Add(opt.Recorder, "mip.nodes", 1)
 		return &Solution{Status: sol.Status, Objective: sol.Objective, X: sol.X, Nodes: 1, Bound: sol.Objective}, nil
 	}
 
@@ -102,6 +126,16 @@ func Solve(m *lp.Model, opts *Options) (*Solution, error) {
 	open := []*node{{lb: map[lp.Var]float64{}, ub: map[lp.Var]float64{}, bound: math.Inf(-1)}}
 	nodes := 0
 	sawIterLimit := false
+	pruned, incumbents := 0, 0
+	defer func() {
+		if r := opt.Recorder; r != nil {
+			r.Add("mip.solves", 1)
+			r.Add("mip.nodes", int64(nodes))
+			r.Add("mip.pruned", int64(pruned))
+			r.Add("mip.incumbents", int64(incumbents))
+			r.Observe("mip.nodes_per_solve", float64(nodes))
+		}
+	}()
 
 	for len(open) > 0 {
 		if nodes >= opt.MaxNodes {
@@ -120,6 +154,7 @@ func Solve(m *lp.Model, opts *Options) (*Solution, error) {
 		nodes++
 
 		if cur.bound >= bestVal-1e-12 && !math.IsInf(cur.bound, -1) {
+			pruned++
 			continue // dominated
 		}
 
@@ -133,26 +168,31 @@ func Solve(m *lp.Model, opts *Options) (*Solution, error) {
 			}
 		}
 		if crossed {
+			pruned++
 			continue
 		}
-		rel, err := lp.Solve(work, opt.LP)
+		rel, err := lp.Solve(work, lpOpts)
 		if err != nil {
 			return nil, err
 		}
 		switch rel.Status {
 		case lp.StatusInfeasible:
+			pruned++
 			continue
 		case lp.StatusUnbounded:
 			if nodes == 1 {
 				return &Solution{Status: lp.StatusUnbounded, Nodes: nodes}, nil
 			}
+			pruned++
 			continue
 		case lp.StatusIterLimit:
 			sawIterLimit = true
+			pruned++
 			continue
 		}
 		relVal := sign * rel.Objective
 		if relVal >= bestVal-1e-9*(1+math.Abs(bestVal)) {
+			pruned++
 			continue // cannot improve
 		}
 
@@ -170,6 +210,7 @@ func Solve(m *lp.Model, opts *Options) (*Solution, error) {
 			// Integral: new incumbent.
 			if relVal < bestVal {
 				bestVal = relVal
+				incumbents++
 				best = &Solution{Status: lp.StatusOptimal, Objective: rel.Objective, X: roundInts(rel.X, intVars), Nodes: nodes}
 			}
 			continue

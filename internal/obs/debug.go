@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is a running diagnostics listener (see Serve).
+type DebugServer struct {
+	srv  *http.Server
+	addr string
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.addr }
+
+// Close shuts the listener down immediately.
+func (d *DebugServer) Close() { d.srv.Close() }
+
+// Serve starts the diagnostics HTTP listener on addr:
+//
+//	/debug/pprof/...  net/http/pprof (profile, heap, goroutine, trace, ...)
+//	/debug/vars       expvar (memstats, cmdline)
+//	/metrics          live JSON snapshot of reg (404 when reg is nil)
+//
+// Binding failures are reported immediately rather than from the serving
+// goroutine.
+func Serve(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		if reg == nil {
+			http.Error(w, "metrics registry disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns once closed
+	return &DebugServer{srv: srv, addr: ln.Addr().String()}, nil
+}

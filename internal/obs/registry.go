@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SchemaVersion identifies the snapshot JSON layout. Bump it whenever a
+// field is renamed, removed, or changes meaning (adding keys is
+// compatible).
+const SchemaVersion = 1
+
+// CoreCounters is the canonical counter schema: every Registry carries
+// these keys from birth (at zero), so a snapshot always answers "how many
+// pivots / nodes / rounding attempts" even for code paths the run never
+// exercised. Instrumented layers may add further keys on top.
+var CoreCounters = []string{
+	"lp.solves",
+	"lp.pivots",
+	"lp.phase1_pivots",
+	"lp.refactorizations",
+	"lp.degenerate_pivots",
+	"mip.solves",
+	"mip.nodes",
+	"mip.pruned",
+	"mip.incumbents",
+	"rwa.solves",
+	"ticket.rounding_attempts",
+	"ticket.generated",
+	"ticket.infeasible",
+	"ticket.duplicates",
+	"par.pools",
+	"par.tasks",
+	"par.busy_ns",
+	"par.idle_ns",
+	"pipeline.scenarios_enumerated",
+	"pipeline.scenarios_relevant",
+	"sim.intervals",
+	"sim.unplanned_intervals",
+}
+
+// defBuckets are the default histogram bucket upper bounds: powers of four
+// spanning sub-microsecond durations (in seconds) up to counts in the
+// millions. Callers with a better idea of their range use
+// RegisterHistogram.
+var defBuckets = func() []float64 {
+	out := make([]float64, 0, 24)
+	for v := 1e-7; v < 2e7; v *= 4 {
+		out = append(out, v)
+	}
+	return out
+}()
+
+// histogram is one fixed-bucket histogram: counts[i] tallies samples
+// <= bounds[i]; counts[len(bounds)] is the overflow bucket.
+type histogram struct {
+	bounds []float64
+	counts []int64
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{
+		bounds: bounds,
+		counts: make([]int64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+func (h *histogram) observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// spanStat aggregates completed spans of one name.
+type spanStat struct {
+	count   int64
+	totalNS int64
+	minNS   int64
+	maxNS   int64
+}
+
+// Registry is the standard Recorder: a mutex-guarded metrics store with
+// JSON snapshot export and an optional trace_event timeline. The zero
+// value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	start    time.Time
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*histogram
+	bounds   map[string][]float64
+	spans    map[string]*spanStat
+	tracing  bool
+	trace    []TraceEvent
+}
+
+// NewRegistry returns an empty registry pre-seeded with the CoreCounters
+// schema keys.
+func NewRegistry() *Registry {
+	r := &Registry{
+		start:    time.Now(),
+		counters: make(map[string]int64, len(CoreCounters)),
+		gauges:   map[string]float64{},
+		hists:    map[string]*histogram{},
+		bounds:   map[string][]float64{},
+		spans:    map[string]*spanStat{},
+	}
+	for _, name := range CoreCounters {
+		r.counters[name] = 0
+	}
+	return r
+}
+
+// EnableTrace turns on timeline collection: every SpanDone also appends a
+// Chrome trace_event record (see WriteTrace).
+func (r *Registry) EnableTrace() {
+	r.mu.Lock()
+	r.tracing = true
+	r.mu.Unlock()
+}
+
+// RegisterHistogram fixes the bucket upper bounds the named histogram will
+// use (bounds must be sorted ascending). Must be called before the first
+// Observe of that name; otherwise the default buckets apply.
+func (r *Registry) RegisterHistogram(name string, bounds []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.hists[name]; ok {
+		return
+	}
+	r.bounds[name] = append([]float64(nil), bounds...)
+}
+
+// Add implements Recorder.
+func (r *Registry) Add(name string, delta int64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Gauge implements Recorder.
+func (r *Registry) Gauge(name string, v float64) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Observe implements Recorder.
+func (r *Registry) Observe(name string, v float64) {
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		b := r.bounds[name]
+		if b == nil {
+			b = defBuckets
+		}
+		h = newHistogram(b)
+		r.hists[name] = h
+	}
+	h.observe(v)
+	r.mu.Unlock()
+}
+
+// SpanDone implements Recorder.
+func (r *Registry) SpanDone(name string, track int64, start time.Time, d time.Duration) {
+	ns := d.Nanoseconds()
+	r.mu.Lock()
+	s := r.spans[name]
+	if s == nil {
+		s = &spanStat{minNS: math.MaxInt64}
+		r.spans[name] = s
+	}
+	s.count++
+	s.totalNS += ns
+	if ns < s.minNS {
+		s.minNS = ns
+	}
+	if ns > s.maxNS {
+		s.maxNS = ns
+	}
+	if r.tracing {
+		r.trace = append(r.trace, TraceEvent{
+			Name: name, Phase: "X", PID: 1, TID: track,
+			TSMicros:  float64(start.Sub(r.start).Nanoseconds()) / 1e3,
+			DurMicros: float64(ns) / 1e3,
+		})
+	}
+	r.mu.Unlock()
+}
+
+// HistogramSnapshot is one histogram's exported state. Counts[i] tallies
+// samples <= Bounds[i]; the final entry is the overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+}
+
+// SpanSnapshot is one span name's aggregate duration stats.
+type SpanSnapshot struct {
+	Count        int64   `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MinSeconds   float64 `json:"min_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+}
+
+// Snapshot is the exported registry state. The JSON form is the
+// -metrics-json output and the metrics block embedded in BENCH_*.json.
+type Snapshot struct {
+	SchemaVersion int                          `json:"schema_version"`
+	Counters      map[string]int64             `json:"counters"`
+	Gauges        map[string]float64           `json:"gauges"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms"`
+	Spans         map[string]SpanSnapshot      `json:"spans"`
+}
+
+// Snapshot exports a consistent copy of the registry.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{
+		SchemaVersion: SchemaVersion,
+		Counters:      make(map[string]int64, len(r.counters)),
+		Gauges:        make(map[string]float64, len(r.gauges)),
+		Histograms:    make(map[string]HistogramSnapshot, len(r.hists)),
+		Spans:         make(map[string]SpanSnapshot, len(r.spans)),
+	}
+	for k, v := range r.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range r.gauges {
+		s.Gauges[k] = v
+	}
+	for k, h := range r.hists {
+		hs := HistogramSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]int64(nil), h.counts...),
+			Count:  h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		}
+		if h.count == 0 {
+			hs.Min, hs.Max = 0, 0
+		}
+		s.Histograms[k] = hs
+	}
+	for k, sp := range r.spans {
+		s.Spans[k] = SpanSnapshot{
+			Count:        sp.count,
+			TotalSeconds: float64(sp.totalNS) / 1e9,
+			MinSeconds:   float64(sp.minNS) / 1e9,
+			MaxSeconds:   float64(sp.maxNS) / 1e9,
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Keys returns every metric key in the snapshot, section-qualified and
+// sorted ("counter:lp.pivots", "span:pipeline.build", ...). The golden
+// schema tests compare this listing, which is deterministic even though
+// the metric values are timing-dependent.
+func (s *Snapshot) Keys() []string {
+	var out []string
+	for k := range s.Counters {
+		out = append(out, "counter:"+k)
+	}
+	for k := range s.Gauges {
+		out = append(out, "gauge:"+k)
+	}
+	for k := range s.Histograms {
+		out = append(out, "histogram:"+k)
+	}
+	for k := range s.Spans {
+		out = append(out, "span:"+k)
+	}
+	sort.Strings(out)
+	return out
+}

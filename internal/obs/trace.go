@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// TraceEvent is one Chrome trace_event record (the "X" complete-event
+// form): chrome://tracing, Perfetto and speedscope all open the exported
+// file directly. TID is the obs track: spans nest by time containment
+// within a track, and worker pools put each worker on its own track.
+type TraceEvent struct {
+	Name      string  `json:"name"`
+	Phase     string  `json:"ph"`
+	TSMicros  float64 `json:"ts"`
+	DurMicros float64 `json:"dur"`
+	PID       int64   `json:"pid"`
+	TID       int64   `json:"tid"`
+}
+
+// chromeTrace is the JSON object format of the trace_event specification.
+type chromeTrace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace writes the collected span timeline in Chrome trace_event JSON
+// format. Events appear only when EnableTrace was called before the run.
+func (r *Registry) WriteTrace(w io.Writer) error {
+	r.mu.Lock()
+	events := append([]TraceEvent(nil), r.trace...)
+	r.mu.Unlock()
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// TraceEvents returns a copy of the collected timeline (for tests).
+func (r *Registry) TraceEvents() []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]TraceEvent(nil), r.trace...)
+}

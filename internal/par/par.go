@@ -23,6 +23,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/arrow-te/arrow/internal/obs"
 )
 
 // Workers normalises a parallelism request: values <= 0 select
@@ -49,6 +52,12 @@ func Workers(n int) int {
 //
 // workers == 1 runs fn sequentially in index order on the calling
 // goroutine, restoring exactly the pre-parallel behaviour.
+// Observability: when a Recorder travels in ctx (obs.WithRecorder), the
+// pool counts dispatches (par.pools, par.tasks), times every task as a
+// "par.task" span on a per-worker track, and accounts aggregate busy/idle
+// time (par.busy_ns, par.idle_ns). Instrumentation only reads the clock —
+// dispatch order, worker count and fn results are unaffected, and with no
+// recorder in ctx the pool runs the exact pre-instrumentation code path.
 func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
@@ -57,14 +66,37 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 	if workers > n {
 		workers = n
 	}
+	rec := obs.FromContext(ctx)
+	var poolStart time.Time
+	if rec != nil {
+		rec.Add("par.pools", 1)
+		rec.Add("par.tasks", int64(n))
+		poolStart = time.Now()
+	}
 	if workers == 1 {
+		var busy time.Duration
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(ctx, i); err != nil {
+			if rec == nil {
+				if err := fn(ctx, i); err != nil {
+					return err
+				}
+				continue
+			}
+			t0 := time.Now()
+			err := fn(ctx, i)
+			d := time.Since(t0)
+			busy += d
+			rec.SpanDone("par.task", obs.TrackFrom(ctx), t0, d)
+			if err != nil {
 				return err
 			}
+		}
+		if rec != nil {
+			rec.Add("par.busy_ns", int64(busy))
+			rec.Observe("par.worker_busy_seconds", busy.Seconds())
 		}
 		return nil
 	}
@@ -74,25 +106,55 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 	errs := make([]error, n)
 	var failed atomic.Bool
 	var next atomic.Int64
+	var busyNS atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var track int64
+			var workerBusy time.Duration
+			if rec != nil {
+				track = obs.NextTrack()
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || pctx.Err() != nil {
-					return
+					break
 				}
-				if err := fn(pctx, i); err != nil {
+				var err error
+				if rec == nil {
+					err = fn(pctx, i)
+				} else {
+					t0 := time.Now()
+					rec.Observe("par.queue_wait_seconds", t0.Sub(poolStart).Seconds())
+					err = fn(obs.WithTrack(pctx, track), i)
+					d := time.Since(t0)
+					workerBusy += d
+					rec.SpanDone("par.task", track, t0, d)
+				}
+				if err != nil {
 					errs[i] = err
 					failed.Store(true)
 					cancel()
 				}
 			}
+			if rec != nil {
+				busyNS.Add(int64(workerBusy))
+				rec.Observe("par.worker_busy_seconds", workerBusy.Seconds())
+			}
 		}()
 	}
 	wg.Wait()
+	if rec != nil {
+		busy := busyNS.Load()
+		idle := int64(workers)*int64(time.Since(poolStart)) - busy
+		if idle < 0 {
+			idle = 0
+		}
+		rec.Add("par.busy_ns", busy)
+		rec.Add("par.idle_ns", idle)
+	}
 	if failed.Load() {
 		for _, err := range errs {
 			if err != nil {

@@ -15,6 +15,7 @@ import (
 
 	"github.com/arrow-te/arrow/internal/graph"
 	"github.com/arrow-te/arrow/internal/lp"
+	"github.com/arrow-te/arrow/internal/obs"
 	"github.com/arrow-te/arrow/internal/optical"
 	"github.com/arrow-te/arrow/internal/spectrum"
 )
@@ -34,6 +35,11 @@ type Request struct {
 	// the surrogate path exceeds the original format's reach (Appendix A.1).
 	// When false, paths beyond the original reach are discarded.
 	AllowModulationChange bool
+
+	// Recorder receives per-solve metrics (failed links, surrogate path
+	// options, LP effort) and is forwarded into the assignment LP. A nil
+	// Recorder costs nothing and never changes the solution.
+	Recorder obs.Recorder
 }
 
 func (r *Request) k() int {
@@ -83,11 +89,13 @@ func (r *Result) RestorableGbps(i int) float64 { return r.FracWaves[i] * r.GbpsP
 // Solve runs the two-step RWA: route surrogate paths, then solve the
 // relaxed wavelength-assignment LP.
 func Solve(req *Request) (*Result, error) {
+	obs.Add(req.Recorder, "rwa.solves", 1)
 	res := &Result{Req: req}
 	res.Failed = req.Net.FailedLinks(req.Cut)
 	if len(res.Failed) == 0 {
 		return res, nil
 	}
+	obs.Observe(req.Recorder, "rwa.failed_links", float64(len(res.Failed)))
 	spectra := req.Net.SpectrumUnderCut(req.Cut)
 	res.Options = make([][]PathOption, len(res.Failed))
 	res.GbpsPerWave = make([]float64, len(res.Failed))
@@ -107,6 +115,7 @@ func Solve(req *Request) (*Result, error) {
 			}
 		}
 		res.GbpsPerWave[i] = rate
+		obs.Observe(req.Recorder, "rwa.surrogate_paths", float64(len(res.Options[i])))
 	}
 
 	if err := solveAssignmentLP(req, spectra, res); err != nil {
@@ -288,7 +297,11 @@ func solveAssignmentLP(req *Request, spectra []*spectrum.Bitmap, res *Result) er
 	if m.NumVars() == 0 {
 		return nil // nothing restorable
 	}
-	sol, err := lp.Solve(m, nil)
+	var lpo *lp.Options
+	if req.Recorder != nil {
+		lpo = &lp.Options{Recorder: req.Recorder}
+	}
+	sol, err := lp.Solve(m, lpo)
 	if err != nil {
 		return fmt.Errorf("rwa assignment LP: %w", err)
 	}

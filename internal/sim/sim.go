@@ -14,8 +14,10 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"github.com/arrow-te/arrow/internal/availability"
+	"github.com/arrow-te/arrow/internal/obs"
 	"github.com/arrow-te/arrow/internal/par"
 	"github.com/arrow-te/arrow/internal/stats"
 	"github.com/arrow-te/arrow/internal/te"
@@ -107,6 +109,10 @@ type Runner struct {
 	// runtime.NumCPU(); 1 restores sequential replay. Reports are
 	// identical for every setting.
 	Parallelism int
+	// Recorder receives replay metrics (sim.intervals,
+	// sim.unplanned_intervals, a sim.run span) and is handed to the worker
+	// pool. A nil Recorder costs nothing and never changes the Report.
+	Recorder obs.Recorder
 
 	// plans maps a canonical failed-link-set key to the precomputed
 	// restoration of that scenario (nil for TEs without restoration).
@@ -204,7 +210,12 @@ func (r *Runner) Run(events []Event, durationH float64) *Report {
 	ev := &availability.Evaluator{Net: r.Net, Alloc: r.Alloc, ECMPRebalance: r.ECMPRebalance}
 	ivs := r.intervals(events, durationH)
 
-	evals, err := par.Map(context.Background(), r.Parallelism, len(ivs), func(_ context.Context, i int) (intervalEval, error) {
+	var runStart time.Time
+	if r.Recorder != nil {
+		runStart = time.Now()
+	}
+	ctx := obs.WithRecorder(context.Background(), r.Recorder)
+	evals, err := par.Map(ctx, r.Parallelism, len(ivs), func(_ context.Context, i int) (intervalEval, error) {
 		iv := ivs[i]
 		out := intervalEval{delivered: 1}
 		if len(iv.cut) > 0 {
@@ -245,6 +256,17 @@ func (r *Runner) Run(events []Event, durationH float64) *Report {
 	rep.FullServiceFrac /= durationH
 	if math.IsInf(rep.Worst, 1) {
 		rep.Worst = 1
+	}
+	if rec := r.Recorder; rec != nil {
+		unplanned := 0
+		for _, e := range evals {
+			if e.unplanned {
+				unplanned++
+			}
+		}
+		rec.Add("sim.intervals", int64(rep.Intervals))
+		rec.Add("sim.unplanned_intervals", int64(unplanned))
+		rec.SpanDone("sim.run", 0, runStart, time.Since(runStart))
 	}
 	return rep
 }

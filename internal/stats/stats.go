@@ -16,8 +16,16 @@ type CDF struct {
 }
 
 // NewCDF builds an empirical CDF from samples (which it copies and sorts).
+// NaN samples are dropped: they carry no ordering information, and keeping
+// them would poison every rank query (sort.Float64s leaves NaNs in
+// unspecified positions).
 func NewCDF(samples []float64) *CDF {
-	s := append([]float64(nil), samples...)
+	s := make([]float64, 0, len(samples))
+	for _, x := range samples {
+		if !math.IsNaN(x) {
+			s = append(s, x)
+		}
+	}
 	sort.Float64s(s)
 	return &CDF{sorted: s}
 }
@@ -35,8 +43,9 @@ func (c *CDF) At(x float64) float64 {
 }
 
 // Percentile returns the p-th percentile (p in [0,100]) by nearest-rank.
+// An empty CDF or NaN p yields NaN.
 func (c *CDF) Percentile(p float64) float64 {
-	if len(c.sorted) == 0 {
+	if len(c.sorted) == 0 || math.IsNaN(p) {
 		return math.NaN()
 	}
 	if p <= 0 {
@@ -72,11 +81,25 @@ func (c *CDF) Points(n int) [][2]float64 {
 	return out
 }
 
-// Min and Max return the sample extremes.
-func (c *CDF) Min() float64 { return c.sorted[0] }
+// Quantile returns the q-th quantile (q in [0,1]); equivalent to
+// Percentile(100*q).
+func (c *CDF) Quantile(q float64) float64 { return c.Percentile(100 * q) }
 
-// Max returns the largest sample.
-func (c *CDF) Max() float64 { return c.sorted[len(c.sorted)-1] }
+// Min returns the smallest sample, or NaN for an empty CDF.
+func (c *CDF) Min() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	return c.sorted[0]
+}
+
+// Max returns the largest sample, or NaN for an empty CDF.
+func (c *CDF) Max() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	return c.sorted[len(c.sorted)-1]
+}
 
 // Mean returns the arithmetic mean of samples.
 func Mean(xs []float64) float64 {
@@ -116,8 +139,12 @@ func LogNormal(rng *rand.Rand, mu, sigma float64) float64 {
 }
 
 // WeightedChoice picks an index with probability proportional to weights.
-// Zero or negative total weight picks uniformly.
+// Zero or negative total weight picks uniformly; an empty weight slice
+// returns -1 (rand.Intn(0) would panic).
 func WeightedChoice(rng *rand.Rand, weights []float64) int {
+	if len(weights) == 0 {
+		return -1
+	}
 	total := Sum(weights)
 	if total <= 0 {
 		return rng.Intn(len(weights))

@@ -116,6 +116,65 @@ func TestWeightedChoiceDistribution(t *testing.T) {
 	}
 }
 
+func TestCDFEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name    string
+		samples []float64
+		p       float64
+		want    float64 // NaN means "expect NaN"
+		min     float64
+		max     float64
+	}{
+		{name: "empty", samples: nil, p: 50, want: nan, min: nan, max: nan},
+		{name: "all NaN", samples: []float64{nan, nan}, p: 50, want: nan, min: nan, max: nan},
+		{name: "single sample", samples: []float64{7}, p: 50, want: 7, min: 7, max: 7},
+		{name: "single sample p=0", samples: []float64{7}, p: 0, want: 7, min: 7, max: 7},
+		{name: "single sample p=100", samples: []float64{7}, p: 100, want: 7, min: 7, max: 7},
+		{name: "NaN samples dropped", samples: []float64{nan, 1, nan, 3}, p: 100, want: 3, min: 1, max: 3},
+		{name: "NaN percentile arg", samples: []float64{1, 2}, p: nan, want: nan, min: 1, max: 2},
+	}
+	same := func(got, want float64) bool {
+		if math.IsNaN(want) {
+			return math.IsNaN(got)
+		}
+		return got == want
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewCDF(tc.samples)
+			if got := c.Percentile(tc.p); !same(got, tc.want) {
+				t.Errorf("Percentile(%g) = %g, want %g", tc.p, got, tc.want)
+			}
+			if got := c.Min(); !same(got, tc.min) {
+				t.Errorf("Min() = %g, want %g", got, tc.min)
+			}
+			if got := c.Max(); !same(got, tc.max) {
+				t.Errorf("Max() = %g, want %g", got, tc.max)
+			}
+		})
+	}
+}
+
+func TestQuantileMatchesPercentile(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5})
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		if c.Quantile(q) != c.Percentile(100*q) {
+			t.Fatalf("Quantile(%g) = %g != Percentile(%g) = %g", q, c.Quantile(q), 100*q, c.Percentile(100*q))
+		}
+	}
+}
+
+func TestWeightedChoiceEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if i := WeightedChoice(rng, nil); i != -1 {
+		t.Fatalf("WeightedChoice(nil) = %d, want -1", i)
+	}
+	if i := WeightedChoice(rng, []float64{}); i != -1 {
+		t.Fatalf("WeightedChoice(empty) = %d, want -1", i)
+	}
+}
+
 func TestMeanSum(t *testing.T) {
 	if Mean(nil) != 0 || Sum(nil) != 0 {
 		t.Fatal("empty slices")

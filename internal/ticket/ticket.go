@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 
+	"github.com/arrow-te/arrow/internal/obs"
 	"github.com/arrow-te/arrow/internal/rwa"
 )
 
@@ -57,6 +58,10 @@ type Options struct {
 	CheckFeasibility bool
 	// Dedup removes duplicate tickets after generation.
 	Dedup bool
+	// Recorder receives generation metrics (rounding attempts, infeasible
+	// and duplicate drops). A nil Recorder costs nothing and never changes
+	// the generated tickets.
+	Recorder obs.Recorder
 }
 
 func (o Options) stride() int {
@@ -85,6 +90,7 @@ func Generate(res *rwa.Result, opts Options) []Ticket {
 	n := len(res.Failed)
 	var out []Ticket
 	seen := map[string]bool{}
+	infeasible, duplicates := 0, 0
 	for z := 0; z < opts.Count; z++ {
 		tk := Ticket{Waves: make([]int, n), Gbps: make([]float64, n)}
 		for e := 0; e < n; e++ {
@@ -93,17 +99,26 @@ func Generate(res *rwa.Result, opts Options) []Ticket {
 		}
 		if opts.CheckFeasibility {
 			if _, ok := rwa.AssignIntegral(res, tk.Waves); !ok {
+				infeasible++
 				continue
 			}
 		}
 		if opts.Dedup {
 			k := tk.Key()
 			if seen[k] {
+				duplicates++
 				continue
 			}
 			seen[k] = true
 		}
 		out = append(out, tk)
+	}
+	if r := opts.Recorder; r != nil {
+		r.Add("ticket.rounding_attempts", int64(opts.Count))
+		r.Add("ticket.infeasible", int64(infeasible))
+		r.Add("ticket.duplicates", int64(duplicates))
+		r.Add("ticket.generated", int64(len(out)))
+		r.Observe("ticket.yield_per_batch", float64(len(out)))
 	}
 	return out
 }
