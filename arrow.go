@@ -35,6 +35,7 @@ import (
 	"fmt"
 
 	"github.com/arrow-te/arrow/internal/availability"
+	"github.com/arrow-te/arrow/internal/ledger"
 	"github.com/arrow-te/arrow/internal/lp"
 	"github.com/arrow-te/arrow/internal/noise"
 	"github.com/arrow-te/arrow/internal/obs"
@@ -197,6 +198,7 @@ type Planner struct {
 	tunnels   int
 	set       *scenario.Set
 	rec       obs.Recorder
+	led       *ledger.Ledger
 }
 
 // Plan runs ARROW's offline stage: enumerate probable fiber-cut scenarios,
@@ -208,8 +210,10 @@ func (n *Network) Plan(opts PlanOptions) (*Planner, error) {
 // PlanContext is Plan with a context: cancellation aborts the per-scenario
 // worker pool, and a metrics Recorder attached via obs.WithRecorder (as the
 // CLIs do) instruments the RWA solves, ticket generation and worker pool
-// without appearing in this package's API. A plain context reproduces Plan
-// exactly.
+// without appearing in this package's API. A flight recorder attached via
+// ledger.WithLedger likewise captures the per-scenario decision stream
+// (tickets generated/rejected, TE solves, winners) through this planner and
+// its Solve calls. A plain context reproduces Plan exactly.
 func (n *Network) PlanContext(ctx context.Context, opts PlanOptions) (*Planner, error) {
 	if opts.Tickets <= 0 {
 		opts.Tickets = 20
@@ -231,7 +235,10 @@ func (n *Network) PlanContext(ctx context.Context, opts PlanOptions) (*Planner, 
 		return nil, fmt.Errorf("arrow: %d failure probabilities for %d fibers", len(probs), len(n.opt.Fibers))
 	}
 	set := scenario.Enumerate(probs, opts.Cutoff)
-	p := &Planner{net: n, probs: probs, tunnels: opts.TunnelsPerFlow, set: set, rec: obs.FromContext(ctx)}
+	p := &Planner{net: n, probs: probs, tunnels: opts.TunnelsPerFlow, set: set, rec: obs.FromContext(ctx), led: ledger.FromContext(ctx)}
+	if p.led != nil {
+		p.led.Emit(ledger.Event{Kind: ledger.KindEnumerated, Scenario: -1, Count: len(set.Scenarios)})
+	}
 
 	// The per-scenario RWA + ticket generation is embarrassingly parallel:
 	// fan out over the bounded pool into index-addressed slots (each
@@ -268,6 +275,8 @@ func (n *Network) PlanContext(ctx context.Context, opts PlanOptions) (*Planner, 
 			Count: opts.Tickets - 1, Seed: opts.Seed + int64(si)*977,
 			CheckFeasibility: true, Dedup: true,
 			Recorder: rec,
+			Ledger:   p.led,
+			Scenario: si,
 		}) {
 			if tk.Key() != naive.Key() {
 				tks = append(tks, tk)
@@ -285,6 +294,13 @@ func (n *Network) PlanContext(ctx context.Context, opts PlanOptions) (*Planner, 
 		fs := te.FailureScenario{Prob: set.Scenarios[si].Prob, FailedLinks: a.res.Failed}
 		p.scenarios = append(p.scenarios, te.RestorableScenario{FailureScenario: fs, TicketLinks: a.res.Failed, Tickets: a.tks})
 		p.naive = append(p.naive, te.RestorableScenario{FailureScenario: fs, TicketLinks: a.res.Failed, Tickets: a.tks[:1]})
+		if p.led != nil {
+			p.led.Emit(ledger.Event{
+				Kind: ledger.KindScenario, Scenario: len(p.scenarios) - 1, Enum: si,
+				Prob: fs.Prob, Links: append([]int(nil), a.res.Failed...),
+				Count: len(a.tks),
+			})
+		}
 	}
 	return p, nil
 }
@@ -344,7 +360,7 @@ func (p *Planner) Solve(demands []Demand, opts SolveOptions) (*TrafficPlan, erro
 	if err != nil {
 		return nil, err
 	}
-	teOpts := &te.ArrowOptions{Alpha: opts.Alpha}
+	teOpts := &te.ArrowOptions{Alpha: opts.Alpha, Ledger: p.led}
 	if p.rec != nil {
 		teOpts.LP = &lp.Options{Recorder: p.rec}
 	}

@@ -1,10 +1,13 @@
 package arrow
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"strings"
 	"testing"
+
+	"github.com/arrow-te/arrow/internal/ledger"
 )
 
 // buildSquare constructs a 4-site ring WAN (like the paper's testbed) with
@@ -259,5 +262,67 @@ func TestPlannerCoverage(t *testing.T) {
 	}
 	if c.Healthy <= 0.5 || c.Planned <= 0 {
 		t.Fatalf("implausible coverage %+v", c)
+	}
+}
+
+// TestPlanContextLedger checks the public-API flight-recorder path: a
+// ledger installed on the PlanContext context records scenario, ticket,
+// solve and winner events, and the plan is byte-identical to an unrecorded
+// one.
+func TestPlanContextLedger(t *testing.T) {
+	net, _, _ := buildSquare(t)
+	led := ledger.New()
+	ctx := ledger.WithLedger(context.Background(), led)
+	planner, err := net.PlanContext(ctx, PlanOptions{Tickets: 10, Cutoff: 1e-4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands := []Demand{{Src: 0, Dst: 1, Gbps: 300}, {Src: 2, Dst: 3, Gbps: 200}}
+	plan, err := planner.Solve(demands, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := map[ledger.Kind]int{}
+	for _, ev := range led.Events() {
+		kinds[ev.Kind]++
+	}
+	if kinds[ledger.KindEnumerated] != 1 {
+		t.Errorf("enumerated events: %d, want 1", kinds[ledger.KindEnumerated])
+	}
+	if kinds[ledger.KindScenario] != planner.NumScenarios() {
+		t.Errorf("scenario events: %d, want %d", kinds[ledger.KindScenario], planner.NumScenarios())
+	}
+	if kinds[ledger.KindTicketGenerated] == 0 {
+		t.Error("no ticket_generated events")
+	}
+	if kinds[ledger.KindWinner] != planner.NumScenarios() {
+		t.Errorf("winner events: %d, want %d", kinds[ledger.KindWinner], planner.NumScenarios())
+	}
+	for _, ev := range led.Events() {
+		if ev.Kind == ledger.KindSolveEnd && ev.Cert == nil {
+			t.Errorf("solve_end for %s carries no certificate", ev.Solver)
+		}
+	}
+
+	// Recording must not change the result: same plan bytes as unrecorded.
+	plain, err := net.Plan(PlanOptions{Tickets: 10, Cutoff: 1e-4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainPlan, err := plain.Solve(demands, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := plan.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plainPlan.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("recorded plan differs from unrecorded plan")
 	}
 }

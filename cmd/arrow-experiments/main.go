@@ -41,9 +41,11 @@ func main() {
 		parallel = flag.Int("parallelism", 0, "worker count for scenario-parallel loops (0 = NumCPU, 1 = sequential; results are identical)")
 		bench    = flag.Bool("bench-json", false, "measure the parallel offline pipeline + simulator and write a perf snapshot JSON")
 		benchOut = flag.String("bench-out", "BENCH_pipeline.json", "path for the -bench-json snapshot")
+		verbose  = flag.Bool("v", false, "log per-experiment progress at debug level")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger := obsFlags.Logger(*verbose)
 
 	if *list {
 		for _, e := range eval.Experiments() {
@@ -58,7 +60,7 @@ func main() {
 		os.Exit(1)
 	}
 	if addr := sess.DebugAddr(); addr != "" {
-		fmt.Fprintf(os.Stderr, "debug listener on http://%s\n", addr)
+		logger.Info("debug listener started", "url", "http://"+addr)
 	}
 	exitCode := 0
 	defer func() {
@@ -110,10 +112,12 @@ func main() {
 			return outcome{err: fmt.Errorf("unknown experiment %q (use -list)", id)}, nil
 		}
 		start := time.Now()
+		logger.Debug("experiment started", "id", e.ID)
 		res, err := e.Run(cfg)
 		if err != nil {
 			return outcome{err: fmt.Errorf("%s: %w", e.ID, err)}, nil
 		}
+		logger.Debug("experiment done", "id", e.ID, "seconds", time.Since(start).Seconds())
 		var b strings.Builder
 		if *md {
 			fmt.Fprintln(&b, eval.RenderMarkdown(res))
@@ -142,14 +146,23 @@ func main() {
 // of the two parallelised hot paths at 1, 2 and N workers, so future PRs
 // can track the perf trajectory of the offline stage.
 type benchSnapshot struct {
-	GoVersion   string             `json:"go_version"`
-	NumCPU      int                `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// GoMaxProcs is the effective parallelism ceiling of the measuring
+	// host (GOMAXPROCS may be below NumCPU in cgroup-limited CI runners).
+	GoMaxProcs  int                `json:"go_max_procs"`
 	Seed        int64              `json:"seed"`
 	Timestamp   string             `json:"timestamp"`
 	Pipeline    []benchMeasurement `json:"build_pipeline"`
 	Fig13       []benchMeasurement `json:"fig13_availability"`
 	SpeedupPipe float64            `json:"build_pipeline_speedup"`
 	SpeedupF13  float64            `json:"fig13_speedup"`
+	// SpeedupValid marks the speedup ratios as meaningful: false when the
+	// snapshot was measured with fewer than 2 effective CPUs, where the
+	// "parallel" runs share one core and the ratios are scheduling noise.
+	// arrow-report -diff skips speedup comparison for such snapshots.
+	SpeedupValid bool   `json:"speedup_valid"`
+	Note         string `json:"note,omitempty"`
 	// Metrics is the solver/pipeline metrics snapshot of one instrumented
 	// standard build (workers = max of the measured set), so the perf
 	// trajectory carries the work counts (LP pivots, MIP nodes, rounding
@@ -168,10 +181,16 @@ func writeBenchSnapshot(path string, seed int64, parallelism int) error {
 		workerSets = append(workerSets, n)
 	}
 	snap := &benchSnapshot{
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		Seed:      seed,
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		NumCPU:       runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Seed:         seed,
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+		SpeedupValid: runtime.GOMAXPROCS(0) >= 2,
+	}
+	if !snap.SpeedupValid {
+		snap.Note = "measured with <2 effective CPUs; speedup ratios are scheduling noise and are not comparable"
+		fmt.Fprintln(os.Stderr, "bench-json: warning:", snap.Note)
 	}
 
 	for _, w := range workerSets {
@@ -208,8 +227,12 @@ func writeBenchSnapshot(path string, seed int64, parallelism int) error {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (pipeline speedup %.2fx, fig13 speedup %.2fx at %d workers)\n",
-		path, snap.SpeedupPipe, snap.SpeedupF13, workerSets[len(workerSets)-1])
+	suffix := ""
+	if !snap.SpeedupValid {
+		suffix = " [not comparable: <2 effective CPUs]"
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (pipeline speedup %.2fx, fig13 speedup %.2fx at %d workers)%s\n",
+		path, snap.SpeedupPipe, snap.SpeedupF13, workerSets[len(workerSets)-1], suffix)
 	return nil
 }
 

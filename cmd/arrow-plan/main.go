@@ -25,24 +25,28 @@ import (
 	"strings"
 
 	arrow "github.com/arrow-te/arrow"
+	"github.com/arrow-te/arrow/internal/ledger"
 	"github.com/arrow-te/arrow/internal/obs"
 	"github.com/arrow-te/arrow/internal/topo"
 )
 
 func main() {
 	var (
-		topoFile = flag.String("topo", "", "topology file (required)")
-		demFile  = flag.String("demands", "", "demand CSV file: src,dst,gbps (required)")
-		out      = flag.String("out", "", "write the traffic plan JSON here (default stdout)")
-		roadmDir = flag.String("roadm-configs", "", "write per-scenario ROADM config files into this directory")
-		tickets  = flag.Int("tickets", 40, "LotteryTickets per failure scenario")
-		cutoff   = flag.Float64("cutoff", 1e-3, "failure scenario probability cutoff")
-		seed     = flag.Int64("seed", 1, "random seed")
-		naive    = flag.Bool("naive", false, "skip Phase I (Arrow-Naive)")
-		parallel = flag.Int("parallelism", 0, "worker count for per-scenario offline planning (0 = NumCPU, 1 = sequential; results are identical)")
+		topoFile  = flag.String("topo", "", "topology file (required)")
+		demFile   = flag.String("demands", "", "demand CSV file: src,dst,gbps (required)")
+		out       = flag.String("out", "", "write the traffic plan JSON here (default stdout)")
+		roadmDir  = flag.String("roadm-configs", "", "write per-scenario ROADM config files into this directory")
+		tickets   = flag.Int("tickets", 40, "LotteryTickets per failure scenario")
+		cutoff    = flag.Float64("cutoff", 1e-3, "failure scenario probability cutoff")
+		seed      = flag.Int64("seed", 1, "random seed")
+		naive     = flag.Bool("naive", false, "skip Phase I (Arrow-Naive)")
+		parallel  = flag.Int("parallelism", 0, "worker count for per-scenario offline planning (0 = NumCPU, 1 = sequential; results are identical)")
+		ledgerOut = flag.String("ledger-json", "", "write the flight-recorder ledger snapshot JSON to this file")
+		verbose   = flag.Bool("v", false, "mirror flight-recorder events to the structured log")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger := obsFlags.Logger(*verbose)
 	if *topoFile == "" || *demFile == "" {
 		fmt.Fprintln(os.Stderr, "arrow-plan: -topo and -demands are required")
 		os.Exit(2)
@@ -53,9 +57,19 @@ func main() {
 		os.Exit(1)
 	}
 	if addr := sess.DebugAddr(); addr != "" {
-		fmt.Fprintf(os.Stderr, "debug listener on http://%s\n", addr)
+		logger.Info("debug listener started", "url", "http://"+addr)
 	}
-	err = run(*topoFile, *demFile, *out, *roadmDir, *tickets, *cutoff, *seed, *parallel, *naive, sess.Recorder())
+	var led *ledger.Ledger
+	if *ledgerOut != "" || *verbose {
+		led = ledger.New()
+		if *verbose {
+			led.SetLogger(logger)
+		}
+	}
+	err = run(*topoFile, *demFile, *out, *roadmDir, *tickets, *cutoff, *seed, *parallel, *naive, sess.Recorder(), led)
+	if err == nil && *ledgerOut != "" {
+		err = writeLedger(*ledgerOut, led)
+	}
 	if cerr := sess.Close(); err == nil {
 		err = cerr
 	}
@@ -65,7 +79,20 @@ func main() {
 	}
 }
 
-func run(topoFile, demFile, out, roadmDir string, tickets int, cutoff float64, seed int64, parallelism int, naive bool, rec obs.Recorder) error {
+// writeLedger dumps the recorded event stream for arrow-report -ledger.
+func writeLedger(path string, led *ledger.Ledger) error {
+	fd, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := led.WriteJSON(fd); err != nil {
+		fd.Close()
+		return err
+	}
+	return fd.Close()
+}
+
+func run(topoFile, demFile, out, roadmDir string, tickets int, cutoff float64, seed int64, parallelism int, naive bool, rec obs.Recorder, led *ledger.Ledger) error {
 	net, err := loadNetwork(topoFile)
 	if err != nil {
 		return err
@@ -77,8 +104,12 @@ func run(topoFile, demFile, out, roadmDir string, tickets int, cutoff float64, s
 	fmt.Fprintf(os.Stderr, "loaded %d sites, %d fibers, %d IP links, %d demands\n",
 		net.NumSites(), net.NumFibers(), net.NumLinks(), len(demands))
 
-	// The recorder rides the context so the public Plan API stays obs-free.
+	// The recorder and flight recorder ride the context so the public Plan
+	// API stays instrumentation-free.
 	ctx := obs.WithRecorder(context.Background(), rec)
+	if led != nil {
+		ctx = ledger.WithLedger(ctx, led)
+	}
 	planner, err := net.PlanContext(ctx, arrow.PlanOptions{Tickets: tickets, Cutoff: cutoff, Seed: seed, Parallelism: parallelism})
 	if err != nil {
 		return err

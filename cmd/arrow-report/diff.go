@@ -1,0 +1,205 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/arrow-te/arrow/internal/obs"
+)
+
+// benchFile is the tolerant view of a comparable snapshot: either a
+// BENCH_*.json written by arrow-experiments -bench-json (metrics nested
+// under "metrics") or a plain -metrics-json obs.Snapshot (counters at the
+// top level). Unknown fields are ignored so older and newer snapshots stay
+// comparable.
+type benchFile struct {
+	NumCPU     int     `json:"num_cpu"`
+	GoMaxProcs int     `json:"go_max_procs"`
+	Speedup    float64 `json:"build_pipeline_speedup"`
+	SpeedupF13 float64 `json:"fig13_speedup"`
+	// SpeedupValid marks snapshots taken with >= 2 effective CPUs; older
+	// snapshots lack the field and are treated per their num_cpu.
+	SpeedupValid *bool            `json:"speedup_valid,omitempty"`
+	Metrics      *obs.Snapshot    `json:"metrics"`
+	Counters     map[string]int64 `json:"counters"`
+}
+
+// counters returns the counter map regardless of which layout the file had.
+func (b *benchFile) counters() map[string]int64 {
+	if b.Metrics != nil {
+		return b.Metrics.Counters
+	}
+	return b.Counters
+}
+
+// speedupUsable reports whether the snapshot's speedup figures mean
+// anything: parallel speedup measured on a single effective CPU is noise.
+func (b *benchFile) speedupUsable() bool {
+	if b.SpeedupValid != nil {
+		return *b.SpeedupValid
+	}
+	procs := b.GoMaxProcs
+	if procs == 0 {
+		procs = b.NumCPU
+	}
+	return procs >= 2
+}
+
+func loadBenchFile(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b benchFile
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.counters() == nil {
+		return nil, fmt.Errorf("%s: neither a bench snapshot (metrics.counters) nor a metrics snapshot (counters)", path)
+	}
+	return &b, nil
+}
+
+// timingCounters accumulate wall-clock, not work: schedule-dependent, never
+// diffed.
+var timingCounters = map[string]bool{
+	"par.busy_ns": true,
+	"par.idle_ns": true,
+}
+
+// diffOptions tunes the regression gate.
+type diffOptions struct {
+	// threshold is the default allowed relative growth per counter (0.20 =
+	// +20%).
+	threshold float64
+	// perKey overrides the threshold for specific counters
+	// ("ticket.infeasible=0.1"). A negative override exempts the key.
+	perKey map[string]float64
+}
+
+// parseKeyThresholds parses "k1=0.1,k2=0.5" into a per-key map.
+func parseKeyThresholds(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad threshold %q (want key=fraction)", part)
+		}
+		v, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad threshold %q: %w", part, err)
+		}
+		out[kv[0]] = v
+	}
+	return out, nil
+}
+
+// diffFinding is one compared counter.
+type diffFinding struct {
+	Key        string
+	Old, New   int64
+	Growth     float64 // (new-old)/max(old,1)
+	Threshold  float64
+	Regression bool
+}
+
+// diffCounters compares the deterministic counters of two snapshots. A
+// counter regresses when it GROWS by more than its threshold: every gated
+// counter measures waste or failure (infeasible tickets, certificate
+// failures, pivots, pruned nodes), so shrinking is improvement and only
+// growth gates.
+func diffCounters(oldC, newC map[string]int64, opts diffOptions) []diffFinding {
+	keys := make([]string, 0, len(newC))
+	for k := range newC {
+		if _, ok := oldC[k]; ok && !timingCounters[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var out []diffFinding
+	for _, k := range keys {
+		o, n := oldC[k], newC[k]
+		thr := opts.threshold
+		if v, ok := opts.perKey[k]; ok {
+			thr = v
+		}
+		if thr < 0 {
+			continue // exempted
+		}
+		den := o
+		if den < 1 {
+			den = 1
+		}
+		growth := float64(n-o) / float64(den)
+		out = append(out, diffFinding{
+			Key: k, Old: o, New: n, Growth: growth, Threshold: thr,
+			Regression: growth > thr,
+		})
+	}
+	return out
+}
+
+// runDiff compares two snapshot files and writes a report; it returns the
+// number of regressions.
+func runDiff(w io.Writer, oldPath, newPath string, opts diffOptions) (int, error) {
+	oldB, err := loadBenchFile(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newB, err := loadBenchFile(newPath)
+	if err != nil {
+		return 0, err
+	}
+
+	findings := diffCounters(oldB.counters(), newB.counters(), opts)
+	regressions := 0
+	fmt.Fprintf(w, "counter diff %s -> %s (default threshold +%.0f%%):\n", oldPath, newPath, 100*opts.threshold)
+	for _, f := range findings {
+		mark := "  "
+		if f.Regression {
+			mark = "✗ "
+			regressions++
+		} else if f.Growth != 0 {
+			mark = "~ "
+		}
+		if f.Growth != 0 || f.Regression {
+			fmt.Fprintf(w, "%s%-32s %10d -> %10d  (%+.1f%%, limit +%.0f%%)\n",
+				mark, f.Key, f.Old, f.New, 100*f.Growth, 100*f.Threshold)
+		}
+	}
+
+	// Certificate failures are an absolute gate: any nonzero count in the
+	// new snapshot is a solver-soundness regression regardless of growth.
+	if n := newB.counters()["lp.cert_failures"]; n > 0 {
+		fmt.Fprintf(w, "✗ lp.cert_failures = %d in new snapshot (must be 0)\n", n)
+		regressions++
+	}
+
+	// Speedup figures gate only when BOTH snapshots were measured with >= 2
+	// effective CPUs; otherwise the ratio is noise and is skipped.
+	if oldB.Speedup > 0 && newB.Speedup > 0 {
+		if oldB.speedupUsable() && newB.speedupUsable() {
+			if newB.Speedup < oldB.Speedup*0.5 {
+				fmt.Fprintf(w, "✗ build_pipeline_speedup halved: %.2fx -> %.2fx\n", oldB.Speedup, newB.Speedup)
+				regressions++
+			}
+		} else {
+			fmt.Fprintf(w, "  (speedup comparison skipped: <2 effective CPUs)\n")
+		}
+	}
+
+	if regressions == 0 {
+		fmt.Fprintf(w, "no regressions (%d counters compared)\n", len(findings))
+	} else {
+		fmt.Fprintf(w, "%d regression(s)\n", regressions)
+	}
+	return regressions, nil
+}

@@ -1,0 +1,173 @@
+// Command arrow-report renders ARROW flight-recorder ledgers and metrics
+// snapshots into per-scenario run reports, and gates CI on snapshot
+// regressions.
+//
+// Usage:
+//
+//	arrow-report -run [-seed 1] [-parallelism 8] [-out report.md] [-json report.json] [-ledger-json ledger.json]
+//	arrow-report -ledger ledger.json [-metrics metrics.json] [-out report.md] [-json report.json]
+//	arrow-report -diff old.json new.json [-threshold 0.2] [-key-threshold ticket.infeasible=0.2]
+//
+// -run executes the standard recorded pipeline (the same B4 instance the
+// bench snapshot measures), solves the ARROW scheme, and renders the
+// decision ledger: which tickets were generated or rejected (and why),
+// which ticket won each scenario with its restored-capacity fraction, the
+// two-phase LP certificates, and the residual unmet demand.
+//
+// -diff compares the deterministic counters of two BENCH/metrics snapshots
+// with per-key growth thresholds and exits nonzero on regression; CI runs
+// it against the committed baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/arrow-te/arrow/internal/eval"
+	"github.com/arrow-te/arrow/internal/ledger"
+	"github.com/arrow-te/arrow/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main behind testable seams: argv in, exit code out.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("arrow-report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		doRun     = fs.Bool("run", false, "run the standard recorded pipeline and render its report")
+		seed      = fs.Int64("seed", 1, "random seed for -run")
+		parallel  = fs.Int("parallelism", 0, "worker count for -run (0 = NumCPU; results are identical)")
+		ledgerIn  = fs.String("ledger", "", "render an existing ledger snapshot JSON instead of running")
+		metricsIn = fs.String("metrics", "", "metrics snapshot JSON to embed in the report (with -ledger)")
+		out       = fs.String("out", "-", "markdown report output path (- = stdout)")
+		jsonOut   = fs.String("json", "", "also write the report as JSON to this path")
+		ledgerOut = fs.String("ledger-json", "", "with -run: write the raw ledger snapshot to this path")
+		doDiff    = fs.Bool("diff", false, "compare two snapshot JSONs: arrow-report -diff old.json new.json")
+		threshold = fs.Float64("threshold", 0.20, "default allowed relative counter growth for -diff (0.20 = +20%)")
+		keyThresh = fs.String("key-threshold", "", "per-key -diff overrides, e.g. ticket.infeasible=0.1,lp.pivots=0.5 (negative = exempt)")
+		verbose   = fs.Bool("v", false, "verbose: mirror ledger events to the structured log")
+	)
+	obsFlags := obs.RegisterFlags(fs)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	logger := obsFlags.Logger(*verbose)
+
+	switch {
+	case *doDiff:
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "usage: arrow-report -diff old.json new.json")
+			return 2
+		}
+		perKey, err := parseKeyThresholds(*keyThresh)
+		if err != nil {
+			fmt.Fprintln(stderr, "arrow-report:", err)
+			return 2
+		}
+		regressions, err := runDiff(stdout, fs.Arg(0), fs.Arg(1), diffOptions{threshold: *threshold, perKey: perKey})
+		if err != nil {
+			fmt.Fprintln(stderr, "arrow-report:", err)
+			return 2
+		}
+		if regressions > 0 {
+			return 1
+		}
+		return 0
+
+	case *ledgerIn != "":
+		fd, err := os.Open(*ledgerIn)
+		if err != nil {
+			fmt.Fprintln(stderr, "arrow-report:", err)
+			return 2
+		}
+		snap, err := ledger.ReadJSON(fd)
+		fd.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "arrow-report:", err)
+			return 2
+		}
+		var metrics *obs.Snapshot
+		if *metricsIn != "" {
+			data, err := os.ReadFile(*metricsIn)
+			if err != nil {
+				fmt.Fprintln(stderr, "arrow-report:", err)
+				return 2
+			}
+			metrics = &obs.Snapshot{}
+			if err := json.Unmarshal(data, metrics); err != nil {
+				fmt.Fprintln(stderr, "arrow-report:", err)
+				return 2
+			}
+		}
+		return emitReport(buildReport(snap, metrics), *out, *jsonOut, stdout, stderr)
+
+	case *doRun:
+		led := ledger.New()
+		if *verbose {
+			led.SetLogger(logger)
+		}
+		reg := obs.NewRegistry()
+		logger.Info("building recorded pipeline", "seed", *seed, "parallelism", *parallel)
+		if _, _, err := eval.RunRecorded(*seed, *parallel, reg, led); err != nil {
+			fmt.Fprintln(stderr, "arrow-report:", err)
+			return 1
+		}
+		if *ledgerOut != "" {
+			fd, err := os.Create(*ledgerOut)
+			if err != nil {
+				fmt.Fprintln(stderr, "arrow-report:", err)
+				return 1
+			}
+			if err := led.WriteJSON(fd); err != nil {
+				fd.Close()
+				fmt.Fprintln(stderr, "arrow-report:", err)
+				return 1
+			}
+			fd.Close()
+		}
+		rep := buildReport(led.Snapshot(), reg.Snapshot())
+		logger.Info("run recorded", "events", led.Len(), "scenarios", len(rep.Scenarios), "cert_failures", rep.Certificates.Failures)
+		code := emitReport(rep, *out, *jsonOut, stdout, stderr)
+		if code == 0 && !rep.Certificates.AllPassing {
+			fmt.Fprintln(stderr, "arrow-report: certificate verification failed")
+			return 1
+		}
+		return code
+	}
+
+	fmt.Fprintln(stderr, "nothing to do: pass -run, -ledger <file> or -diff old.json new.json")
+	return 2
+}
+
+// emitReport writes the markdown (and optional JSON) renderings.
+func emitReport(rep *RunReport, out, jsonOut string, stdout, stderr io.Writer) int {
+	var w io.Writer = stdout
+	if out != "-" && out != "" {
+		fd, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(stderr, "arrow-report:", err)
+			return 1
+		}
+		defer fd.Close()
+		w = fd
+	}
+	renderMarkdown(w, rep)
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "arrow-report:", err)
+			return 1
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "arrow-report:", err)
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/arrow-te/arrow/internal/ledger"
+	"github.com/arrow-te/arrow/internal/lp"
+)
+
+// TestBuildReportJoins checks the enum->pipeline-index join: ticket events
+// tagged with enumerated indices must land in the right scenario rows.
+func TestBuildReportJoins(t *testing.T) {
+	l := ledger.New()
+	l.Emit(ledger.Event{Kind: ledger.KindEnumerated, Scenario: -1, Count: 5})
+	// Pipeline scenario 0 came from enumerated index 2 (0 and 1 were
+	// irrelevant cuts).
+	l.Emit(ledger.Event{Kind: ledger.KindScenario, Scenario: 0, Enum: 2, Prob: 0.1, Links: []int{4, 7}, Count: 3})
+	l.Emit(ledger.Event{Kind: ledger.KindTicketGenerated, Scenario: 2, Ticket: 0, Gbps: 100})
+	l.Emit(ledger.Event{Kind: ledger.KindTicketRejected, Scenario: 2, Ticket: 1, Reason: ledger.RejectDuplicate})
+	l.Emit(ledger.Event{Kind: ledger.KindTicketRejected, Scenario: 2, Ticket: 2, Reason: ledger.RejectSpectrumClash})
+	l.Emit(ledger.Event{Kind: ledger.KindTicketRejected, Scenario: 2, Ticket: 3, Reason: ledger.RejectRounding})
+	// Ticket events for an enumerated scenario that was never kept must be
+	// dropped, not crash.
+	l.Emit(ledger.Event{Kind: ledger.KindTicketGenerated, Scenario: 4, Ticket: 0})
+	l.Emit(ledger.Event{Kind: ledger.KindSolveEnd, Scenario: -1, Solver: "arrow-phase2", Status: "optimal",
+		Cert: &lp.Certificate{Primal: 9, Dual: 9}})
+	l.Emit(ledger.Event{Kind: ledger.KindWinner, Scenario: 0, Ticket: 2, Gbps: 300, Fraction: 0.6})
+	l.Emit(ledger.Event{Kind: ledger.KindUnmetDemand, Scenario: -1, Gbps: 50, Fraction: 0.05})
+
+	rep := buildReport(l.Snapshot(), nil)
+	if rep.Enumerated != 5 || len(rep.Scenarios) != 1 {
+		t.Fatalf("enumerated=%d scenarios=%d", rep.Enumerated, len(rep.Scenarios))
+	}
+	sr := rep.Scenarios[0]
+	if sr.Generated != 1 || sr.RejectedDuplicates != 1 || sr.RejectedSpectrum != 1 || sr.RejectedRounding != 1 {
+		t.Errorf("ticket tallies wrong: %+v", sr)
+	}
+	if !sr.HasWinner || sr.WinningTicket != 2 || sr.RestoredFraction != 0.6 {
+		t.Errorf("winner join wrong: %+v", sr)
+	}
+	if rep.UnmetGbps != 50 || rep.UnmetFraction != 0.05 {
+		t.Errorf("unmet demand wrong: %+v", rep)
+	}
+	if !rep.Certificates.AllPassing || rep.Certificates.Certified != 1 {
+		t.Errorf("cert summary wrong: %+v", rep.Certificates)
+	}
+	if rep.Restoration.Count != 1 || rep.Restoration.P50 != 0.6 {
+		t.Errorf("restoration summary wrong: %+v", rep.Restoration)
+	}
+
+	var md bytes.Buffer
+	renderMarkdown(&md, rep)
+	for _, want := range []string{"#2", "60.0%", "arrow-phase2", "PASS"} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}
+
+// writeSnapshot writes a minimal bench-style snapshot with the given
+// counters.
+func writeSnapshot(t *testing.T, path string, counters map[string]int64, extra map[string]any) {
+	t.Helper()
+	doc := map[string]any{"metrics": map[string]any{"schema_version": 1, "counters": counters}}
+	for k, v := range extra {
+		doc[k] = v
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffDetectsPerturbedSnapshot is the acceptance gate: a synthetically
+// perturbed snapshot must make -diff exit nonzero.
+func TestDiffDetectsPerturbedSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeSnapshot(t, oldPath, map[string]int64{"ticket.infeasible": 100, "lp.pivots": 1000}, nil)
+	writeSnapshot(t, newPath, map[string]int64{"ticket.infeasible": 150, "lp.pivots": 1000}, nil)
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-diff", oldPath, newPath}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1; out:\n%s\nerr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "ticket.infeasible") {
+		t.Errorf("diff output does not name the regressed counter:\n%s", out.String())
+	}
+
+	// The identical snapshot must pass.
+	out.Reset()
+	if code := run([]string{"-diff", oldPath, oldPath}, &out, &errb); code != 0 {
+		t.Errorf("identical snapshots exit %d:\n%s", code, out.String())
+	}
+
+	// A per-key override can loosen the gate.
+	out.Reset()
+	if code := run([]string{"-diff", "-key-threshold", "ticket.infeasible=0.6", oldPath, newPath}, &out, &errb); code != 0 {
+		t.Errorf("override did not loosen the gate: exit %d:\n%s", code, out.String())
+	}
+
+	// ...and tighten it.
+	out.Reset()
+	writeSnapshot(t, newPath, map[string]int64{"ticket.infeasible": 110, "lp.pivots": 1000}, nil)
+	if code := run([]string{"-diff", "-key-threshold", "ticket.infeasible=0.05", oldPath, newPath}, &out, &errb); code != 1 {
+		t.Errorf("tightened gate did not fire: exit %d:\n%s", code, out.String())
+	}
+}
+
+// TestDiffTimingCountersExcluded pins that wall-clock accumulators never
+// gate: they are schedule-dependent noise.
+func TestDiffTimingCountersExcluded(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeSnapshot(t, oldPath, map[string]int64{"par.busy_ns": 1000, "par.idle_ns": 10}, nil)
+	writeSnapshot(t, newPath, map[string]int64{"par.busy_ns": 99000, "par.idle_ns": 99000}, nil)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-diff", oldPath, newPath}, &out, &errb); code != 0 {
+		t.Errorf("timing counters gated the diff: exit %d:\n%s", code, out.String())
+	}
+}
+
+// TestDiffCertFailuresAbsoluteGate pins the solver-soundness gate: any
+// nonzero lp.cert_failures in the new snapshot regresses, even from zero
+// baseline growth allowance tricks.
+func TestDiffCertFailuresAbsoluteGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeSnapshot(t, oldPath, map[string]int64{"lp.cert_failures": 0}, nil)
+	writeSnapshot(t, newPath, map[string]int64{"lp.cert_failures": 1}, nil)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-diff", "-threshold", "1e9", oldPath, newPath}, &out, &errb); code != 1 {
+		t.Errorf("cert failure did not gate: exit %d:\n%s", code, out.String())
+	}
+}
+
+// TestDiffSpeedupSkippedOnSingleCPU pins satellite honesty: speedup ratios
+// measured on one effective CPU are skipped, not compared.
+func TestDiffSpeedupSkippedOnSingleCPU(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeSnapshot(t, oldPath, map[string]int64{}, map[string]any{"build_pipeline_speedup": 3.5, "num_cpu": 8})
+	writeSnapshot(t, newPath, map[string]int64{}, map[string]any{"build_pipeline_speedup": 0.9, "num_cpu": 1})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-diff", oldPath, newPath}, &out, &errb); code != 0 {
+		t.Errorf("single-CPU speedup gated the diff: exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "skipped") {
+		t.Errorf("diff output does not mention the skip:\n%s", out.String())
+	}
+
+	// With both snapshots on multi-CPU hosts, a halved speedup gates.
+	writeSnapshot(t, newPath, map[string]int64{}, map[string]any{"build_pipeline_speedup": 0.9, "num_cpu": 8})
+	out.Reset()
+	if code := run([]string{"-diff", oldPath, newPath}, &out, &errb); code != 1 {
+		t.Errorf("halved speedup did not gate: exit %d:\n%s", code, out.String())
+	}
+}
+
+// TestRunReportNamesEveryWinner is the end-to-end acceptance criterion:
+// arrow-report -run on the default pipeline must name the winning ticket
+// and restored-capacity fraction for every relevant scenario, and every LP
+// solve must carry a sub-tolerance certificate.
+func TestRunReportNamesEveryWinner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full recorded pipeline")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "report.json")
+	ledgerPath := filepath.Join(dir, "ledger.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-run", "-parallelism", "2", "-out", filepath.Join(dir, "report.md"),
+		"-json", jsonPath, "-ledger-json", ledgerPath}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, errb.String())
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep RunReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) == 0 {
+		t.Fatal("report has no scenarios")
+	}
+	for _, sr := range rep.Scenarios {
+		if !sr.HasWinner {
+			t.Errorf("scenario %d has no winning ticket", sr.Scenario)
+		}
+		if sr.RestoredFraction < 0 || sr.RestoredFraction > 1 {
+			t.Errorf("scenario %d restored fraction %g out of range", sr.Scenario, sr.RestoredFraction)
+		}
+	}
+	if !rep.Certificates.AllPassing || rep.Certificates.Certified == 0 {
+		t.Errorf("certificates not all passing: %+v", rep.Certificates)
+	}
+	if rep.Certificates.MaxGap >= lp.DefaultCertTol {
+		t.Errorf("max duality gap %g exceeds %g", rep.Certificates.MaxGap, lp.DefaultCertTol)
+	}
+	if rep.Metrics == nil || rep.Metrics.Counters["lp.certificates"] == 0 {
+		t.Error("report metrics missing lp.certificates")
+	}
+
+	// The written ledger must round-trip through the -ledger render mode.
+	out.Reset()
+	if code := run([]string{"-ledger", ledgerPath}, &out, &errb); code != 0 {
+		t.Fatalf("-ledger render exit %d:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "## Ticket win/loss per scenario") {
+		t.Error("-ledger render missing the win/loss table")
+	}
+}
+
+// TestRunUsageErrors pins the exit codes of bad invocations.
+func TestRunUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no-op invocation exit %d, want 2", code)
+	}
+	if code := run([]string{"-diff", "only-one.json"}, &out, &errb); code != 2 {
+		t.Errorf("-diff with one arg exit %d, want 2", code)
+	}
+	if code := run([]string{"-ledger", filepath.Join(t.TempDir(), "missing.json")}, &out, &errb); code != 2 {
+		t.Errorf("missing ledger exit %d, want 2", code)
+	}
+	if code := run([]string{"-diff", "-key-threshold", "garbage", "a.json", "b.json"}, &out, &errb); code != 2 {
+		t.Errorf("bad key-threshold exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,251 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/arrow-te/arrow/internal/ledger"
+	"github.com/arrow-te/arrow/internal/lp"
+	"github.com/arrow-te/arrow/internal/obs"
+	"github.com/arrow-te/arrow/internal/stats"
+)
+
+// reportSchemaVersion identifies the run-report JSON layout.
+const reportSchemaVersion = 1
+
+// ScenarioReport is one scenario's row of the run report, joined from the
+// scenario / ticket / winner events of the ledger.
+type ScenarioReport struct {
+	// Scenario is the pipeline index, Enum the enumerated (probability-
+	// ordered) index ticket events were tagged with.
+	Scenario int     `json:"scenario"`
+	Enum     int     `json:"enum"`
+	Prob     float64 `json:"prob"`
+	Links    []int   `json:"links"`
+	// Tickets is the candidate-set size the TE saw (|Z^q| after filtering).
+	Tickets int `json:"tickets"`
+	// Generated / rejection tallies from the randomized-rounding stage.
+	Generated          int `json:"generated"`
+	RejectedRounding   int `json:"rejected_rounding_infeasible"`
+	RejectedSpectrum   int `json:"rejected_spectrum_clash"`
+	RejectedDuplicates int `json:"rejected_duplicate"`
+	// WinningTicket and the restored capacity it revives.
+	WinningTicket    int     `json:"winning_ticket"`
+	RestoredGbps     float64 `json:"restored_gbps"`
+	RestoredFraction float64 `json:"restored_fraction"`
+	// HasWinner is false when the ledger carries no winner event for the
+	// scenario (e.g. the run stopped before the TE solve).
+	HasWinner bool `json:"has_winner"`
+}
+
+// SolveReport is one LP/MILP solve with its certificate.
+type SolveReport struct {
+	Solver string          `json:"solver"`
+	Status string          `json:"status"`
+	Cert   *lp.Certificate `json:"certificate,omitempty"`
+	// CertOK reports lp.CheckCertificate at the default tolerance.
+	CertOK bool `json:"cert_ok"`
+}
+
+// CertSummary aggregates the certificates of a run.
+type CertSummary struct {
+	Solves     int     `json:"solves"`
+	Certified  int     `json:"certified"`
+	Failures   int     `json:"failures"`
+	MaxGap     float64 `json:"max_gap"`
+	MaxPrimal  float64 `json:"max_primal_inf"`
+	MaxDual    float64 `json:"max_dual_inf"`
+	AllPassing bool    `json:"all_passing"`
+}
+
+// RunReport is the rendered artifact of one recorded run.
+type RunReport struct {
+	SchemaVersion int              `json:"schema_version"`
+	Enumerated    int              `json:"scenarios_enumerated"`
+	Scenarios     []ScenarioReport `json:"scenarios"`
+	Solves        []SolveReport    `json:"solves"`
+	Certificates  CertSummary      `json:"certificates"`
+	// Restoration summarises the restored-capacity fractions of the
+	// winning tickets across scenarios (the per-run restoration CDF).
+	Restoration stats.Summary `json:"restoration_fraction"`
+	// UnmetGbps / UnmetFraction is the residual demand of the final plan.
+	UnmetGbps     float64 `json:"unmet_gbps"`
+	UnmetFraction float64 `json:"unmet_fraction"`
+	// SimIntervals / SimDelivered summarise sim_summary events, if any.
+	SimIntervals int     `json:"sim_intervals,omitempty"`
+	SimDelivered float64 `json:"sim_delivered,omitempty"`
+	// Metrics embeds the metrics snapshot of the run, when available.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// buildReport joins a ledger event stream into a RunReport. Ticket events
+// are tagged with the enumerated scenario index; scenario events provide
+// the enum->pipeline mapping, so rejected tickets of never-kept scenarios
+// are dropped (they have no row to land in).
+func buildReport(snap *ledger.Snapshot, metrics *obs.Snapshot) *RunReport {
+	rep := &RunReport{SchemaVersion: reportSchemaVersion, Metrics: metrics}
+
+	for _, ev := range snap.Events {
+		switch ev.Kind {
+		case ledger.KindEnumerated:
+			rep.Enumerated = ev.Count
+		case ledger.KindScenario:
+			rep.Scenarios = append(rep.Scenarios, ScenarioReport{
+				Scenario: ev.Scenario, Enum: ev.Enum, Prob: ev.Prob,
+				Links: ev.Links, Tickets: ev.Count,
+			})
+		}
+	}
+	// Index after the append loop so the pointers survive reallocation.
+	byEnum := map[int]*ScenarioReport{}
+	for i := range rep.Scenarios {
+		byEnum[rep.Scenarios[i].Enum] = &rep.Scenarios[i]
+	}
+
+	var fractions []float64
+	for _, ev := range snap.Events {
+		switch ev.Kind {
+		case ledger.KindTicketGenerated:
+			if sr := byEnum[ev.Scenario]; sr != nil {
+				sr.Generated++
+			}
+		case ledger.KindTicketRejected:
+			sr := byEnum[ev.Scenario]
+			if sr == nil {
+				continue
+			}
+			switch ev.Reason {
+			case ledger.RejectRounding:
+				sr.RejectedRounding++
+			case ledger.RejectSpectrumClash:
+				sr.RejectedSpectrum++
+			case ledger.RejectDuplicate:
+				sr.RejectedDuplicates++
+			}
+		case ledger.KindWinner:
+			if ev.Scenario >= 0 && ev.Scenario < len(rep.Scenarios) {
+				sr := &rep.Scenarios[ev.Scenario]
+				sr.WinningTicket = ev.Ticket
+				sr.RestoredGbps = ev.Gbps
+				sr.RestoredFraction = ev.Fraction
+				sr.HasWinner = true
+			}
+		case ledger.KindSolveEnd:
+			s := SolveReport{Solver: ev.Solver, Status: ev.Status, Cert: ev.Cert}
+			if ev.Cert != nil {
+				s.CertOK = lp.CheckCertificate(ev.Cert, 0) == nil
+			}
+			rep.Solves = append(rep.Solves, s)
+		case ledger.KindUnmetDemand:
+			rep.UnmetGbps = ev.Gbps
+			rep.UnmetFraction = ev.Fraction
+		case ledger.KindSimSummary:
+			rep.SimIntervals += ev.Count
+			rep.SimDelivered = ev.Fraction
+		}
+	}
+	for _, sr := range rep.Scenarios {
+		if sr.HasWinner {
+			fractions = append(fractions, sr.RestoredFraction)
+		}
+	}
+	rep.Restoration = stats.Summarize(fractions)
+
+	cs := &rep.Certificates
+	cs.AllPassing = true
+	for _, s := range rep.Solves {
+		cs.Solves++
+		if s.Cert == nil {
+			continue
+		}
+		cs.Certified++
+		if !s.CertOK {
+			cs.Failures++
+			cs.AllPassing = false
+		}
+		if s.Cert.Gap > cs.MaxGap {
+			cs.MaxGap = s.Cert.Gap
+		}
+		if s.Cert.PrimalInf > cs.MaxPrimal {
+			cs.MaxPrimal = s.Cert.PrimalInf
+		}
+		if s.Cert.DualInf > cs.MaxDual {
+			cs.MaxDual = s.Cert.DualInf
+		}
+	}
+	return rep
+}
+
+// renderMarkdown writes the human-readable run report.
+func renderMarkdown(w io.Writer, rep *RunReport) {
+	fmt.Fprintf(w, "# ARROW run report\n\n")
+	fmt.Fprintf(w, "Scenarios: %d enumerated, %d relevant (kept).\n\n", rep.Enumerated, len(rep.Scenarios))
+
+	fmt.Fprintf(w, "## Ticket win/loss per scenario\n\n")
+	fmt.Fprintf(w, "| q | enum | prob | failed links | tickets | generated | infeasible | clash | dup | winner | restored Gbps | restored %% |\n")
+	fmt.Fprintf(w, "|---|------|------|--------------|---------|-----------|------------|-------|-----|--------|---------------|-------------|\n")
+	for _, sr := range rep.Scenarios {
+		winner := "-"
+		restored, frac := "-", "-"
+		if sr.HasWinner {
+			winner = fmt.Sprintf("#%d", sr.WinningTicket)
+			restored = fmt.Sprintf("%.1f", sr.RestoredGbps)
+			frac = fmt.Sprintf("%.1f%%", 100*sr.RestoredFraction)
+		}
+		links := make([]string, len(sr.Links))
+		for i, l := range sr.Links {
+			links[i] = fmt.Sprint(l)
+		}
+		fmt.Fprintf(w, "| %d | %d | %.2e | %s | %d | %d | %d | %d | %d | %s | %s | %s |\n",
+			sr.Scenario, sr.Enum, sr.Prob, strings.Join(links, " "), sr.Tickets,
+			sr.Generated, sr.RejectedRounding, sr.RejectedSpectrum, sr.RejectedDuplicates,
+			winner, restored, frac)
+	}
+
+	fmt.Fprintf(w, "\n## Restoration summary\n\n")
+	r := rep.Restoration
+	fmt.Fprintf(w, "Restored-capacity fraction over %d scenarios: min %.3f, p25 %.3f, median %.3f, p75 %.3f, p90 %.3f, max %.3f (mean %.3f).\n",
+		r.Count, r.Min, r.P25, r.P50, r.P75, r.P90, r.Max, r.Mean)
+	fmt.Fprintf(w, "\nResidual unmet demand: %.1f Gbps (%.2f%% of total).\n", rep.UnmetGbps, 100*rep.UnmetFraction)
+	if rep.SimIntervals > 0 {
+		fmt.Fprintf(w, "Timeline replay: %d intervals, %.4f time-weighted delivered fraction.\n", rep.SimIntervals, rep.SimDelivered)
+	}
+
+	fmt.Fprintf(w, "\n## Solver certificates\n\n")
+	cs := rep.Certificates
+	status := "PASS"
+	if !cs.AllPassing {
+		status = "FAIL"
+	}
+	fmt.Fprintf(w, "%d solves, %d certified, %d failures → **%s**. Max duality gap %.2e, max primal residual %.2e, max dual residual %.2e (tolerance %.0e).\n\n",
+		cs.Solves, cs.Certified, cs.Failures, status, cs.MaxGap, cs.MaxPrimal, cs.MaxDual, lp.DefaultCertTol)
+	fmt.Fprintf(w, "| solver | status | primal | dual | gap | cert |\n")
+	fmt.Fprintf(w, "|--------|--------|--------|------|-----|------|\n")
+	for _, s := range rep.Solves {
+		if s.Cert == nil {
+			fmt.Fprintf(w, "| %s | %s | - | - | - | none |\n", s.Solver, s.Status)
+			continue
+		}
+		ok := "ok"
+		if !s.CertOK {
+			ok = "FAIL"
+		}
+		fmt.Fprintf(w, "| %s | %s | %.6g | %.6g | %.2e | %s |\n",
+			s.Solver, s.Status, s.Cert.Primal, s.Cert.Dual, s.Cert.Gap, ok)
+	}
+
+	if m := rep.Metrics; m != nil {
+		fmt.Fprintf(w, "\n## Metrics snapshot (counters)\n\n")
+		keys := make([]string, 0, len(m.Counters))
+		for k := range m.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "| counter | value |\n|---------|-------|\n")
+		for _, k := range keys {
+			fmt.Fprintf(w, "| %s | %d |\n", k, m.Counters[k])
+		}
+	}
+}

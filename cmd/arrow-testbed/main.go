@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -17,20 +18,22 @@ import (
 
 func main() {
 	var (
-		seed   = flag.Int64("seed", 1, "random seed for device timing jitter")
-		series = flag.Bool("series", false, "print the restored-capacity time series")
+		seed    = flag.Int64("seed", 1, "random seed for device timing jitter")
+		series  = flag.Bool("series", false, "print the restored-capacity time series")
+		verbose = flag.Bool("v", false, "log per-trial timings at debug level")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger := obsFlags.Logger(*verbose)
 	sess, err := obsFlags.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arrow-testbed:", err)
 		os.Exit(1)
 	}
 	if addr := sess.DebugAddr(); addr != "" {
-		fmt.Fprintf(os.Stderr, "debug listener on http://%s\n", addr)
+		logger.Info("debug listener started", "url", "http://"+addr)
 	}
-	err = run(*seed, *series, sess.Recorder())
+	err = run(*seed, *series, sess.Recorder(), logger)
 	if cerr := sess.Close(); err == nil {
 		err = cerr
 	}
@@ -40,7 +43,10 @@ func main() {
 	}
 }
 
-func run(seed int64, series bool, rec obs.Recorder) error {
+func run(seed int64, series bool, rec obs.Recorder, logger *slog.Logger) error {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	fmt.Println("testbed: 4 ROADMs (A,B,D,C), 4 fiber spans, 2160 km, 34 amplifiers, 16x200G wavelengths")
 	fmt.Println("cutting fiber D-C (carries 14 wavelengths, 2.8 Tbps over links AC, BD, CD)")
 
@@ -63,6 +69,8 @@ func run(seed int64, series bool, rec obs.Recorder) error {
 			rec.Add("testbed.trials", 1)
 			rec.Observe("testbed.restore_seconds", tr.DoneSec)
 		}
+		logger.Debug("trial done", "mode", mode.name, "noise_loading", mode.noise,
+			"restore_seconds", tr.DoneSec, "events", len(tr.Events))
 		results = append(results, tr)
 		fmt.Printf("\n--- %s ---\n", mode.name)
 		for _, e := range tr.Events {

@@ -3,10 +3,10 @@ package main
 import "testing"
 
 func TestRunTestbedTrial(t *testing.T) {
-	if err := run(1, false, nil); err != nil {
+	if err := run(1, false, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(2, true, nil); err != nil {
+	if err := run(2, true, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 }

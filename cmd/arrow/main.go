@@ -17,6 +17,7 @@ import (
 
 	"github.com/arrow-te/arrow/internal/availability"
 	"github.com/arrow-te/arrow/internal/eval"
+	"github.com/arrow-te/arrow/internal/ledger"
 	"github.com/arrow-te/arrow/internal/obs"
 	"github.com/arrow-te/arrow/internal/topo"
 	"github.com/arrow-te/arrow/internal/traffic"
@@ -24,18 +25,20 @@ import (
 
 func main() {
 	var (
-		topoName = flag.String("topo", "B4", "topology: B4, IBM or Facebook")
-		scheme   = flag.String("scheme", "ARROW", "TE scheme: ARROW, ARROW-Naive, FFC-1, FFC-2, TeaVaR, ECMP")
-		scale    = flag.Float64("scale", 2.0, "uniform demand scale (1.0 = comfortably satisfiable)")
-		tickets  = flag.Int("tickets", 20, "LotteryTickets per failure scenario")
-		seed     = flag.Int64("seed", 1, "random seed")
-		flows    = flag.Int("flows", 40, "number of largest flows kept from the traffic matrix")
-		file     = flag.String("file", "", "load a custom topology file instead of -topo (see internal/topo/format.go)")
-		parallel = flag.Int("parallelism", 0, "worker count for the per-scenario offline stage (0 = NumCPU, 1 = sequential; results are identical)")
-		verbose  = flag.Bool("v", false, "print the per-scenario restoration plan")
+		topoName  = flag.String("topo", "B4", "topology: B4, IBM or Facebook")
+		scheme    = flag.String("scheme", "ARROW", "TE scheme: ARROW, ARROW-Naive, FFC-1, FFC-2, TeaVaR, ECMP")
+		scale     = flag.Float64("scale", 2.0, "uniform demand scale (1.0 = comfortably satisfiable)")
+		tickets   = flag.Int("tickets", 20, "LotteryTickets per failure scenario")
+		seed      = flag.Int64("seed", 1, "random seed")
+		flows     = flag.Int("flows", 40, "number of largest flows kept from the traffic matrix")
+		file      = flag.String("file", "", "load a custom topology file instead of -topo (see internal/topo/format.go)")
+		parallel  = flag.Int("parallelism", 0, "worker count for the per-scenario offline stage (0 = NumCPU, 1 = sequential; results are identical)")
+		ledgerOut = flag.String("ledger-json", "", "write the flight-recorder ledger snapshot JSON to this file")
+		verbose   = flag.Bool("v", false, "print the per-scenario restoration plan and mirror ledger events to the log")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger := obsFlags.Logger(*verbose)
 
 	sess, err := obsFlags.Start()
 	if err != nil {
@@ -43,9 +46,20 @@ func main() {
 		os.Exit(1)
 	}
 	if addr := sess.DebugAddr(); addr != "" {
-		fmt.Fprintf(os.Stderr, "debug listener on http://%s\n", addr)
+		logger.Info("debug listener started", "url", "http://"+addr)
 	}
-	err = run(*topoName, *file, *scheme, *scale, *tickets, *seed, *flows, *parallel, *verbose, sess.Recorder())
+	// The flight recorder stays nil (zero overhead) unless a sink wants it.
+	var led *ledger.Ledger
+	if *ledgerOut != "" || *verbose {
+		led = ledger.New()
+		if *verbose {
+			led.SetLogger(logger)
+		}
+	}
+	err = run(*topoName, *file, *scheme, *scale, *tickets, *seed, *flows, *parallel, *verbose, sess.Recorder(), led)
+	if err == nil && *ledgerOut != "" {
+		err = writeLedger(*ledgerOut, led)
+	}
 	if cerr := sess.Close(); err == nil {
 		err = cerr
 	}
@@ -55,7 +69,20 @@ func main() {
 	}
 }
 
-func run(topoName, file, scheme string, scale float64, tickets int, seed int64, flows, parallelism int, verbose bool, rec obs.Recorder) error {
+// writeLedger dumps the recorded event stream for arrow-report -ledger.
+func writeLedger(path string, led *ledger.Ledger) error {
+	fd, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := led.WriteJSON(fd); err != nil {
+		fd.Close()
+		return err
+	}
+	return fd.Close()
+}
+
+func run(topoName, file, scheme string, scale float64, tickets int, seed int64, flows, parallelism int, verbose bool, rec obs.Recorder, led *ledger.Ledger) error {
 	var tp *topo.Topology
 	var err error
 	if file != "" {
@@ -77,7 +104,7 @@ func run(topoName, file, scheme string, scale float64, tickets int, seed int64, 
 
 	pl, err := eval.BuildPipeline(tp, eval.PipelineOptions{
 		Cutoff: 0.001, NumTickets: tickets, Seed: seed, MaxScenarios: 24,
-		Parallelism: parallelism, Recorder: rec,
+		Parallelism: parallelism, Recorder: rec, Ledger: led,
 	})
 	if err != nil {
 		return err

@@ -1,8 +1,11 @@
 package eval
 
 import (
+	"github.com/arrow-te/arrow/internal/ledger"
 	"github.com/arrow-te/arrow/internal/obs"
+	"github.com/arrow-te/arrow/internal/te"
 	"github.com/arrow-te/arrow/internal/topo"
+	"github.com/arrow-te/arrow/internal/traffic"
 )
 
 // ResetSweepCache drops the memoised availability sweeps. The
@@ -35,4 +38,36 @@ func BuildPipelineInstrumented(seed int64, workers int, rec obs.Recorder) error 
 		Parallelism: workers, Recorder: rec,
 	})
 	return err
+}
+
+// RunRecorded runs the standard B4 pipeline (the same instance the bench
+// snapshot measures) with a metrics recorder and flight-recorder ledger
+// attached, then solves the ARROW scheme on a standard traffic matrix so
+// the ledger carries the complete decision stream: scenarios, tickets, the
+// two-phase solves with certificates, winners and residual demand. This is
+// the default run behind cmd/arrow-report -run.
+func RunRecorded(seed int64, workers int, rec obs.Recorder, led *ledger.Ledger) (*Pipeline, *te.Allocation, error) {
+	tp, err := topo.B4(seed + 5)
+	if err != nil {
+		return nil, nil, err
+	}
+	pl, err := BuildPipeline(tp, PipelineOptions{
+		Cutoff: 0.001, NumTickets: 12, Seed: seed, MaxScenarios: 16,
+		Parallelism: workers, Recorder: rec, Ledger: led,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	m := traffic.Generate(traffic.Options{
+		Sites: tp.NumRouters(), Count: 1, MaxFlows: 40, TotalGbps: 1, Seed: seed + 7,
+	})[0]
+	base, err := pl.BaseNetwork(m, 8)
+	if err != nil {
+		return nil, nil, err
+	}
+	al, _, err := pl.SolveScheme(SchemeArrow, base.Scaled(3))
+	if err != nil {
+		return nil, nil, err
+	}
+	return pl, al, nil
 }

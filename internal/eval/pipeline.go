@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/arrow-te/arrow/internal/availability"
+	"github.com/arrow-te/arrow/internal/ledger"
 	"github.com/arrow-te/arrow/internal/lp"
 	"github.com/arrow-te/arrow/internal/obs"
 	"github.com/arrow-te/arrow/internal/par"
@@ -36,6 +37,7 @@ type Pipeline struct {
 
 	baseUtilization float64
 	rec             obs.Recorder
+	led             *ledger.Ledger
 }
 
 // PipelineOptions configures pipeline construction.
@@ -67,6 +69,12 @@ type PipelineOptions struct {
 	// pool, plus the TE solves issued later via SolveScheme. A nil
 	// Recorder costs nothing and never changes the pipeline.
 	Recorder obs.Recorder
+	// Ledger, when non-nil, records the per-run decision stream: scenario
+	// enumeration and relevance, per-ticket generation/rejection (tagged
+	// with the ENUMERATED scenario index), and — through SolveScheme — the
+	// TE solves, winners and residual demand. Same contract as Recorder:
+	// nil costs nothing and results are byte-identical either way.
+	Ledger *ledger.Ledger
 }
 
 // solveRWA is rwa.Solve behind a seam so tests can inject failures into
@@ -113,7 +121,10 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 	set := scenario.Enumerate(probs, opts.Cutoff)
 	endEnum()
 	obs.Add(opts.Recorder, "pipeline.scenarios_enumerated", int64(len(set.Scenarios)))
-	p := &Pipeline{Topo: tp, Set: set, baseUtilization: opts.BaseUtilization, rec: opts.Recorder}
+	if opts.Ledger != nil {
+		opts.Ledger.Emit(ledger.Event{Kind: ledger.KindEnumerated, Scenario: -1, Count: len(set.Scenarios)})
+	}
+	p := &Pipeline{Topo: tp, Set: set, baseUtilization: opts.BaseUtilization, rec: opts.Recorder, led: opts.Ledger}
 
 	// Pre-build the lazily-memoised optical graph once, on this goroutine,
 	// before fanning out (the memoisation itself is also mutex-guarded; this
@@ -162,6 +173,8 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 				CheckFeasibility: true,
 				Dedup:            true,
 				Recorder:         opts.Recorder,
+				Ledger:           opts.Ledger,
+				Scenario:         si,
 			})
 			for _, tk := range rolled {
 				if tk.Key() != a.naive.Key() {
@@ -202,6 +215,13 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 			}
 			kept++
 			fs := te.FailureScenario{Prob: set.Scenarios[lo+i].Prob, FailedLinks: a.res.Failed}
+			if opts.Ledger != nil {
+				opts.Ledger.Emit(ledger.Event{
+					Kind: ledger.KindScenario, Scenario: kept - 1, Enum: lo + i,
+					Prob: fs.Prob, Links: append([]int(nil), a.res.Failed...),
+					Count: len(a.tickets),
+				})
+			}
 			p.Scenarios = append(p.Scenarios, te.RestorableScenario{
 				FailureScenario: fs, TicketLinks: a.res.Failed, Tickets: a.tickets,
 			})
@@ -251,11 +271,14 @@ func AllSchemes() []Scheme {
 // SolveScheme runs one TE scheme on the network and returns its allocation
 // plus the per-scenario restored-capacity maps to use during evaluation.
 func (p *Pipeline) SolveScheme(s Scheme, n *te.Network) (*te.Allocation, []map[int]float64, error) {
-	// Thread the pipeline's recorder into the two-phase LP solves; with no
-	// recorder the options stay nil exactly as before.
+	// Thread the pipeline's recorder and ledger into the two-phase LP
+	// solves; with neither the options stay nil exactly as before.
 	var arrowOpts *te.ArrowOptions
-	if p.rec != nil {
-		arrowOpts = &te.ArrowOptions{LP: &lp.Options{Recorder: p.rec}}
+	if p.rec != nil || p.led != nil {
+		arrowOpts = &te.ArrowOptions{Ledger: p.led}
+		if p.rec != nil {
+			arrowOpts.LP = &lp.Options{Recorder: p.rec}
+		}
 	}
 	switch s {
 	case SchemeArrow:

@@ -1,0 +1,244 @@
+// Package ledger is ARROW's restoration flight recorder: a structured,
+// concurrency-safe stream of typed per-run decision events. Where the
+// metrics registry (internal/obs) answers "how much work happened", the
+// ledger answers "why did scenario q end up with this restoration plan" —
+// which scenarios were enumerated and kept, which LotteryTickets were
+// generated or rejected (and for what reason), how the two-phase TE LP
+// solves went (with their optimality certificates), which ticket won each
+// scenario and how much capacity it revived, and what demand remained
+// unmet.
+//
+// The package follows the same nil-default seam as obs.Recorder: a nil
+// *Ledger is the disabled state, call sites guard event construction behind
+// a nil check, and recording must never change control flow, iteration
+// order, RNG consumption, or floating-point results of the instrumented
+// code. cmd/arrow-report renders a recorded ledger into the per-scenario
+// run report.
+package ledger
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+
+	"github.com/arrow-te/arrow/internal/lp"
+)
+
+// SchemaVersion identifies the ledger JSON layout. Bump it whenever an
+// event field is renamed, removed, or changes meaning (adding fields is
+// compatible).
+const SchemaVersion = 1
+
+// Kind is the type tag of one ledger event.
+type Kind string
+
+// Event kinds, in rough pipeline order.
+const (
+	// KindEnumerated is a run-level event: Count scenarios cleared the
+	// probability cutoff.
+	KindEnumerated Kind = "scenarios_enumerated"
+	// KindScenario records one RELEVANT scenario kept in the pipeline:
+	// Scenario is the pipeline index the TE and the report use, Enum the
+	// enumerated (probability-ordered) index ticket events are tagged with.
+	KindScenario Kind = "scenario"
+	// KindTicketGenerated records one LotteryTicket that survived
+	// feasibility filtering and deduplication (Scenario = enumerated index).
+	KindTicketGenerated Kind = "ticket_generated"
+	// KindTicketRejected records one rounding attempt dropped by the
+	// feasibility filter or the dedup pass (Scenario = enumerated index).
+	KindTicketRejected Kind = "ticket_rejected"
+	// KindSolveStart / KindSolveEnd bracket one LP or MILP solve; the end
+	// event carries the status and the solution certificate.
+	KindSolveStart Kind = "solve_start"
+	KindSolveEnd   Kind = "solve_end"
+	// KindWinner records the winning ticket of one scenario with its
+	// restored capacity and restored-capacity fraction.
+	KindWinner Kind = "winner"
+	// KindUnmetDemand is a run-level event: residual demand the final
+	// allocation could not admit.
+	KindUnmetDemand Kind = "unmet_demand"
+	// KindSimSummary is a run-level event from the timeline simulator.
+	KindSimSummary Kind = "sim_summary"
+)
+
+// RejectReason classifies a dropped LotteryTicket.
+type RejectReason string
+
+// Rejection reasons (KindTicketRejected events).
+const (
+	// RejectRounding: the rounded wavelength vector asks some link for more
+	// waves than its surrogate paths could ever carry, even on an empty
+	// spectrum — the randomized rounding overshot physical capacity.
+	RejectRounding RejectReason = "rounding_infeasible"
+	// RejectSpectrumClash: the vector is within per-link path capacity but
+	// the greedy integral assignment could not realise it because the
+	// candidate paths contend for the same (fiber, slot) spectrum.
+	RejectSpectrumClash RejectReason = "spectrum_clash"
+	// RejectDuplicate: an identical ticket was already generated.
+	RejectDuplicate RejectReason = "duplicate"
+)
+
+// Event is one flight-recorder record. Fields beyond Seq, Kind and Scenario
+// are kind-specific and omitted from JSON when empty.
+type Event struct {
+	// Seq is the arrival sequence number (assigned by Emit). Under a
+	// parallel build the interleaving across scenarios is schedule-
+	// dependent; per-scenario event order is deterministic.
+	Seq int64 `json:"seq"`
+	// Kind tags the event type.
+	Kind Kind `json:"kind"`
+	// Scenario is the event's scenario index, or -1 for run-level events.
+	// Ticket events carry the ENUMERATED index; KindScenario events map it
+	// to the pipeline index (see Enum).
+	Scenario int `json:"scenario"`
+	// Enum is the enumerated scenario index a KindScenario event's pipeline
+	// index corresponds to (-1 elsewhere).
+	Enum int `json:"enum,omitempty"`
+	// Prob is the scenario probability (KindScenario).
+	Prob float64 `json:"prob,omitempty"`
+	// Links lists the failed IP link IDs (KindScenario).
+	Links []int `json:"links,omitempty"`
+	// Ticket is the ticket index within the scenario's candidate set.
+	Ticket int `json:"ticket,omitempty"`
+	// Reason classifies a rejection (KindTicketRejected).
+	Reason RejectReason `json:"reason,omitempty"`
+	// Gbps is the event's bandwidth payload: restored capacity for
+	// ticket/winner events, residual demand for KindUnmetDemand.
+	Gbps float64 `json:"gbps,omitempty"`
+	// Fraction is Gbps normalised by its natural denominator: lost link
+	// capacity for winner events, total demand for unmet-demand events.
+	Fraction float64 `json:"fraction,omitempty"`
+	// Solver names the model of a solve event (e.g. "arrow-phase1").
+	Solver string `json:"solver,omitempty"`
+	// Status is the solve outcome (KindSolveEnd).
+	Status string `json:"status,omitempty"`
+	// Cert is the solution certificate of a completed solve.
+	Cert *lp.Certificate `json:"certificate,omitempty"`
+	// Count is the event's cardinality payload (KindEnumerated,
+	// KindSimSummary).
+	Count int `json:"count,omitempty"`
+	// Detail carries free-form context (kept short; not for hot paths).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Ledger is a concurrency-safe append-only event store. The zero value is
+// ready to use, but callers normally hold a *Ledger where nil means
+// disabled — guard hot-path event construction behind a nil check so the
+// off state stays allocation-free.
+type Ledger struct {
+	mu     sync.Mutex
+	seq    int64
+	events []Event
+	logger *slog.Logger
+}
+
+// New returns an empty ledger.
+func New() *Ledger { return &Ledger{} }
+
+// SetLogger mirrors every subsequently emitted event to lg at Debug level
+// (the CLIs wire this to -v). A nil lg disables mirroring.
+func (l *Ledger) SetLogger(lg *slog.Logger) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.logger = lg
+	l.mu.Unlock()
+}
+
+// Emit appends ev (assigning its sequence number). Safe on a nil ledger.
+func (l *Ledger) Emit(ev Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.seq++
+	ev.Seq = l.seq
+	l.events = append(l.events, ev)
+	lg := l.logger
+	l.mu.Unlock()
+	if lg != nil {
+		lg.LogAttrs(context.Background(), slog.LevelDebug, "ledger",
+			slog.String("kind", string(ev.Kind)),
+			slog.Int("scenario", ev.Scenario),
+			slog.Int("ticket", ev.Ticket),
+			slog.String("reason", string(ev.Reason)),
+			slog.String("solver", ev.Solver),
+			slog.String("status", ev.Status),
+			slog.Float64("gbps", ev.Gbps),
+			slog.Float64("fraction", ev.Fraction),
+		)
+	}
+}
+
+// Len returns the number of recorded events (0 on nil).
+func (l *Ledger) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Events returns a copy of the recorded events in arrival order (nil on a
+// nil ledger).
+func (l *Ledger) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Snapshot is the serialised ledger: schema version plus the event stream.
+type Snapshot struct {
+	SchemaVersion int     `json:"schema_version"`
+	Events        []Event `json:"events"`
+}
+
+// Snapshot exports the ledger's current state.
+func (l *Ledger) Snapshot() *Snapshot {
+	return &Snapshot{SchemaVersion: SchemaVersion, Events: l.Events()}
+}
+
+// WriteJSON writes the ledger snapshot as indented JSON.
+func (l *Ledger) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l.Snapshot())
+}
+
+// ReadJSON parses a snapshot previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("ledger: parse snapshot: %w", err)
+	}
+	if s.SchemaVersion > SchemaVersion {
+		return nil, fmt.Errorf("ledger: snapshot schema v%d is newer than this build (v%d)", s.SchemaVersion, SchemaVersion)
+	}
+	return &s, nil
+}
+
+type ctxKey struct{}
+
+// WithLedger attaches l to the context. A nil l returns ctx unchanged.
+// Mirrors obs.WithRecorder so the public planning API can be instrumented
+// without ledger types appearing in its signature.
+func WithLedger(ctx context.Context, l *Ledger) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, l)
+}
+
+// FromContext returns the Ledger attached to ctx, or nil.
+func FromContext(ctx context.Context) *Ledger {
+	l, _ := ctx.Value(ctxKey{}).(*Ledger)
+	return l
+}

@@ -1,0 +1,131 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCertificateSimpleMax checks the certificate of a tiny maximisation
+// problem with a known optimum.
+func TestCertificateSimpleMax(t *testing.T) {
+	m := NewModel("cert-max")
+	m.SetMaximize(true)
+	x := m.AddVar(0, 2, 3, "x")
+	y := m.AddVar(0, 3, 2, "y")
+	m.AddConstr(Expr{}.Plus(1, x).Plus(1, y), LE, 4, "sum")
+	sol, err := Solve(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-10) > 1e-9 {
+		t.Fatalf("objective %g, want 10", sol.Objective)
+	}
+	c := sol.Cert
+	if c == nil {
+		t.Fatal("optimal solve has no certificate")
+	}
+	if err := CheckCertificate(c, 0); err != nil {
+		t.Fatalf("certificate rejected: %v (%+v)", err, c)
+	}
+	if math.Abs(c.Primal-sol.Objective) > 1e-9 {
+		t.Errorf("cert primal %g != objective %g", c.Primal, sol.Objective)
+	}
+	if math.Abs(c.Primal-c.Dual) > 1e-9 {
+		t.Errorf("primal %g vs dual %g", c.Primal, c.Dual)
+	}
+}
+
+// TestCertificateMixedSenses exercises equality and >= rows, negative
+// bounds and a free variable in a minimisation problem.
+func TestCertificateMixedSenses(t *testing.T) {
+	m := NewModel("cert-mixed")
+	x := m.AddVar(-5, 5, 1, "x")
+	y := m.AddVar(0, Inf, 2, "y")
+	z := m.AddVar(-Inf, Inf, 3, "z") // free
+	m.AddConstr(Expr{}.Plus(1, x).Plus(1, y).Plus(1, z), EQ, 4, "eq")
+	m.AddConstr(Expr{}.Plus(1, y).Plus(2, z), GE, 3, "ge")
+	sol, err := Solve(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if sol.Cert == nil {
+		t.Fatal("no certificate")
+	}
+	if err := CheckCertificate(sol.Cert, 0); err != nil {
+		t.Fatalf("certificate rejected: %v (%+v)", err, sol.Cert)
+	}
+}
+
+// TestCertificateRandomLPs solves a batch of random feasible LPs and
+// requires every optimal one to pass certificate verification.
+func TestCertificateRandomLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		nVar := 2 + rng.Intn(8)
+		nRow := 1 + rng.Intn(6)
+		m := NewModel(fmt.Sprintf("rand-%d", trial))
+		m.SetMaximize(trial%2 == 0)
+		vars := make([]Var, nVar)
+		for j := range vars {
+			vars[j] = m.AddVar(0, 1+rng.Float64()*9, rng.NormFloat64(), fmt.Sprintf("x%d", j))
+		}
+		for i := 0; i < nRow; i++ {
+			var e Expr
+			for j := range vars {
+				if rng.Float64() < 0.6 {
+					e = e.Plus(rng.NormFloat64(), vars[j])
+				}
+			}
+			if len(e) == 0 {
+				continue
+			}
+			// rhs generous enough to keep x=0 feasible for LE rows.
+			m.AddConstr(e, LE, rng.Float64()*20, fmt.Sprintf("r%d", i))
+		}
+		sol, err := Solve(m, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sol.Status != StatusOptimal {
+			continue
+		}
+		if sol.Cert == nil {
+			t.Fatalf("trial %d: optimal but no certificate", trial)
+		}
+		if err := CheckCertificate(sol.Cert, 0); err != nil {
+			t.Errorf("trial %d: %v (%+v)", trial, err, sol.Cert)
+		}
+	}
+}
+
+// TestCheckCertificateRejects covers the failure paths.
+func TestCheckCertificateRejects(t *testing.T) {
+	if err := CheckCertificate(nil, 0); err == nil {
+		t.Error("nil certificate accepted")
+	}
+	bad := &Certificate{Primal: 10, Dual: 11, Gap: 1.0 / 11}
+	if err := CheckCertificate(bad, 0); err == nil {
+		t.Error("large duality gap accepted")
+	}
+	if err := CheckCertificate(&Certificate{PrimalInf: 1e-3}, 0); err == nil {
+		t.Error("large primal residual accepted")
+	}
+	if err := CheckCertificate(&Certificate{DualInf: 1e-3}, 0); err == nil {
+		t.Error("large dual residual accepted")
+	}
+	if err := CheckCertificate(&Certificate{Gap: math.NaN()}, 0); err == nil {
+		t.Error("NaN gap accepted")
+	}
+	// A loose explicit tolerance must be honoured.
+	if err := CheckCertificate(&Certificate{Gap: 1e-4}, 1e-3); err != nil {
+		t.Errorf("gap below explicit tolerance rejected: %v", err)
+	}
+}

@@ -44,6 +44,10 @@ type Solution struct {
 	// constraint i. Only populated at optimality.
 	Duals      []float64
 	Iterations int
+	// Cert is the optimality certificate of the final basis (duality gap
+	// and feasibility residuals); populated at StatusOptimal only. Verify
+	// it with CheckCertificate.
+	Cert *Certificate
 }
 
 // Options tunes the simplex solver. The zero value selects defaults.
@@ -137,6 +141,7 @@ type simplex struct {
 	refactors   int
 	degenTotal  int
 	maxEtaDepth int
+	cert        *Certificate
 }
 
 type eta struct {
@@ -245,6 +250,15 @@ func (sx *simplex) flushMetrics() {
 	r.Observe("lp.eta_depth_max", float64(sx.maxEtaDepth))
 	r.Observe("lp.rows", float64(sx.nRow))
 	r.Observe("lp.structural_vars", float64(sx.nStr))
+	if c := sx.cert; c != nil {
+		r.Add("lp.certificates", 1)
+		r.Observe("lp.duality_gap", c.Gap)
+		r.Observe("lp.primal_inf", c.PrimalInf)
+		r.Observe("lp.dual_inf", c.DualInf)
+		if CheckCertificate(c, 0) != nil {
+			r.Add("lp.cert_failures", 1)
+		}
+	}
 }
 
 func (sx *simplex) solve() (*Solution, error) {
@@ -313,6 +327,8 @@ func (sx *simplex) solve() (*Solution, error) {
 	sol.Objective = sx.m.ObjValue(sol.X)
 	if st == StatusOptimal {
 		sol.Duals = sx.duals()
+		sol.Cert = sx.certificate()
+		sx.cert = sol.Cert
 	}
 	return sol, nil
 }

@@ -71,6 +71,33 @@ type Solution struct {
 	Nodes     int
 	// Bound is the best proven dual bound; equal to Objective at optimality.
 	Bound float64
+	// Cert is the branch-and-bound optimality certificate: incumbent vs
+	// proven bound plus the incumbent's feasibility residual. Populated
+	// whenever an incumbent exists; the node LP relaxations additionally
+	// carry their own lp.Certificate internally.
+	Cert *lp.Certificate
+}
+
+// certify builds the MILP-level certificate for m's solution: Primal is the
+// incumbent objective, Dual the best proven bound, Gap their relative
+// difference (zero at proven optimality), and PrimalInf the incumbent's
+// worst constraint/bound/integrality violation on the original model.
+func certify(m *lp.Model, s *Solution) *lp.Certificate {
+	c := &lp.Certificate{
+		Primal: s.Objective,
+		Dual:   s.Bound,
+		Gap:    math.Abs(s.Objective-s.Bound) / (1 + math.Abs(s.Objective)),
+	}
+	c.PrimalInf = m.MaxViolation(s.X)
+	for j := 0; j < m.NumVars(); j++ {
+		if !m.IsInteger(lp.Var(j)) {
+			continue
+		}
+		if v := math.Abs(s.X[j] - math.Round(s.X[j])); v > c.PrimalInf {
+			c.PrimalInf = v
+		}
+	}
+	return c
 }
 
 // node is one open subproblem: a set of tightened variable bounds.
@@ -98,7 +125,7 @@ func Solve(m *lp.Model, opts *Options) (*Solution, error) {
 		}
 		obs.Add(opt.Recorder, "mip.solves", 1)
 		obs.Add(opt.Recorder, "mip.nodes", 1)
-		return &Solution{Status: sol.Status, Objective: sol.Objective, X: sol.X, Nodes: 1, Bound: sol.Objective}, nil
+		return &Solution{Status: sol.Status, Objective: sol.Objective, X: sol.X, Nodes: 1, Bound: sol.Objective, Cert: sol.Cert}, nil
 	}
 
 	// Internally minimise: flip sign for maximisation problems.
@@ -243,6 +270,10 @@ func Solve(m *lp.Model, opts *Options) (*Solution, error) {
 		if rem < bestVal {
 			best.Bound = sign * rem
 		}
+	}
+	best.Cert = certify(m, best)
+	if r := opt.Recorder; r != nil {
+		r.Observe("mip.gap", best.Cert.Gap)
 	}
 	return best, nil
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -13,6 +14,7 @@ import (
 type DebugServer struct {
 	srv  *http.Server
 	addr string
+	done chan struct{}
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -20,6 +22,11 @@ func (d *DebugServer) Addr() string { return d.addr }
 
 // Close shuts the listener down immediately.
 func (d *DebugServer) Close() { d.srv.Close() }
+
+// Done is closed once a ServeContext listener has finished shutting down
+// after its context was cancelled. For plain Serve listeners it never
+// closes.
+func (d *DebugServer) Done() <-chan struct{} { return d.done }
 
 // Serve starts the diagnostics HTTP listener on addr:
 //
@@ -53,5 +60,23 @@ func Serve(addr string, reg *Registry) (*DebugServer, error) {
 	})
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln) //nolint:errcheck // Serve always returns once closed
-	return &DebugServer{srv: srv, addr: ln.Addr().String()}, nil
+	return &DebugServer{srv: srv, addr: ln.Addr().String(), done: make(chan struct{})}, nil
+}
+
+// ServeContext starts the diagnostics listener like Serve and additionally
+// shuts it down gracefully (in-flight requests drain, bounded by a 5 s
+// deadline) when ctx is cancelled. Done() closes once shutdown completes.
+func ServeContext(ctx context.Context, addr string, reg *Registry) (*DebugServer, error) {
+	d, err := Serve(addr, reg)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		defer close(d.done)
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		d.srv.Shutdown(sctx) //nolint:errcheck // best-effort drain; Close is the fallback
+	}()
+	return d, nil
 }

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestDebugServerRoundTrip covers the -debug-addr listener end to end:
+// startup on an ephemeral port, a live /metrics snapshot, the pprof and
+// expvar endpoints, and immediate shutdown via Close.
+func TestDebugServerRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add("lp.pivots", 7)
+
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics not a snapshot: %v\n%s", err, body)
+	}
+	if snap.Counters["lp.pivots"] != 7 {
+		t.Errorf("lp.pivots = %d, want 7", snap.Counters["lp.pivots"])
+	}
+
+	code, body = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK || len(body) == 0 {
+		t.Errorf("/debug/pprof/cmdline status %d, %d bytes", code, len(body))
+	}
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(string(body), "memstats") {
+		t.Errorf("/debug/vars status %d, missing memstats", code)
+	}
+
+	srv.Close()
+	if _, err := http.Get(base + "/metrics"); err == nil {
+		t.Error("listener still accepting after Close")
+	}
+}
+
+// TestDebugServerNilRegistry pins the /metrics behaviour when no metrics
+// sink was requested: 404, not a crash.
+func TestDebugServerNilRegistry(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, _ := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusNotFound {
+		t.Errorf("/metrics with nil registry: status %d, want 404", code)
+	}
+}
+
+// TestDebugServerBindFailure checks that an unbindable address errors
+// immediately instead of from the serving goroutine.
+func TestDebugServerBindFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := Serve(ln.Addr().String(), nil); err == nil {
+		t.Fatal("bound an already-bound address")
+	}
+}
+
+// TestServeContextGracefulShutdown covers the context-cancel path: the
+// listener serves until the context is cancelled, then drains and closes.
+func TestServeContextGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	srv, err := ServeContext(ctx, "127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+	if code, _ := get(t, base+"/metrics"); code != http.StatusOK {
+		t.Fatalf("/metrics before cancel: status %d", code)
+	}
+
+	cancel()
+	select {
+	case <-srv.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown did not complete after context cancel")
+	}
+	if _, err := http.Get(base + "/metrics"); err == nil {
+		t.Error("listener still accepting after context cancel")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -23,6 +24,9 @@ type Flags struct {
 	MetricsJSON string
 	// DebugAddr serves net/http/pprof, expvar and live /metrics.
 	DebugAddr string
+	// LogJSON switches structured logging to the slog JSON handler
+	// (machine-parseable one-line-per-event); off, the text handler is used.
+	LogJSON bool
 }
 
 // RegisterFlags declares the observability flags on fs (normally
@@ -34,7 +38,23 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome trace_event span timeline JSON to this file on exit")
 	fs.StringVar(&f.MetricsJSON, "metrics-json", "", "write the metrics snapshot JSON to this file on exit (- = stdout)")
 	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve net/http/pprof, expvar and /metrics on this address (e.g. localhost:6060)")
+	fs.BoolVar(&f.LogJSON, "log-json", false, "emit structured logs as JSON (log/slog) instead of text")
 	return f
+}
+
+// Logger builds the CLI's structured logger on stderr, honouring -log-json.
+// verbose (the CLIs' -v flag) lowers the level to Debug, which also makes
+// flight-recorder events mirrored into slog visible.
+func (f *Flags) Logger(verbose bool) *slog.Logger {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	if f.LogJSON {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts))
 }
 
 // Session is the live state behind a parsed Flags: the registry (nil when

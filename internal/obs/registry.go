@@ -24,6 +24,8 @@ var CoreCounters = []string{
 	"lp.phase1_pivots",
 	"lp.refactorizations",
 	"lp.degenerate_pivots",
+	"lp.certificates",
+	"lp.cert_failures",
 	"mip.solves",
 	"mip.nodes",
 	"mip.pruned",

@@ -418,6 +418,14 @@ func slotOptionCount(res *Result, li int) int {
 	return c
 }
 
+// SlotCapacity returns an upper bound on the wavelengths failed link li can
+// ever recover: the total (path, slot) pairs across its surrogate options,
+// ignoring spectrum contention with other links. A rounding target above
+// this bound is infeasible regardless of assignment order; a target within
+// it that AssignIntegral still cannot realise failed on cross-link spectrum
+// clashes instead.
+func SlotCapacity(res *Result, li int) int { return slotOptionCount(res, li) }
+
 // MaxIntegralWaves runs the greedy assignment asking for every link's full
 // wavelength count and returns the per-link restored counts. This is the
 // integral analogue of the LP objective, used for restoration-ratio

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/arrow-te/arrow/internal/availability"
+	"github.com/arrow-te/arrow/internal/ledger"
 	"github.com/arrow-te/arrow/internal/obs"
 	"github.com/arrow-te/arrow/internal/par"
 	"github.com/arrow-te/arrow/internal/stats"
@@ -113,6 +114,10 @@ type Runner struct {
 	// sim.unplanned_intervals, a sim.run span) and is handed to the worker
 	// pool. A nil Recorder costs nothing and never changes the Report.
 	Recorder obs.Recorder
+	// Ledger, when non-nil, records one sim_summary event per replay with
+	// the interval count and the time-weighted delivered fraction. Same
+	// contract as Recorder: nil costs nothing and never changes the Report.
+	Ledger *ledger.Ledger
 
 	// plans maps a canonical failed-link-set key to the precomputed
 	// restoration of that scenario (nil for TEs without restoration).
@@ -267,6 +272,13 @@ func (r *Runner) Run(events []Event, durationH float64) *Report {
 		rec.Add("sim.intervals", int64(rep.Intervals))
 		rec.Add("sim.unplanned_intervals", int64(unplanned))
 		rec.SpanDone("sim.run", 0, runStart, time.Since(runStart))
+	}
+	if r.Ledger != nil {
+		r.Ledger.Emit(ledger.Event{
+			Kind: ledger.KindSimSummary, Scenario: -1,
+			Count: rep.Intervals, Fraction: rep.Delivered,
+			Detail: fmt.Sprintf("unplanned_h=%.3f worst=%.4f", rep.UnplannedHours, rep.Worst),
+		})
 	}
 	return rep
 }

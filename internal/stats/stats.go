@@ -122,6 +122,39 @@ func Sum(xs []float64) float64 {
 	return s
 }
 
+// Summary condenses a sample set into the usual five-number-plus-mean view,
+// JSON-ready for run reports.
+type Summary struct {
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	P25   float64 `json:"p25"`
+	P50   float64 `json:"p50"`
+	P75   float64 `json:"p75"`
+	P90   float64 `json:"p90"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+// Summarize builds a Summary from samples (NaNs dropped, like NewCDF). An
+// empty input yields a zero-count Summary with zero statistics rather than
+// NaNs, so reports serialise cleanly.
+func Summarize(samples []float64) Summary {
+	c := NewCDF(samples)
+	if c.Len() == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Count: c.Len(),
+		Min:   c.Min(),
+		P25:   c.Percentile(25),
+		P50:   c.Percentile(50),
+		P75:   c.Percentile(75),
+		P90:   c.Percentile(90),
+		Max:   c.Max(),
+		Mean:  Mean(c.sorted),
+	}
+}
+
 // Weibull samples a Weibull(shape, scale) variate: used by the paper's
 // failure model ("Weibull distribution (shape=0.8, scale=0.02) to model the
 // failure probability of each fiber").

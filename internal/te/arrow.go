@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/arrow-te/arrow/internal/ledger"
 	"github.com/arrow-te/arrow/internal/lp"
 )
 
@@ -13,6 +14,11 @@ type ArrowOptions struct {
 	// (§3.3; the paper experiments with 0.2, 0.1 and 0.05; default 0.1).
 	Alpha float64
 	LP    *lp.Options
+	// Ledger, when non-nil, records solve start/end events (with
+	// certificates) for both phases plus the winning ticket and residual
+	// unmet demand of the final plan. Nil costs nothing and never changes
+	// the allocation.
+	Ledger *ledger.Ledger
 }
 
 func (o *ArrowOptions) alpha() float64 {
@@ -20,6 +26,47 @@ func (o *ArrowOptions) alpha() float64 {
 		return 0.1
 	}
 	return o.Alpha
+}
+
+func (o *ArrowOptions) ledger() *ledger.Ledger {
+	if o == nil {
+		return nil
+	}
+	return o.Ledger
+}
+
+// emitPlan records the final restoration plan: one winner event per
+// scenario (restored capacity and restored-capacity fraction over the lost
+// link capacity) plus the run-level residual unmet demand.
+func emitPlan(L *ledger.Ledger, n *Network, scs []RestorableScenario, al *Allocation) {
+	for qi := range scs {
+		lost, restored := 0.0, 0.0
+		for _, link := range scs[qi].FailedLinks {
+			lost += n.LinkCap[link]
+		}
+		for _, g := range al.RestoredGbps[qi] {
+			restored += g
+		}
+		frac := 0.0
+		if lost > 0 {
+			frac = restored / lost
+		}
+		L.Emit(ledger.Event{
+			Kind: ledger.KindWinner, Scenario: qi,
+			Ticket: al.WinningTicket[qi], Gbps: restored, Fraction: frac,
+		})
+	}
+	total := n.TotalDemand()
+	admitted := 0.0
+	for _, b := range al.B {
+		admitted += b
+	}
+	unmet := math.Max(0, total-admitted)
+	frac := 0.0
+	if total > 0 {
+		frac = unmet / total
+	}
+	L.Emit(ledger.Event{Kind: ledger.KindUnmetDemand, Scenario: -1, Gbps: unmet, Fraction: frac})
 }
 
 // Arrow runs ARROW's full two-phase restoration-aware TE (§3.3):
@@ -62,13 +109,15 @@ func Arrow(n *Network, scs []RestorableScenario, opts *ArrowOptions) (*Allocatio
 			return nil, err
 		}
 		if fallback.Objective > al.Objective+1e-9 {
-			return fallback, nil
+			al = fallback
+		} else if fallback.Objective > al.Objective-1e-9 && totalRestored(fallback) > totalRestored(al)+1e-9 {
+			// On a throughput tie, prefer the plan that revives more capacity:
+			// extra restored bandwidth can only improve delivery under failures.
+			al = fallback
 		}
-		// On a throughput tie, prefer the plan that revives more capacity:
-		// extra restored bandwidth can only improve delivery under failures.
-		if fallback.Objective > al.Objective-1e-9 && totalRestored(fallback) > totalRestored(al)+1e-9 {
-			return fallback, nil
-		}
+	}
+	if L := opts.ledger(); L != nil {
+		emitPlan(L, n, scs, al)
 	}
 	return al, nil
 }
@@ -92,7 +141,14 @@ func ArrowNaive(n *Network, scs []RestorableScenario, opts *ArrowOptions) (*Allo
 		return nil, err
 	}
 	winners := make([]int, len(scs))
-	return ArrowPhase2(n, scs, winners, opts)
+	al, err := ArrowPhase2(n, scs, winners, opts)
+	if err != nil {
+		return nil, err
+	}
+	if L := opts.ledger(); L != nil {
+		emitPlan(L, n, scs, al)
+	}
+	return al, nil
 }
 
 // ArrowPhase1 solves the Table 2 LP and returns the winning ticket index
@@ -237,9 +293,19 @@ func arrowPhase1WithStats(n *Network, scs []RestorableScenario, opts *ArrowOptio
 	if opts != nil {
 		lpo = opts.LP
 	}
+	L := opts.ledger()
+	if L != nil {
+		L.Emit(ledger.Event{Kind: ledger.KindSolveStart, Scenario: -1, Solver: bm.m.Name()})
+	}
 	sol, err := lp.Solve(bm.m, lpo)
 	if err != nil {
 		return nil, SolveStats{}, fmt.Errorf("te: arrow phase 1: %w", err)
+	}
+	if L != nil {
+		L.Emit(ledger.Event{
+			Kind: ledger.KindSolveEnd, Scenario: -1, Solver: bm.m.Name(),
+			Status: sol.Status.String(), Cert: sol.Cert,
+		})
 	}
 	if sol.Status != lp.StatusOptimal {
 		return nil, SolveStats{}, fmt.Errorf("te: arrow phase 1: status %v", sol.Status)
@@ -345,7 +411,25 @@ func ArrowPhase2(n *Network, scs []RestorableScenario, winners []int, opts *Arro
 	if opts != nil {
 		lpo = opts.LP
 	}
+	L := opts.ledger()
+	if L != nil {
+		L.Emit(ledger.Event{Kind: ledger.KindSolveStart, Scenario: -1, Solver: bm.m.Name()})
+	}
 	al, err := bm.solve(n, lpo)
+	if L != nil {
+		status := "optimal"
+		if err != nil {
+			status = "error"
+		}
+		var cert *lp.Certificate
+		if al != nil {
+			cert = al.Cert
+		}
+		L.Emit(ledger.Event{
+			Kind: ledger.KindSolveEnd, Scenario: -1, Solver: bm.m.Name(),
+			Status: status, Cert: cert,
+		})
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -81,6 +81,7 @@ func (bm *baseModel) solve(n *Network, opts *lp.Options) (*Allocation, error) {
 	al.Stats.Phase2Vars = bm.m.NumVars()
 	al.Stats.Phase2Rows = bm.m.NumConstrs()
 	al.Stats.Phase2Iters = sol.Iterations
+	al.Cert = sol.Cert
 	return al, nil
 }
 

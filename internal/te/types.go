@@ -22,6 +22,7 @@ package te
 import (
 	"fmt"
 
+	"github.com/arrow-te/arrow/internal/lp"
 	"github.com/arrow-te/arrow/internal/ticket"
 )
 
@@ -131,6 +132,9 @@ type Allocation struct {
 	// Stats describes the LP(s) behind this allocation (filled by the
 	// ARROW solvers; zero for baselines).
 	Stats SolveStats
+	// Cert is the optimality certificate of the LP that produced this
+	// allocation (the Phase II solve for Arrow/ArrowNaive).
+	Cert *lp.Certificate
 }
 
 // SolveStats records model sizes and simplex effort for observability

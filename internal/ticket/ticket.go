@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 
+	"github.com/arrow-te/arrow/internal/ledger"
 	"github.com/arrow-te/arrow/internal/obs"
 	"github.com/arrow-te/arrow/internal/rwa"
 )
@@ -62,6 +63,15 @@ type Options struct {
 	// and duplicate drops). A nil Recorder costs nothing and never changes
 	// the generated tickets.
 	Recorder obs.Recorder
+	// Ledger, when non-nil, records one event per generated or rejected
+	// ticket, tagged with Scenario. Rejections are classified: targets
+	// beyond any link's rwa.SlotCapacity are rounding_infeasible, failed
+	// assignments within capacity are spectrum_clash, and dedup drops are
+	// duplicate. Same contract as Recorder: nil costs nothing.
+	Ledger *ledger.Ledger
+	// Scenario tags this batch's ledger events with the scenario's
+	// enumerated index.
+	Scenario int
 }
 
 func (o Options) stride() int {
@@ -100,6 +110,12 @@ func Generate(res *rwa.Result, opts Options) []Ticket {
 		if opts.CheckFeasibility {
 			if _, ok := rwa.AssignIntegral(res, tk.Waves); !ok {
 				infeasible++
+				if opts.Ledger != nil {
+					opts.Ledger.Emit(ledger.Event{
+						Kind: ledger.KindTicketRejected, Scenario: opts.Scenario,
+						Ticket: z, Reason: rejectReason(res, tk.Waves), Gbps: tk.TotalGbps(),
+					})
+				}
 				continue
 			}
 		}
@@ -107,9 +123,21 @@ func Generate(res *rwa.Result, opts Options) []Ticket {
 			k := tk.Key()
 			if seen[k] {
 				duplicates++
+				if opts.Ledger != nil {
+					opts.Ledger.Emit(ledger.Event{
+						Kind: ledger.KindTicketRejected, Scenario: opts.Scenario,
+						Ticket: z, Reason: ledger.RejectDuplicate, Gbps: tk.TotalGbps(),
+					})
+				}
 				continue
 			}
 			seen[k] = true
+		}
+		if opts.Ledger != nil {
+			opts.Ledger.Emit(ledger.Event{
+				Kind: ledger.KindTicketGenerated, Scenario: opts.Scenario,
+				Ticket: z, Gbps: tk.TotalGbps(),
+			})
 		}
 		out = append(out, tk)
 	}
@@ -121,6 +149,23 @@ func Generate(res *rwa.Result, opts Options) []Ticket {
 		r.Observe("ticket.yield_per_batch", float64(len(out)))
 	}
 	return out
+}
+
+// rejectReason classifies a failed integral assignment for the ledger: if
+// some clamped target exceeds the link's standalone slot capacity the
+// rounding itself overshot (rounding_infeasible); otherwise every link was
+// individually satisfiable and the greedy assignment lost to cross-link
+// spectrum contention (spectrum_clash).
+func rejectReason(res *rwa.Result, waves []int) ledger.RejectReason {
+	for li, w := range waves {
+		if w > res.OrigWaves[li] {
+			w = res.OrigWaves[li]
+		}
+		if w > rwa.SlotCapacity(res, li) {
+			return ledger.RejectRounding
+		}
+	}
+	return ledger.RejectSpectrumClash
 }
 
 // roundOnce applies the two-step randomized rounding of Algorithm 1
