@@ -24,9 +24,10 @@ type benchFile struct {
 	SpeedupF13 float64 `json:"fig13_speedup"`
 	// SpeedupValid marks snapshots taken with >= 2 effective CPUs; older
 	// snapshots lack the field and are treated per their num_cpu.
-	SpeedupValid *bool            `json:"speedup_valid,omitempty"`
-	Metrics      *obs.Snapshot    `json:"metrics"`
-	Counters     map[string]int64 `json:"counters"`
+	SpeedupValid *bool              `json:"speedup_valid,omitempty"`
+	Metrics      *obs.Snapshot      `json:"metrics"`
+	Counters     map[string]int64   `json:"counters"`
+	Gauges       map[string]float64 `json:"gauges"`
 }
 
 // counters returns the counter map regardless of which layout the file had.
@@ -35,6 +36,15 @@ func (b *benchFile) counters() map[string]int64 {
 		return b.Metrics.Counters
 	}
 	return b.Counters
+}
+
+// gauges returns the gauge map regardless of which layout the file had
+// (may be nil: gauges are optional in both layouts).
+func (b *benchFile) gauges() map[string]float64 {
+	if b.Metrics != nil {
+		return b.Metrics.Gauges
+	}
+	return b.Gauges
 }
 
 // speedupUsable reports whether the snapshot's speedup figures mean
@@ -80,6 +90,11 @@ type diffOptions struct {
 	// perKey overrides the threshold for specific counters
 	// ("ticket.infeasible=0.1"). A negative override exempts the key.
 	perKey map[string]float64
+	// minLatencyRatio, when > 0, is an absolute gate on the new snapshot's
+	// emu.latency_ratio gauge: the legacy/ARROW restoration-latency gap the
+	// emulated testbed must preserve (paper: 127x). A missing gauge fails
+	// the gate — the run that produced the snapshot skipped the testbed.
+	minLatencyRatio float64
 }
 
 // parseKeyThresholds parses "k1=0.1,k2=0.5" into a per-key map.
@@ -181,6 +196,23 @@ func runDiff(w io.Writer, oldPath, newPath string, opts diffOptions) (int, error
 	if n := newB.counters()["lp.cert_failures"]; n > 0 {
 		fmt.Fprintf(w, "✗ lp.cert_failures = %d in new snapshot (must be 0)\n", n)
 		regressions++
+	}
+
+	// The restoration-latency ratio is likewise absolute: the emulated
+	// testbed must keep legacy amplifier reconfiguration at least
+	// minLatencyRatio times slower than noise loading.
+	if opts.minLatencyRatio > 0 {
+		ratio, ok := newB.gauges()["emu.latency_ratio"]
+		switch {
+		case !ok:
+			fmt.Fprintf(w, "✗ emu.latency_ratio missing from new snapshot (gate requires >= %.0fx)\n", opts.minLatencyRatio)
+			regressions++
+		case ratio < opts.minLatencyRatio:
+			fmt.Fprintf(w, "✗ emu.latency_ratio = %.1fx below the %.0fx gate\n", ratio, opts.minLatencyRatio)
+			regressions++
+		default:
+			fmt.Fprintf(w, "  emu.latency_ratio = %.0fx (gate >= %.0fx)\n", ratio, opts.minLatencyRatio)
+		}
 	}
 
 	// Speedup figures gate only when BOTH snapshots were measured with >= 2

@@ -51,6 +51,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		doDiff    = fs.Bool("diff", false, "compare two snapshot JSONs: arrow-report -diff old.json new.json")
 		threshold = fs.Float64("threshold", 0.20, "default allowed relative counter growth for -diff (0.20 = +20%)")
 		keyThresh = fs.String("key-threshold", "", "per-key -diff overrides, e.g. ticket.infeasible=0.1,lp.pivots=0.5 (negative = exempt)")
+		minRatio  = fs.Float64("min-latency-ratio", 0, "with -diff: require the new snapshot's emu.latency_ratio gauge to be at least this (0 disables; the paper measures 127x)")
 		verbose   = fs.Bool("v", false, "verbose: mirror ledger events to the structured log")
 	)
 	obsFlags := obs.RegisterFlags(fs)
@@ -70,7 +71,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "arrow-report:", err)
 			return 2
 		}
-		regressions, err := runDiff(stdout, fs.Arg(0), fs.Arg(1), diffOptions{threshold: *threshold, perKey: perKey})
+		regressions, err := runDiff(stdout, fs.Arg(0), fs.Arg(1), diffOptions{threshold: *threshold, perKey: perKey, minLatencyRatio: *minRatio})
 		if err != nil {
 			fmt.Fprintln(stderr, "arrow-report:", err)
 			return 2
@@ -118,6 +119,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "arrow-report:", err)
 			return 1
 		}
+		tb, err := eval.RunTestbedRecorded(*seed, reg, led)
+		if err != nil {
+			fmt.Fprintln(stderr, "arrow-report:", err)
+			return 1
+		}
+		logger.Info("testbed observatory recorded", "latency_ratio", tb.LatencyRatio)
 		if *ledgerOut != "" {
 			fd, err := os.Create(*ledgerOut)
 			if err != nil {

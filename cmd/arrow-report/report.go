@@ -73,9 +73,15 @@ type RunReport struct {
 	// UnmetGbps / UnmetFraction is the residual demand of the final plan.
 	UnmetGbps     float64 `json:"unmet_gbps"`
 	UnmetFraction float64 `json:"unmet_fraction"`
-	// SimIntervals / SimDelivered summarise sim_summary events, if any.
+	// SimIntervals / SimDelivered summarise untagged sim_summary events, if
+	// any (mode-tagged replays land in Latency.Sims instead).
 	SimIntervals int     `json:"sim_intervals,omitempty"`
 	SimDelivered float64 `json:"sim_delivered,omitempty"`
+	// Latency is the restoration-latency observatory section: emulated
+	// episode waterfalls, amplifier-settling percentiles, the legacy/ARROW
+	// latency ratio and the latency-aware availability comparison. Absent
+	// when the ledger recorded no emulated episodes or tagged replays.
+	Latency *LatencyReport `json:"latency,omitempty"`
 	// Metrics embeds the metrics snapshot of the run, when available.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
@@ -142,10 +148,14 @@ func buildReport(snap *ledger.Snapshot, metrics *obs.Snapshot) *RunReport {
 			rep.UnmetGbps = ev.Gbps
 			rep.UnmetFraction = ev.Fraction
 		case ledger.KindSimSummary:
+			if ev.Mode != "" {
+				continue // latency-aware replays render in the latency section
+			}
 			rep.SimIntervals += ev.Count
 			rep.SimDelivered = ev.Fraction
 		}
 	}
+	rep.Latency = buildLatency(snap)
 	for _, sr := range rep.Scenarios {
 		if sr.HasWinner {
 			fractions = append(fractions, sr.RestoredFraction)
@@ -211,6 +221,10 @@ func renderMarkdown(w io.Writer, rep *RunReport) {
 	fmt.Fprintf(w, "\nResidual unmet demand: %.1f Gbps (%.2f%% of total).\n", rep.UnmetGbps, 100*rep.UnmetFraction)
 	if rep.SimIntervals > 0 {
 		fmt.Fprintf(w, "Timeline replay: %d intervals, %.4f time-weighted delivered fraction.\n", rep.SimIntervals, rep.SimDelivered)
+	}
+
+	if rep.Latency != nil {
+		renderLatency(w, rep.Latency)
 	}
 
 	fmt.Fprintf(w, "\n## Solver certificates\n\n")

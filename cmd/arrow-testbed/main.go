@@ -2,10 +2,13 @@
 // 34-amplifier, 2,160 km ring loses fiber DC (2.8 Tbps across three IP
 // links) and restores it twice — once with legacy amplifier reconfiguration
 // and once with ARROW's ASE noise loading — printing the event logs and the
-// Fig. 12 latency comparison.
+// Fig. 12 latency comparison. With -trace-out the run exports the
+// per-device restoration waterfall on the emulated clock; with -ledger-json
+// it dumps the typed stage/episode event stream for arrow-report.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -13,14 +16,16 @@ import (
 	"time"
 
 	"github.com/arrow-te/arrow/internal/emu"
+	"github.com/arrow-te/arrow/internal/ledger"
 	"github.com/arrow-te/arrow/internal/obs"
 )
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 1, "random seed for device timing jitter")
-		series  = flag.Bool("series", false, "print the restored-capacity time series")
-		verbose = flag.Bool("v", false, "log per-trial timings at debug level")
+		seed      = flag.Int64("seed", 1, "random seed for device timing jitter")
+		series    = flag.Bool("series", false, "print the restored-capacity time series")
+		ledgerOut = flag.String("ledger-json", "", "write the flight-recorder ledger snapshot JSON to this file")
+		verbose   = flag.Bool("v", false, "log per-trial timings at debug level")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -33,7 +38,18 @@ func main() {
 	if addr := sess.DebugAddr(); addr != "" {
 		logger.Info("debug listener started", "url", "http://"+addr)
 	}
-	err = run(*seed, *series, sess.Recorder(), logger)
+	// The flight recorder stays nil (zero overhead) unless a sink wants it.
+	var led *ledger.Ledger
+	if *ledgerOut != "" || *verbose {
+		led = ledger.New()
+		if *verbose {
+			led.SetLogger(logger)
+		}
+	}
+	err = run(*seed, *series, sess.Recorder(), led, logger)
+	if err == nil && *ledgerOut != "" {
+		err = writeLedger(*ledgerOut, led)
+	}
 	if cerr := sess.Close(); err == nil {
 		err = cerr
 	}
@@ -43,10 +59,24 @@ func main() {
 	}
 }
 
-func run(seed int64, series bool, rec obs.Recorder, logger *slog.Logger) error {
+// writeLedger dumps the recorded event stream for arrow-report -ledger.
+func writeLedger(path string, led *ledger.Ledger) error {
+	fd, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := led.WriteJSON(fd); err != nil {
+		fd.Close()
+		return err
+	}
+	return fd.Close()
+}
+
+func run(seed int64, series bool, rec obs.Recorder, led *ledger.Ledger, logger *slog.Logger) error {
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
 	}
+	ctx := ledger.WithLedger(obs.WithRecorder(context.Background(), rec), led)
 	fmt.Println("testbed: 4 ROADMs (A,B,D,C), 4 fiber spans, 2160 km, 34 amplifiers, 16x200G wavelengths")
 	fmt.Println("cutting fiber D-C (carries 14 wavelengths, 2.8 Tbps over links AC, BD, CD)")
 
@@ -60,7 +90,7 @@ func run(seed int64, series bool, rec obs.Recorder, logger *slog.Logger) error {
 			return err
 		}
 		start := time.Now()
-		tr, err := emu.RunRestoration(net, []int{emu.FiberDC}, emu.Config{NoiseLoading: mode.noise, Seed: seed})
+		tr, err := emu.RunRestorationCtx(ctx, net, []int{emu.FiberDC}, emu.Config{NoiseLoading: mode.noise, Seed: seed})
 		if err != nil {
 			return err
 		}
@@ -70,7 +100,7 @@ func run(seed int64, series bool, rec obs.Recorder, logger *slog.Logger) error {
 			rec.Observe("testbed.restore_seconds", tr.DoneSec)
 		}
 		logger.Debug("trial done", "mode", mode.name, "noise_loading", mode.noise,
-			"restore_seconds", tr.DoneSec, "events", len(tr.Events))
+			"restore_seconds", tr.DoneSec, "events", len(tr.Events), "stages", len(tr.Stages))
 		results = append(results, tr)
 		fmt.Printf("\n--- %s ---\n", mode.name)
 		for _, e := range tr.Events {
@@ -85,6 +115,7 @@ func run(seed int64, series bool, rec obs.Recorder, logger *slog.Logger) error {
 			}
 		}
 	}
+	obs.Gauge(rec, "emu.latency_ratio", results[0].DoneSec/results[1].DoneSec)
 	fmt.Printf("\nresult: legacy %.0f s vs ARROW %.1f s — %.0fx faster (paper: 1021 s vs 8 s, 127x)\n",
 		results[0].DoneSec, results[1].DoneSec, results[0].DoneSec/results[1].DoneSec)
 	fmt.Printf("restoration put %d idle router ports/transponders back to work — no pre-allocated failover hardware\n",

@@ -1,12 +1,71 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/arrow-te/arrow/internal/ledger"
+	"github.com/arrow-te/arrow/internal/obs"
+)
 
 func TestRunTestbedTrial(t *testing.T) {
-	if err := run(1, false, nil, nil); err != nil {
+	if err := run(1, false, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(2, true, nil, nil); err != nil {
+	if err := run(2, true, nil, nil, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunRecordsObservatory checks the observability wiring: an
+// instrumented run produces the emulated-clock waterfall, the latency-ratio
+// gauge, and a ledger that round-trips through writeLedger/ReadJSON with
+// both modes' episodes.
+func TestRunRecordsObservatory(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.EnableTrace()
+	led := ledger.New()
+	if err := run(1, false, reg, led, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["emu.episodes"] != 2 || snap.Counters["testbed.trials"] != 2 {
+		t.Fatalf("episode counters %v", snap.Counters)
+	}
+	if snap.Gauges["emu.latency_ratio"] < 50 {
+		t.Fatalf("latency ratio gauge %g, want >50", snap.Gauges["emu.latency_ratio"])
+	}
+	emuSpans := 0
+	for _, ev := range reg.TraceEvents() {
+		if ev.PID == obs.EmuPID {
+			emuSpans++
+		}
+	}
+	if emuSpans == 0 {
+		t.Fatal("no emulated-clock waterfall in the trace")
+	}
+
+	path := filepath.Join(t.TempDir(), "ledger.json")
+	if err := writeLedger(path, led); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fd.Close()
+	ls, err := ledger.ReadJSON(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := map[string]bool{}
+	for _, ev := range ls.Events {
+		if ev.Kind == ledger.KindEmuEpisode {
+			modes[ev.Mode] = true
+		}
+	}
+	if !modes["legacy"] || !modes["noise_loading"] {
+		t.Fatalf("ledger episodes per mode: %v", modes)
 	}
 }

@@ -13,9 +13,17 @@
 // intermediate, per Appendix A.6), and port-channels re-aggregate via LACP.
 // With noise loading the lit spectrum never changes, so the amplifier term
 // vanishes — which is the entire point of §4.
+//
+// Every trial also produces a per-stage latency waterfall (Trial.Stages) on
+// the emulated clock. RunRestorationCtx exports it through the standard
+// observability seams: emulated-time spans and emu.* metrics on an attached
+// obs.Recorder, and typed per-device events on an attached ledger.Ledger.
+// Observability never changes a trial: the stage model is computed either
+// way, and recording consumes no randomness.
 package emu
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -45,13 +53,27 @@ type Config struct {
 	ROADMWaveSec float64
 	// PortChannelSec is LACP re-aggregation after light is up (default 2 s).
 	PortChannelSec float64
+	// TEApplySec models installing the recomputed TE allocation on the
+	// routers once the port channels are up (default 0: folded into the
+	// LACP window, preserving the paper calibration; set it to split the
+	// stage out explicitly).
+	TEApplySec float64
 	// NoiseLoading enables ARROW's ASE noise sources.
 	NoiseLoading bool
 	// SerialROADM reconfigures ROADMs one at a time instead of ARROW's two
 	// parallel waves (Appendix A.6 ablation): each device costs a full
 	// ROADMWaveSec.
 	SerialROADM bool
-	Seed        int64
+	// Seed derives the per-consumer randomness streams when Rng is nil.
+	Seed int64
+	// Rng, when non-nil, is the explicit randomness source for every
+	// device-timing draw of the run (amplifier reconfiguration errors,
+	// per-loop measurement noise, survivor-power jitter), consumed in
+	// deterministic model order. When nil, each consumer derives its own
+	// stream from Seed — reproducible across runs and worker counts either
+	// way. A Config shared across concurrent trials must leave Rng nil or
+	// give each trial its own: *rand.Rand is not concurrency-safe.
+	Rng *rand.Rand
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +93,26 @@ func (c Config) withDefaults() Config {
 		c.PortChannelSec = 2
 	}
 	return c
+}
+
+// rng returns the explicit source when one was configured, or derives a
+// fresh deterministic stream from Seed plus the consumer's salt (the
+// historical behavior, kept so default-config trials reproduce exactly).
+func (c Config) rng(salt int64) *rand.Rand {
+	if c.Rng != nil {
+		return c.Rng
+	}
+	return rand.New(rand.NewSource(c.Seed + salt))
+}
+
+// Mode names the restoration scheme of this config: "noise_loading" under
+// ARROW's ASE noise sources, "legacy" otherwise. Observability events and
+// reports are tagged with it.
+func (c Config) Mode() string {
+	if c.NoiseLoading {
+		return "noise_loading"
+	}
+	return "legacy"
 }
 
 // AmpCount returns the number of amplifiers on a fiber: inline amps at the
@@ -96,17 +138,79 @@ type Sample struct {
 	SurvivorPowerDB float64
 }
 
+// Stage names of the restoration waterfall, in pipeline order.
+const (
+	StageDetect            = "detect"
+	StageROADMAddDrop      = "roadm_adddrop_wave"
+	StageROADMIntermediate = "roadm_intermediate_wave"
+	StageROADMSerial       = "roadm_serial"
+	StageAmpChain          = "amp_chain"
+	StageAmpSettle         = "amp_settle"
+	StageLACP              = "lacp"
+	StageTEApply           = "te_apply"
+)
+
+// StageSpan is one timed device action of a restoration episode on the
+// emulated clock. Lane groups concurrent work: lane 0 is the serial
+// critical-path lane (detection, ROADM waves, TE apply); each restored
+// path's amplifier cascade and LACP window get their own lane, mirroring
+// how distinct paths settle concurrently. StageAmpSettle spans are children
+// of their path's StageAmpChain (contained in time on the same lane).
+type StageSpan struct {
+	Name     string
+	Device   string
+	Lane     int
+	StartSec float64
+	DurSec   float64
+}
+
 // Trial is the outcome of one emulated restoration.
 type Trial struct {
-	Config        Config
-	Events        []Event
-	Series        []Sample
-	LostGbps      float64
-	RestoredGbps  float64
-	DoneSec       float64 // time when the last restored capacity came up
-	AmpsSettled   int
+	Config       Config
+	Events       []Event
+	Series       []Sample
+	LostGbps     float64
+	RestoredGbps float64
+	DoneSec      float64 // time when the restoration episode completed
+	AmpsSettled  int
+	// AmpLoops is the total observe-analyze-act loops run across all
+	// settled amplifiers (0 under noise loading).
+	AmpLoops int
+	// Lightpaths is the number of restored lightpaths brought up.
+	Lightpaths int
+	// Stages is the per-stage latency waterfall of the episode, always
+	// populated; observability merely exports it.
+	Stages        []StageSpan
 	Plan          *noise.Plan
 	MonitoredLink string
+}
+
+// CriticalPathSec sums the stage durations along the episode's critical
+// path: the serial lane plus the slowest concurrent path lane. AmpSettle
+// spans are children of their AmpChain and excluded from the sum. Whenever
+// the trial restored anything (and for the nothing-restorable case too) the
+// result equals DoneSec — the waterfall accounts for every second of the
+// episode.
+func (tr *Trial) CriticalPathSec() float64 {
+	serial := 0.0
+	lanes := map[int]float64{}
+	for _, st := range tr.Stages {
+		switch {
+		case st.Name == StageAmpSettle:
+			// contained in its amp_chain
+		case st.Lane == 0:
+			serial += st.DurSec
+		default:
+			lanes[st.Lane] += st.DurSec
+		}
+	}
+	slowest := 0.0
+	for _, d := range lanes {
+		if d > slowest {
+			slowest = d
+		}
+	}
+	return serial + slowest
 }
 
 // Testbed builds the §5 testbed: ROADMs A=0, B=1, D=2, C=3 on a ring
@@ -165,8 +269,29 @@ const FiberAB = 0
 // in two parallel waves, and — in legacy mode only — amplifiers along each
 // restored path settle sequentially before the light is usable.
 func RunRestoration(net *optical.Network, cut []int, cfg Config) (*Trial, error) {
+	return RunRestorationCtx(context.Background(), net, cut, cfg)
+}
+
+// pathInfo aggregates one distinct restoration path's waterfall lane.
+type pathInfo struct {
+	lane     int
+	fibers   []int
+	doneSec  float64 // light usable (before LACP)
+	chainDur float64 // amplifier-cascade settling (0 under noise loading)
+	amps     int
+	waves    int
+	gbps     float64
+}
+
+// RunRestorationCtx is RunRestoration with observability attached through
+// the context: an obs.Recorder (obs.WithRecorder) receives one emulated-time
+// span per stage plus emu.* counters and histograms, and a ledger.Ledger
+// (ledger.WithLedger) receives one typed event per device action and an
+// episode summary. Both seams follow the nil-default contract — the trial
+// is byte-identical with observability on or off.
+func RunRestorationCtx(ctx context.Context, net *optical.Network, cut []int, cfg Config) (*Trial, error) {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	rng := cfg.rng(1)
 
 	res, err := rwa.Solve(&rwa.Request{Net: net, Cut: cut, K: 3, AllowTuning: true, AllowModulationChange: true})
 	if err != nil {
@@ -184,73 +309,91 @@ func RunRestoration(net *optical.Network, cut []int, cfg Config) (*Trial, error)
 	logf := func(t float64, format string, args ...interface{}) {
 		tr.Events = append(tr.Events, Event{TimeSec: t, Desc: fmt.Sprintf(format, args...)})
 	}
+	stage := func(name, device string, lane int, start, dur float64) {
+		tr.Stages = append(tr.Stages, StageSpan{Name: name, Device: device, Lane: lane, StartSec: start, DurSec: dur})
+	}
 
 	logf(0, "fiber cut: %v fails %d IP links, %.1f Tbps lost", cut, len(res.Failed), tr.LostGbps/1000)
 	t := cfg.DetectSec
+	stage(StageDetect, "optical monitors", 0, 0, cfg.DetectSec)
 	logf(t, "failure detected, restoration plan activated (%d lightpaths)", countPicks(asg))
 
 	// ROADM reconfiguration: ARROW groups devices into two parallel waves
 	// (Appendix A.6); the serial ablation walks them one by one.
 	if cfg.SerialROADM {
 		devices := plan.NumAddDropROADMs() + plan.NumIntermediateROADMs()
-		t += float64(devices) * cfg.ROADMWaveSec
+		dur := float64(devices) * cfg.ROADMWaveSec
+		stage(StageROADMSerial, fmt.Sprintf("%d ROADMs one at a time", devices), 0, t, dur)
+		t += dur
 		logf(t, "serial: %d ROADMs reconfigured one at a time", devices)
 	} else {
+		stage(StageROADMAddDrop, fmt.Sprintf("%d add/drop ROADMs", plan.NumAddDropROADMs()), 0, t, cfg.ROADMWaveSec)
 		t += cfg.ROADMWaveSec
 		logf(t, "wave 1: %d add/drop ROADMs reconfigured in parallel", plan.NumAddDropROADMs())
+		stage(StageROADMIntermediate, fmt.Sprintf("%d intermediate ROADMs", plan.NumIntermediateROADMs()), 0, t, cfg.ROADMWaveSec)
 		t += cfg.ROADMWaveSec
 		logf(t, "wave 2: %d intermediate ROADMs reconfigured in parallel", plan.NumIntermediateROADMs())
 	}
 	roadmDone := t
 
-	// Per-lightpath availability times.
+	// Per-lightpath availability times, grouped by distinct restoration
+	// path: each path is one waterfall lane.
 	type lightUp struct {
 		timeSec float64
 		gbps    float64
 		fibers  []int
 	}
 	var ups []lightUp
+	paths := map[string]*pathInfo{}
+	var pathOrder []string
 	survivorDisturbedUntil := 0.0
-	if cfg.NoiseLoading {
-		// Amplifiers never see a spectral change: light is usable after the
-		// ROADM waves plus port-channel re-aggregation.
-		for li := range res.Failed {
-			for _, pick := range asg.PerLink[li] {
-				opt := res.Options[li][pick[0]]
-				ups = append(ups, lightUp{roadmDone + cfg.PortChannelSec, opt.Modulation.GbpsPerWavelength, opt.Fibers})
-			}
-		}
-	} else {
-		// Legacy: every amplifier on a path whose lit spectrum changed must
-		// settle, one observe-analyze-act loop after another along the path.
-		// Distinct paths settle concurrently; amps within a path are serial.
-		pathDone := map[string]float64{}
-		pathAmps := map[string][]int{}
-		ampModel := Amplifier{LoopSec: cfg.AmpSettleMeanSec / 3.6}
-		for li := range res.Failed {
-			for _, pick := range asg.PerLink[li] {
-				opt := res.Options[li][pick[0]]
-				key := fmt.Sprint(opt.Fibers)
-				if _, ok := pathDone[key]; !ok {
-					tt := roadmDone
-					amps := 0
+	ampModel := Amplifier{LoopSec: cfg.AmpSettleMeanSec / 3.6}
+	for li := range res.Failed {
+		for _, pick := range asg.PerLink[li] {
+			opt := res.Options[li][pick[0]]
+			key := fmt.Sprint(opt.Fibers)
+			pi := paths[key]
+			if pi == nil {
+				pi = &pathInfo{lane: len(pathOrder) + 1, fibers: opt.Fibers, doneSec: roadmDone}
+				paths[key] = pi
+				pathOrder = append(pathOrder, key)
+				if !cfg.NoiseLoading {
+					// Legacy: every amplifier on a path whose lit spectrum
+					// changed must settle, one observe-analyze-act loop after
+					// another along the path. Distinct paths settle
+					// concurrently; amps within a path are serial.
 					for _, fid := range opt.Fibers {
-						amps += cfg.AmpCount(net.Fibers[fid].LengthKm)
+						pi.amps += cfg.AmpCount(net.Fibers[fid].LengthKm)
 					}
-					for i := 0; i < amps; i++ {
-						tt += ampModel.SettleTime(typicalReconfigErrDB(rng), rng)
+					tt := roadmDone
+					for i := 0; i < pi.amps; i++ {
+						trace, dt := ampModel.Settle(typicalReconfigErrDB(rng), rng)
+						stage(StageAmpSettle, fmt.Sprintf("path %v amp %d", opt.Fibers, i+1), pi.lane, tt, dt)
+						tt += dt
+						tr.AmpLoops += len(trace) - 1
 					}
-					pathDone[key] = tt
-					pathAmps[key] = opt.Fibers
-					tr.AmpsSettled += amps
-					logf(tt, "amplifier chain settled on path %v (%d amps)", opt.Fibers, amps)
+					pi.doneSec = tt
+					pi.chainDur = tt - roadmDone
+					tr.AmpsSettled += pi.amps
+					logf(tt, "amplifier chain settled on path %v (%d amps)", opt.Fibers, pi.amps)
 					if tt > survivorDisturbedUntil {
 						survivorDisturbedUntil = tt
 					}
 				}
-				ups = append(ups, lightUp{pathDone[key] + cfg.PortChannelSec, opt.Modulation.GbpsPerWavelength, opt.Fibers})
+				// With noise loading the amplifiers never see a spectral
+				// change: light is usable right after the ROADM waves.
 			}
+			pi.waves++
+			pi.gbps += opt.Modulation.GbpsPerWavelength
+			ups = append(ups, lightUp{pi.doneSec + cfg.PortChannelSec, opt.Modulation.GbpsPerWavelength, opt.Fibers})
 		}
+	}
+	for _, key := range pathOrder {
+		pi := paths[key]
+		if pi.chainDur > 0 {
+			stage(StageAmpChain, fmt.Sprintf("path %v (%d amps)", pi.fibers, pi.amps), pi.lane, roadmDone, pi.chainDur)
+		}
+		stage(StageLACP, fmt.Sprintf("path %v (%d waves, %.0f Gbps)", pi.fibers, pi.waves, pi.gbps), pi.lane, pi.doneSec, cfg.PortChannelSec)
 	}
 
 	sort.Slice(ups, func(i, j int) bool { return ups[i].timeSec < ups[j].timeSec })
@@ -258,7 +401,12 @@ func RunRestoration(net *optical.Network, cut []int, cfg Config) (*Trial, error)
 		tr.RestoredGbps += u.gbps
 		tr.DoneSec = u.timeSec
 	}
+	tr.Lightpaths = len(ups)
 	if len(ups) > 0 {
+		if cfg.TEApplySec > 0 {
+			stage(StageTEApply, "TE controller", 0, tr.DoneSec, cfg.TEApplySec)
+			tr.DoneSec += cfg.TEApplySec
+		}
 		logf(tr.DoneSec, "restoration complete: %.1f Tbps revived (%.0f%% of lost)",
 			tr.RestoredGbps/1000, 100*tr.RestoredGbps/math.Max(tr.LostGbps, 1))
 	} else {
@@ -273,7 +421,7 @@ func RunRestoration(net *optical.Network, cut []int, cfg Config) (*Trial, error)
 		horizon = 12
 	}
 	step := horizon / 240
-	prng := rand.New(rand.NewSource(cfg.Seed + 2))
+	prng := cfg.rng(2)
 	for tt := 0.0; tt <= horizon; tt += step {
 		restored := 0.0
 		for _, u := range ups {
@@ -289,6 +437,8 @@ func RunRestoration(net *optical.Network, cut []int, cfg Config) (*Trial, error)
 		}
 		tr.Series = append(tr.Series, Sample{TimeSec: tt, RestoredGbps: restored, SurvivorPowerDB: power})
 	}
+
+	emitEpisode(ctx, tr)
 	return tr, nil
 }
 
@@ -307,7 +457,7 @@ func countPicks(a *rwa.Assignment) int {
 // It returns the per-amplifier completion times.
 func AmpChainSettle(numAmps int, cfg Config) []float64 {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	rng := cfg.rng(3)
 	ampModel := Amplifier{LoopSec: cfg.AmpSettleMeanSec / 3.6}
 	out := make([]float64, numAmps)
 	t := 0.0
@@ -316,4 +466,25 @@ func AmpChainSettle(numAmps int, cfg Config) []float64 {
 		out[i] = t
 	}
 	return out
+}
+
+// LatencySamples measures the end-to-end restoration latency of n
+// independent testbed episodes (the Fig. 11 fiber-DC cut) at consecutive
+// seeds under the given restoration scheme. The samples are the emu-backed
+// input to sim's empirical restoration-latency model, coupling the
+// availability replay to emulator-measured restoration windows.
+func LatencySamples(noiseLoading bool, n int, baseSeed int64) ([]float64, error) {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		net, err := Testbed()
+		if err != nil {
+			return nil, err
+		}
+		tr, err := RunRestoration(net, []int{FiberDC}, Config{NoiseLoading: noiseLoading, Seed: baseSeed + int64(i)})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tr.DoneSec)
+	}
+	return out, nil
 }

@@ -1,0 +1,73 @@
+package emu
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/arrow-te/arrow/internal/ledger"
+	"github.com/arrow-te/arrow/internal/obs"
+)
+
+// emitEpisode exports a completed trial's stage waterfall through the
+// observability seams attached to ctx. It runs after the trial is fully
+// computed and consumes no randomness, so a recorder or ledger can never
+// change the result. With neither attached it returns immediately.
+func emitEpisode(ctx context.Context, tr *Trial) {
+	rec := obs.FromContext(ctx)
+	led := ledger.FromContext(ctx)
+	if rec == nil && led == nil {
+		return
+	}
+	mode := tr.Config.Mode()
+
+	// One trace track per waterfall lane so concurrent amplifier cascades
+	// render side by side. Tracks are only allocated when a recorder is
+	// present; lane numbering in the Trial itself is recorder-independent.
+	tracks := map[int]int64{}
+	trackFor := func(lane int) int64 {
+		if rec == nil {
+			return 0
+		}
+		tk, ok := tracks[lane]
+		if !ok {
+			tk = obs.NextTrack()
+			tracks[lane] = tk
+		}
+		return tk
+	}
+
+	obs.EmuSpan(rec, "emu.episode", trackFor(0), 0, tr.DoneSec)
+	for _, st := range tr.Stages {
+		obs.EmuSpan(rec, "emu."+st.Name, trackFor(st.Lane), st.StartSec, st.DurSec)
+		if st.Name == StageAmpSettle {
+			obs.Observe(rec, "emu.amp_settle_seconds", st.DurSec)
+		}
+		if led != nil {
+			led.Emit(ledger.Event{
+				Kind: ledger.KindEmuStage, Scenario: -1, Mode: mode,
+				Stage: st.Name, Device: st.Device, Lane: st.Lane,
+				StartSec: st.StartSec, DurSec: st.DurSec,
+			})
+		}
+	}
+
+	obs.Add(rec, "emu.episodes", 1)
+	obs.Add(rec, "emu.amps_settled", int64(tr.AmpsSettled))
+	obs.Add(rec, "emu.amp_loops", int64(tr.AmpLoops))
+	obs.Add(rec, "emu.roadm_reconfigs", int64(tr.Plan.NumAddDropROADMs()+tr.Plan.NumIntermediateROADMs()))
+	obs.Add(rec, "emu.lightpaths_restored", int64(tr.Lightpaths))
+	obs.Observe(rec, "emu.restore_seconds", tr.DoneSec)
+
+	if led != nil {
+		frac := 0.0
+		if tr.LostGbps > 0 {
+			frac = tr.RestoredGbps / tr.LostGbps
+		}
+		led.Emit(ledger.Event{
+			Kind: ledger.KindEmuEpisode, Scenario: -1, Mode: mode,
+			DurSec: tr.DoneSec, Gbps: tr.RestoredGbps, Fraction: frac,
+			Count:  tr.AmpsSettled,
+			Detail: fmt.Sprintf("amp_loops=%d lightpaths=%d lost_gbps=%.0f", tr.AmpLoops, tr.Lightpaths, tr.LostGbps),
+		})
+	}
+}

@@ -1,0 +1,378 @@
+package emu
+
+import (
+	"context"
+	"flag"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/arrow-te/arrow/internal/ledger"
+	"github.com/arrow-te/arrow/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden emu observability schema file")
+
+func mustTrial(t *testing.T, cut []int, cfg Config) *Trial {
+	t.Helper()
+	n, err := Testbed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := RunRestoration(n, cut, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestWaterfallAccountsForEpisode is the observatory's core invariant: the
+// stage spans sum to the episode's end-to-end latency along the critical
+// path, for every restoration mode.
+func TestWaterfallAccountsForEpisode(t *testing.T) {
+	cases := []struct {
+		name string
+		cut  []int
+		cfg  Config
+	}{
+		{"legacy", []int{FiberDC}, Config{Seed: 1}},
+		{"noise_loading", []int{FiberDC}, Config{NoiseLoading: true, Seed: 1}},
+		{"serial_roadm", []int{FiberDC}, Config{NoiseLoading: true, SerialROADM: true, Seed: 2}},
+		{"te_apply", []int{FiberDC}, Config{NoiseLoading: true, TEApplySec: 3, Seed: 3}},
+		{"legacy_te_apply", []int{FiberDC}, Config{TEApplySec: 5, Seed: 4}},
+		{"double_cut", []int{FiberDC, 1}, Config{Seed: 5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := mustTrial(t, tc.cut, tc.cfg)
+			if len(tr.Stages) == 0 {
+				t.Fatal("no stages recorded")
+			}
+			if got := tr.CriticalPathSec(); math.Abs(got-tr.DoneSec) > 1e-9 {
+				t.Fatalf("critical path %.6f s != episode %.6f s", got, tr.DoneSec)
+			}
+			// Every amp_settle span must be contained in its lane's amp_chain.
+			chains := map[int][2]float64{}
+			for _, st := range tr.Stages {
+				if st.Name == StageAmpChain {
+					chains[st.Lane] = [2]float64{st.StartSec, st.StartSec + st.DurSec}
+				}
+			}
+			for _, st := range tr.Stages {
+				if st.Name != StageAmpSettle {
+					continue
+				}
+				c, ok := chains[st.Lane]
+				if !ok {
+					t.Fatalf("amp_settle on lane %d without an amp_chain", st.Lane)
+				}
+				if st.StartSec < c[0]-1e-9 || st.StartSec+st.DurSec > c[1]+1e-9 {
+					t.Fatalf("amp_settle [%g,%g] escapes chain [%g,%g]",
+						st.StartSec, st.StartSec+st.DurSec, c[0], c[1])
+				}
+			}
+		})
+	}
+}
+
+// TestWaterfallHarmlessCut pins the nothing-restorable episode: the
+// waterfall still covers detection and the ROADM waves, and still sums to
+// DoneSec.
+func TestWaterfallHarmlessCut(t *testing.T) {
+	n, err := Testbed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dark := n.AddFiber(0, 2, 400)
+	tr, err := RunRestoration(n, []int{dark.ID}, Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range tr.Stages {
+		if st.Name == StageLACP || st.Name == StageAmpChain {
+			t.Fatalf("restorative stage %q on a harmless cut", st.Name)
+		}
+	}
+	if got := tr.CriticalPathSec(); math.Abs(got-tr.DoneSec) > 1e-9 {
+		t.Fatalf("critical path %.6f s != episode %.6f s", got, tr.DoneSec)
+	}
+}
+
+// TestTrialIdenticalWithObservability pins the nil-default contract across
+// the whole emulator: attaching a tracing recorder and a ledger must leave
+// the Trial byte-identical to an uninstrumented run.
+func TestTrialIdenticalWithObservability(t *testing.T) {
+	for _, noiseLoading := range []bool{false, true} {
+		plain := mustTrial(t, []int{FiberDC}, Config{NoiseLoading: noiseLoading, Seed: 11})
+
+		reg := obs.NewRegistry()
+		reg.EnableTrace()
+		led := ledger.New()
+		ctx := ledger.WithLedger(obs.WithRecorder(context.Background(), reg), led)
+		n, err := Testbed()
+		if err != nil {
+			t.Fatal(err)
+		}
+		traced, err := RunRestorationCtx(ctx, n, []int{FiberDC}, Config{NoiseLoading: noiseLoading, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, traced) {
+			t.Fatalf("observability changed the trial (noise=%v)", noiseLoading)
+		}
+
+		// The recorder saw the full waterfall: one emulated span per stage
+		// plus the episode span, all on the emulated-clock PID.
+		var emuEvents int
+		for _, ev := range reg.TraceEvents() {
+			if ev.PID != obs.EmuPID {
+				t.Fatalf("emulator emitted wall-clock trace event %+v", ev)
+			}
+			emuEvents++
+		}
+		if want := len(traced.Stages) + 1; emuEvents != want {
+			t.Fatalf("%d trace events, want %d (stages+episode)", emuEvents, want)
+		}
+		snap := reg.Snapshot()
+		if snap.Counters["emu.episodes"] != 1 {
+			t.Fatalf("emu.episodes = %d", snap.Counters["emu.episodes"])
+		}
+		if snap.Counters["emu.lightpaths_restored"] != int64(traced.Lightpaths) {
+			t.Fatalf("emu.lightpaths_restored = %d, want %d",
+				snap.Counters["emu.lightpaths_restored"], traced.Lightpaths)
+		}
+		if got := snap.Histograms["emu.restore_seconds"].Count; got != 1 {
+			t.Fatalf("emu.restore_seconds count %d", got)
+		}
+		if noiseLoading {
+			if snap.Counters["emu.amp_loops"] != 0 {
+				t.Fatal("amp loops counted under noise loading")
+			}
+		} else {
+			if snap.Counters["emu.amp_loops"] == 0 || snap.Counters["emu.amps_settled"] == 0 {
+				t.Fatal("legacy run recorded no amplifier work")
+			}
+			if got := snap.Histograms["emu.amp_settle_seconds"].Count; got != int64(traced.AmpsSettled) {
+				t.Fatalf("amp_settle_seconds count %d, want %d", got, traced.AmpsSettled)
+			}
+		}
+
+		// The ledger saw one typed event per stage plus the episode summary.
+		var stages, episodes int
+		for _, ev := range led.Events() {
+			switch ev.Kind {
+			case ledger.KindEmuStage:
+				stages++
+				if ev.Mode != traced.Config.Mode() || ev.Stage == "" {
+					t.Fatalf("malformed stage event %+v", ev)
+				}
+			case ledger.KindEmuEpisode:
+				episodes++
+				if ev.DurSec != traced.DoneSec || ev.Gbps != traced.RestoredGbps {
+					t.Fatalf("episode event %+v disagrees with trial", ev)
+				}
+			}
+		}
+		if stages != len(traced.Stages) || episodes != 1 {
+			t.Fatalf("ledger saw %d stage / %d episode events, want %d / 1",
+				stages, episodes, len(traced.Stages))
+		}
+	}
+}
+
+// TestExplicitRngDeterminism covers the explicit-RNG plumbing: a config
+// carrying its own *rand.Rand reproduces exactly given the same stream, and
+// concurrent trials (one config each) match a sequential run bit for bit
+// regardless of scheduling.
+func TestExplicitRngDeterminism(t *testing.T) {
+	run := func(rng *rand.Rand) *Trial {
+		n, err := Testbed()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := RunRestoration(n, []int{FiberDC}, Config{Rng: rng, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a := run(rand.New(rand.NewSource(42)))
+	b := run(rand.New(rand.NewSource(42)))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same explicit RNG stream, different trials")
+	}
+	if c := run(rand.New(rand.NewSource(43))); c.DoneSec == a.DoneSec {
+		t.Fatal("different RNG stream produced identical settle times")
+	}
+
+	// Worker-count independence: N seeded trials computed concurrently equal
+	// the same trials computed sequentially.
+	const trials = 8
+	want := make([]*Trial, trials)
+	for i := range want {
+		n, err := Testbed()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i], err = RunRestoration(n, []int{FiberDC}, Config{Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]*Trial, trials)
+	var wg sync.WaitGroup
+	for i := 0; i < trials; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n, err := Testbed()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i], err = RunRestoration(n, []int{FiberDC}, Config{Seed: int64(i)})
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := range want {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Fatalf("trial %d differs between sequential and concurrent runs", i)
+		}
+	}
+}
+
+// TestLatencySamples pins the emu-backed latency model input: samples are
+// reproducible for a base seed and separate the two schemes by orders of
+// magnitude.
+func TestLatencySamples(t *testing.T) {
+	legacy, err := LatencySamples(false, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrow, err := LatencySamples(true, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy) != 3 || len(arrow) != 3 {
+		t.Fatalf("sample counts %d/%d", len(legacy), len(arrow))
+	}
+	for i := range legacy {
+		if legacy[i] < 50*arrow[i] {
+			t.Fatalf("sample %d: legacy %.0f s not >> arrow %.0f s", i, legacy[i], arrow[i])
+		}
+	}
+	again, err := LatencySamples(false, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy, again) {
+		t.Fatal("latency samples not reproducible for the same base seed")
+	}
+}
+
+// TestAmplifierSettleEdgeCases covers the control-loop boundaries: the
+// MaxLoops cap with an undamped controller, instant convergence inside
+// tolerance, and degenerate chain lengths.
+func TestAmplifierSettleEdgeCases(t *testing.T) {
+	// Near-zero damping never converges: the cap must end the episode with
+	// the error still outside tolerance.
+	amp := Amplifier{Damping: 0.001}
+	trace, total := amp.Settle(4.0, nil)
+	if len(trace) != 41 { // initial point + MaxLoops steps
+		t.Fatalf("capped trace has %d points, want 41", len(trace))
+	}
+	if total != 40*12 {
+		t.Fatalf("capped settle took %g s, want %g", total, 40*12.0)
+	}
+	if final := trace[len(trace)-1].ErrorDB; math.Abs(final) <= 0.3 {
+		t.Fatalf("undamped controller converged to %g dB", final)
+	}
+
+	// Error already within tolerance: zero loops, zero time.
+	trace, total = Amplifier{}.Settle(0.25, nil)
+	if len(trace) != 1 || total != 0 {
+		t.Fatalf("in-tolerance settle ran %d loops over %g s", len(trace)-1, total)
+	}
+
+	// Degenerate chains.
+	if got := AmpChainSettle(0, Config{Seed: 1}); len(got) != 0 {
+		t.Fatalf("zero-amp chain returned %v", got)
+	}
+	one := AmpChainSettle(1, Config{Seed: 1})
+	if len(one) != 1 || one[0] <= 0 {
+		t.Fatalf("single-amp chain returned %v", one)
+	}
+	// An explicit Rng reproduces the chain too.
+	c1 := AmpChainSettle(5, Config{Rng: rand.New(rand.NewSource(7))})
+	c2 := AmpChainSettle(5, Config{Rng: rand.New(rand.NewSource(7))})
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatal("explicit-RNG chains differ")
+	}
+}
+
+// TestEmuObsSchemaGolden pins the emulator's observability schema: the
+// metric key set plus the emulated-clock trace span names produced by one
+// legacy and one noise-loading episode. Values are jittered; the KEY SET is
+// deterministic and must not drift silently. Regenerate deliberately with:
+//
+//	go test ./internal/emu -run TestEmuObsSchemaGolden -update
+func TestEmuObsSchemaGolden(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.EnableTrace()
+	ctx := obs.WithRecorder(context.Background(), reg)
+	for _, noiseLoading := range []bool{false, true} {
+		n, err := Testbed()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunRestorationCtx(ctx, n, []int{FiberDC}, Config{NoiseLoading: noiseLoading, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys []string
+	for _, k := range reg.Snapshot().Keys() {
+		if strings.Contains(k, "emu.") {
+			keys = append(keys, k)
+		}
+	}
+	traceNames := map[string]bool{}
+	for _, ev := range reg.TraceEvents() {
+		if ev.PID == obs.EmuPID {
+			traceNames[ev.Name] = true
+		}
+	}
+	for name := range traceNames {
+		keys = append(keys, "trace:"+name)
+	}
+	sort.Strings(keys)
+	got := strings.Join(keys, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "obs_schema.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("emu observability schema drifted from %s (regenerate deliberately with -update):\n got:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}

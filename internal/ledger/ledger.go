@@ -62,6 +62,14 @@ const (
 	KindUnmetDemand Kind = "unmet_demand"
 	// KindSimSummary is a run-level event from the timeline simulator.
 	KindSimSummary Kind = "sim_summary"
+	// KindEmuEpisode summarises one emulated restoration episode (the
+	// optical testbed of internal/emu): mode, end-to-end latency, revived
+	// capacity and amplifier work.
+	KindEmuEpisode Kind = "emu_episode"
+	// KindEmuStage records one timed device action inside an emulated
+	// restoration episode (failure detection, a ROADM wave, one amplifier's
+	// settling, LACP re-aggregation, TE apply) on the emulated clock.
+	KindEmuStage Kind = "emu_stage"
 )
 
 // RejectReason classifies a dropped LotteryTicket.
@@ -118,8 +126,29 @@ type Event struct {
 	// Cert is the solution certificate of a completed solve.
 	Cert *lp.Certificate `json:"certificate,omitempty"`
 	// Count is the event's cardinality payload (KindEnumerated,
-	// KindSimSummary).
+	// KindSimSummary; settled-amplifier count for KindEmuEpisode).
 	Count int `json:"count,omitempty"`
+	// Mode tags restoration-scheme-paired events: "legacy" or
+	// "noise_loading" for emulator episodes/stages and for latency-aware
+	// sim summaries replayed under that scheme's latency model.
+	Mode string `json:"mode,omitempty"`
+	// Stage names the emulated restoration stage (KindEmuStage).
+	Stage string `json:"stage,omitempty"`
+	// Device identifies the acting device or device group (KindEmuStage).
+	Device string `json:"device,omitempty"`
+	// Lane is the waterfall lane of an emulated stage: 0 is the serial
+	// critical-path lane, each concurrently-settling restoration path gets
+	// its own (KindEmuStage).
+	Lane int `json:"lane,omitempty"`
+	// StartSec / DurSec locate the event on the emulated clock
+	// (KindEmuStage; DurSec is the episode total for KindEmuEpisode).
+	StartSec float64 `json:"start_sec,omitempty"`
+	DurSec   float64 `json:"dur_sec,omitempty"`
+	// FullService is the time-at-full-service fraction (KindSimSummary).
+	FullService float64 `json:"full_service,omitempty"`
+	// RestoringH is time spent inside restoration-latency windows, in
+	// hours (KindSimSummary of a latency-aware replay).
+	RestoringH float64 `json:"restoring_h,omitempty"`
 	// Detail carries free-form context (kept short; not for hot paths).
 	Detail string `json:"detail,omitempty"`
 }

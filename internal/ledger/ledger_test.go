@@ -125,6 +125,43 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestEmuEventsRoundTrip pins the restoration-latency observatory fields:
+// emulated episode/stage events and latency-aware sim summaries must
+// survive the JSON round trip with their emulated-clock coordinates.
+func TestEmuEventsRoundTrip(t *testing.T) {
+	l := New()
+	l.Emit(Event{
+		Kind: KindEmuEpisode, Scenario: -1, Mode: "legacy",
+		DurSec: 1021, Gbps: 2800, Fraction: 1, Count: 25,
+	})
+	l.Emit(Event{
+		Kind: KindEmuStage, Scenario: -1, Mode: "legacy", Stage: "amp_settle",
+		Device: "path [0 1] amp 3", Lane: 2, StartSec: 6, DurSec: 40,
+	})
+	l.Emit(Event{
+		Kind: KindSimSummary, Scenario: -1, Mode: "noise_loading",
+		Count: 12, Fraction: 0.995, FullService: 0.98, RestoringH: 0.4,
+	})
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, st, sum := snap.Events[0], snap.Events[1], snap.Events[2]
+	if ep.Mode != "legacy" || ep.DurSec != 1021 || ep.Count != 25 {
+		t.Errorf("episode corrupted: %+v", ep)
+	}
+	if st.Stage != "amp_settle" || st.Lane != 2 || st.StartSec != 6 || st.DurSec != 40 || st.Device == "" {
+		t.Errorf("stage corrupted: %+v", st)
+	}
+	if sum.FullService != 0.98 || sum.RestoringH != 0.4 || sum.Mode != "noise_loading" {
+		t.Errorf("sim summary corrupted: %+v", sum)
+	}
+}
+
 // TestSlogMirroring checks that events reach an attached slog handler with
 // the kind attribute intact.
 func TestSlogMirroring(t *testing.T) {

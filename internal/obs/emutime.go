@@ -1,0 +1,63 @@
+package obs
+
+import "math"
+
+// Emulated-clock spans. The discrete-event emulator (internal/emu) measures
+// latency on its own simulated clock — seconds of modeled device time, not
+// wall time. Exporting those stages through the wall-clock Span API would
+// collapse a 17-minute restoration into the microseconds the emulator takes
+// to compute it, so emulated spans carry explicit (startSec, durSec)
+// coordinates instead of a time.Time pair.
+//
+// In the exported Chrome trace the emulated timeline lives on its own
+// process id (EmuPID) so viewers render it as a separate lane group and its
+// t=0-based timestamps never interleave with wall-clock spans (PID 1).
+
+// EmuPID is the trace_event process id of the emulated-clock timeline;
+// wall-clock spans use PID 1.
+const EmuPID = 2
+
+// EmuSpanRecorder is the optional Recorder extension for emulated-time
+// spans. *Registry implements it; recorders that don't are silently skipped
+// by EmuSpan, preserving the nil-default contract.
+type EmuSpanRecorder interface {
+	// SpanEmu records one completed emulated-clock span: aggregate duration
+	// stats under name (durSec counted as seconds), plus a timeline event at
+	// ts=startSec on the given track when tracing is enabled.
+	SpanEmu(name string, track int64, startSec, durSec float64)
+}
+
+// EmuSpan records an emulated-clock span on r, tolerating a nil Recorder or
+// one without emulated-time support.
+func EmuSpan(r Recorder, name string, track int64, startSec, durSec float64) {
+	if er, ok := r.(EmuSpanRecorder); ok {
+		er.SpanEmu(name, track, startSec, durSec)
+	}
+}
+
+// SpanEmu implements EmuSpanRecorder.
+func (r *Registry) SpanEmu(name string, track int64, startSec, durSec float64) {
+	ns := int64(durSec * 1e9)
+	r.mu.Lock()
+	s := r.spans[name]
+	if s == nil {
+		s = &spanStat{minNS: math.MaxInt64}
+		r.spans[name] = s
+	}
+	s.count++
+	s.totalNS += ns
+	if ns < s.minNS {
+		s.minNS = ns
+	}
+	if ns > s.maxNS {
+		s.maxNS = ns
+	}
+	if r.tracing {
+		r.trace = append(r.trace, TraceEvent{
+			Name: name, Phase: "X", PID: EmuPID, TID: track,
+			TSMicros:  startSec * 1e6,
+			DurMicros: durSec * 1e6,
+		})
+	}
+	r.mu.Unlock()
+}

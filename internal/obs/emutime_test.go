@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanEmuAggregatesAndTraces(t *testing.T) {
+	r := NewRegistry()
+	r.EnableTrace()
+	r.SpanEmu("emu.detect", 3, 0, 1)
+	r.SpanEmu("emu.detect", 3, 100, 2)
+
+	s := r.Snapshot()
+	sp, ok := s.Spans["emu.detect"]
+	if !ok {
+		t.Fatal("emulated span missing from snapshot")
+	}
+	if sp.Count != 2 || sp.TotalSeconds != 3 || sp.MinSeconds != 1 || sp.MaxSeconds != 2 {
+		t.Fatalf("span stats %+v", sp)
+	}
+
+	events := r.TraceEvents()
+	if len(events) != 2 {
+		t.Fatalf("%d trace events, want 2", len(events))
+	}
+	for _, ev := range events {
+		if ev.PID != EmuPID {
+			t.Fatalf("emulated event on PID %d, want %d", ev.PID, EmuPID)
+		}
+		if ev.TID != 3 {
+			t.Fatalf("emulated event on track %d, want 3", ev.TID)
+		}
+	}
+	// Timestamps are emulated seconds converted to micros, not wall clock.
+	if events[1].TSMicros != 100e6 || events[1].DurMicros != 2e6 {
+		t.Fatalf("emulated coordinates %v", events[1])
+	}
+}
+
+func TestSpanEmuWithoutTracing(t *testing.T) {
+	r := NewRegistry()
+	r.SpanEmu("emu.x", 0, 5, 7)
+	if got := len(r.TraceEvents()); got != 0 {
+		t.Fatalf("%d trace events without EnableTrace", got)
+	}
+	if r.Snapshot().Spans["emu.x"].Count != 1 {
+		t.Fatal("span stats not aggregated")
+	}
+}
+
+// statOnlyRecorder implements Recorder but not EmuSpanRecorder.
+type statOnlyRecorder struct{ adds int }
+
+func (s *statOnlyRecorder) Add(string, int64)                                { s.adds++ }
+func (s *statOnlyRecorder) Gauge(string, float64)                            {}
+func (s *statOnlyRecorder) Observe(string, float64)                          {}
+func (s *statOnlyRecorder) SpanDone(string, int64, time.Time, time.Duration) {}
+
+func TestEmuSpanHelperNilAndUnsupported(t *testing.T) {
+	EmuSpan(nil, "emu.x", 0, 0, 1) // must not panic
+	r := &statOnlyRecorder{}
+	EmuSpan(r, "emu.x", 0, 0, 1) // silently skipped
+	reg := NewRegistry()
+	EmuSpan(reg, "emu.x", 0, 0, 1)
+	if reg.Snapshot().Spans["emu.x"].Count != 1 {
+		t.Fatal("helper did not forward to the registry")
+	}
+}

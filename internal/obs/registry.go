@@ -43,6 +43,12 @@ var CoreCounters = []string{
 	"pipeline.scenarios_relevant",
 	"sim.intervals",
 	"sim.unplanned_intervals",
+	"sim.restoring_intervals",
+	"emu.episodes",
+	"emu.amps_settled",
+	"emu.amp_loops",
+	"emu.roadm_reconfigs",
+	"emu.lightpaths_restored",
 }
 
 // defBuckets are the default histogram bucket upper bounds: powers of four

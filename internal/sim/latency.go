@@ -1,0 +1,41 @@
+package sim
+
+import "math/rand"
+
+// LatencyModel draws the restoration latency of one failure event: the time
+// between a cut being detected and the precomputed restoration plan
+// actually carrying traffic. The baseline replay assumes zero (restoration
+// is instantaneous); the paper's §5 measurement says legacy amplifier
+// reconfiguration takes ~17 minutes while ARROW's noise loading takes ~8 s,
+// which is exactly the gap this seam exposes as an availability delta.
+//
+// failed is the projected failed-IP-link set of the cut (already non-empty:
+// harmless cuts never draw). rng is the replay's dedicated latency stream;
+// models must consume randomness only through it so replays stay
+// deterministic at any worker count.
+type LatencyModel interface {
+	RestoreLatencySec(rng *rand.Rand, failed []int) float64
+}
+
+// ConstLatency is a fixed analytic restoration latency.
+type ConstLatency struct{ Sec float64 }
+
+// RestoreLatencySec implements LatencyModel.
+func (c ConstLatency) RestoreLatencySec(*rand.Rand, []int) float64 { return c.Sec }
+
+// EmpiricalLatency resamples measured restoration latencies — typically
+// emu.LatencySamples output, coupling the availability replay to the
+// optical emulator's device timings.
+type EmpiricalLatency struct{ SamplesSec []float64 }
+
+// RestoreLatencySec implements LatencyModel: a uniform draw from the
+// sample set (0 s when empty, matching the no-model baseline).
+func (e EmpiricalLatency) RestoreLatencySec(rng *rand.Rand, _ []int) float64 {
+	if len(e.SamplesSec) == 0 {
+		return 0
+	}
+	if rng == nil || len(e.SamplesSec) == 1 {
+		return e.SamplesSec[0]
+	}
+	return e.SamplesSec[rng.Intn(len(e.SamplesSec))]
+}

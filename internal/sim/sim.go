@@ -118,6 +118,19 @@ type Runner struct {
 	// the interval count and the time-weighted delivered fraction. Same
 	// contract as Recorder: nil costs nothing and never changes the Report.
 	Ledger *ledger.Ledger
+	// Latency, when non-nil, makes the replay restoration-latency-aware:
+	// each cut that fails IP links draws a restoration latency and the
+	// precomputed plan only takes effect once that window elapses — before
+	// it, the interval is evaluated without restoration. nil keeps the
+	// historical instantaneous-restoration semantics.
+	Latency LatencyModel
+	// LatencySeed seeds the dedicated latency-draw stream. Draws happen in
+	// the sequential event sweep, so reports stay identical for every
+	// Parallelism setting.
+	LatencySeed int64
+	// Label tags this replay's sim_summary ledger event (e.g. "legacy" /
+	// "noise_loading") so paired latency-model runs can be told apart.
+	Label string
 
 	// plans maps a canonical failed-link-set key to the precomputed
 	// restoration of that scenario (nil for TEs without restoration).
@@ -156,31 +169,63 @@ type Report struct {
 	// UnplannedHours is time spent in failure states with no precomputed
 	// restoration plan (ARROW falls back to no restoration there).
 	UnplannedHours float64
+	// RestoringHours is time spent inside restoration-latency windows —
+	// failed state present, plan drawn but not yet in effect (0 without a
+	// LatencyModel).
+	RestoringHours float64
+	// RestoreLatency summarises the restoration-latency draws of the replay
+	// in seconds (zero-count without a LatencyModel).
+	RestoreLatency stats.Summary
 	// Intervals is the number of distinct network states evaluated.
 	Intervals int
 }
 
 // interval is one constant network state of the replay: the fibers down
-// between two consecutive events.
+// between two consecutive events. restoring marks the slice of a failure
+// interval still inside a restoration-latency window.
 type interval struct {
 	fromH, toH float64
 	cut        []int // sorted
+	restoring  bool
 }
 
 // intervals sweeps the (time-sorted) events once and returns the list of
-// positive-length constant states covering [0, durationH].
-func (r *Runner) intervals(events []Event, durationH float64) []interval {
+// positive-length constant states covering [0, durationH], plus the
+// restoration-latency draws (seconds) made along the way. With a
+// LatencyModel configured, every cut that fails IP links opens a restoring
+// window and failure intervals are split at the window boundary. All
+// randomness is consumed here, in event order, so the result is independent
+// of how the interval evaluations are later scheduled.
+func (r *Runner) intervals(events []Event, durationH float64) ([]interval, []float64) {
 	var out []interval
+	var draws []float64
 	down := map[int]bool{}
-	emit := func(fromH, toH float64) {
-		if toH <= fromH {
-			return
-		}
+	restoringUntil := 0.0
+	var lrng *rand.Rand
+	if r.Latency != nil {
+		lrng = rand.New(rand.NewSource(r.LatencySeed))
+	}
+	downSet := func() []int {
 		cut := make([]int, 0, len(down))
 		for f := range down {
 			cut = append(cut, f)
 		}
 		sort.Ints(cut)
+		return cut
+	}
+	emit := func(fromH, toH float64) {
+		if toH <= fromH {
+			return
+		}
+		cut := downSet()
+		if len(cut) > 0 && fromH < restoringUntil {
+			mid := math.Min(toH, restoringUntil)
+			out = append(out, interval{fromH: fromH, toH: mid, cut: cut, restoring: true})
+			if toH <= mid {
+				return
+			}
+			fromH = mid
+		}
 		out = append(out, interval{fromH: fromH, toH: toH, cut: cut})
 	}
 	t := 0.0
@@ -194,10 +239,19 @@ func (r *Runner) intervals(events []Event, durationH float64) []interval {
 			delete(down, e.Fiber)
 		} else {
 			down[e.Fiber] = true
+			if lrng != nil {
+				if failed := r.Project(downSet()); len(failed) > 0 {
+					l := r.Latency.RestoreLatencySec(lrng, failed)
+					draws = append(draws, l)
+					if until := t + l/3600; until > restoringUntil {
+						restoringUntil = until
+					}
+				}
+			}
 		}
 	}
 	emit(t, durationH)
-	return out
+	return out, draws
 }
 
 // intervalEval is one interval's evaluated delivery.
@@ -213,7 +267,7 @@ type intervalEval struct {
 // report is identical for every worker count.
 func (r *Runner) Run(events []Event, durationH float64) *Report {
 	ev := &availability.Evaluator{Net: r.Net, Alloc: r.Alloc, ECMPRebalance: r.ECMPRebalance}
-	ivs := r.intervals(events, durationH)
+	ivs, draws := r.intervals(events, durationH)
 
 	var runStart time.Time
 	if r.Recorder != nil {
@@ -228,6 +282,11 @@ func (r *Runner) Run(events []Event, durationH float64) *Report {
 			if len(failed) > 0 {
 				restored, planned := r.plans[linkSetKey(failed)]
 				out.unplanned = !planned
+				if iv.restoring {
+					// Inside the latency window the plan exists but the
+					// optical layer hasn't finished applying it.
+					restored = nil
+				}
 				out.delivered = ev.Delivered(&availability.ScenarioEval{Failed: failed, Restored: restored})
 			}
 		} else {
@@ -248,6 +307,9 @@ func (r *Runner) Run(events []Event, durationH float64) *Report {
 		if e.unplanned {
 			rep.UnplannedHours += dt
 		}
+		if iv.restoring {
+			rep.RestoringHours += dt
+		}
 		rep.Delivered += e.delivered * dt
 		if e.delivered >= 0.999 {
 			rep.FullServiceFrac += dt
@@ -262,21 +324,27 @@ func (r *Runner) Run(events []Event, durationH float64) *Report {
 	if math.IsInf(rep.Worst, 1) {
 		rep.Worst = 1
 	}
+	rep.RestoreLatency = stats.Summarize(draws)
 	if rec := r.Recorder; rec != nil {
-		unplanned := 0
-		for _, e := range evals {
+		unplanned, restoring := 0, 0
+		for i, e := range evals {
 			if e.unplanned {
 				unplanned++
+			}
+			if ivs[i].restoring {
+				restoring++
 			}
 		}
 		rec.Add("sim.intervals", int64(rep.Intervals))
 		rec.Add("sim.unplanned_intervals", int64(unplanned))
+		rec.Add("sim.restoring_intervals", int64(restoring))
 		rec.SpanDone("sim.run", 0, runStart, time.Since(runStart))
 	}
 	if r.Ledger != nil {
 		r.Ledger.Emit(ledger.Event{
-			Kind: ledger.KindSimSummary, Scenario: -1,
+			Kind: ledger.KindSimSummary, Scenario: -1, Mode: r.Label,
 			Count: rep.Intervals, Fraction: rep.Delivered,
+			FullService: rep.FullServiceFrac, RestoringH: rep.RestoringHours,
 			Detail: fmt.Sprintf("unplanned_h=%.3f worst=%.4f", rep.UnplannedHours, rep.Worst),
 		})
 	}
