@@ -186,6 +186,11 @@ type PlanOptions struct {
 	// parallel). 0 selects runtime.NumCPU(); 1 runs fully sequentially.
 	// The plan is identical for every setting.
 	Parallelism int
+	// NoWarm disables LP warm starts in the offline RWA solves and in the
+	// TE solves issued by this planner (arrow-plan -warm=false). The warm
+	// sources are deterministic, so the switch only changes solver effort,
+	// never plan quality.
+	NoWarm bool
 }
 
 // Planner holds the offline artifacts: failure scenarios, RWA solutions and
@@ -199,6 +204,7 @@ type Planner struct {
 	set       *scenario.Set
 	rec       obs.Recorder
 	led       *ledger.Ledger
+	noWarm    bool
 }
 
 // Plan runs ARROW's offline stage: enumerate probable fiber-cut scenarios,
@@ -235,7 +241,7 @@ func (n *Network) PlanContext(ctx context.Context, opts PlanOptions) (*Planner, 
 		return nil, fmt.Errorf("arrow: %d failure probabilities for %d fibers", len(probs), len(n.opt.Fibers))
 	}
 	set := scenario.Enumerate(probs, opts.Cutoff)
-	p := &Planner{net: n, probs: probs, tunnels: opts.TunnelsPerFlow, set: set, rec: obs.FromContext(ctx), led: ledger.FromContext(ctx)}
+	p := &Planner{net: n, probs: probs, tunnels: opts.TunnelsPerFlow, set: set, rec: obs.FromContext(ctx), led: ledger.FromContext(ctx), noWarm: opts.NoWarm}
 	if p.led != nil {
 		p.led.Emit(ledger.Event{Kind: ledger.KindEnumerated, Scenario: -1, Count: len(set.Scenarios)})
 	}
@@ -257,7 +263,7 @@ func (n *Network) PlanContext(ctx context.Context, opts PlanOptions) (*Planner, 
 		res, err := rwa.Solve(&rwa.Request{
 			Net: n.opt, Cut: set.Scenarios[si].Cut, K: opts.SurrogatePaths,
 			AllowTuning: true, AllowModulationChange: true,
-			Recorder: rec,
+			Recorder: rec, NoWarm: opts.NoWarm,
 		})
 		if err != nil {
 			return nil, err
@@ -360,7 +366,7 @@ func (p *Planner) Solve(demands []Demand, opts SolveOptions) (*TrafficPlan, erro
 	if err != nil {
 		return nil, err
 	}
-	teOpts := &te.ArrowOptions{Alpha: opts.Alpha, Ledger: p.led}
+	teOpts := &te.ArrowOptions{Alpha: opts.Alpha, Ledger: p.led, NoWarm: p.noWarm}
 	if p.rec != nil {
 		teOpts.LP = &lp.Options{Recorder: p.rec}
 	}
@@ -581,7 +587,7 @@ func (tp *TrafficPlan) OnFiberCut(fibers ...FiberID) (*Reaction, error) {
 		}
 	}
 	// Rebuild the optical-side plan for the winning ticket.
-	res, err := rwa.Solve(&rwa.Request{Net: tp.planner.net.opt, Cut: cut, K: 3, AllowTuning: true, AllowModulationChange: true})
+	res, err := rwa.Solve(&rwa.Request{Net: tp.planner.net.opt, Cut: cut, K: 3, AllowTuning: true, AllowModulationChange: true, NoWarm: tp.planner.noWarm})
 	if err != nil {
 		return nil, err
 	}

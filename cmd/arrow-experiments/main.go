@@ -42,6 +42,7 @@ func main() {
 		bench    = flag.Bool("bench-json", false, "measure the parallel offline pipeline + simulator and write a perf snapshot JSON")
 		benchOut = flag.String("bench-out", "BENCH_pipeline.json", "path for the -bench-json snapshot")
 		verbose  = flag.Bool("v", false, "log per-experiment progress at debug level")
+		warm     = flag.Bool("warm", true, "warm-start LP solves from deterministic bases (-warm=false for cold A/B comparison)")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -74,7 +75,7 @@ func main() {
 	}()
 
 	if *bench {
-		if err := writeBenchSnapshot(*benchOut, *seed, *parallel); err != nil {
+		if err := writeBenchSnapshot(*benchOut, *seed, *parallel, !*warm); err != nil {
 			fmt.Fprintln(os.Stderr, "bench-json:", err)
 			exitCode = 1
 		}
@@ -95,7 +96,7 @@ func main() {
 		return
 	}
 
-	cfg := eval.Config{Fast: !*full, Seed: *seed, Parallelism: *parallel, Recorder: sess.Recorder()}
+	cfg := eval.Config{Fast: !*full, Seed: *seed, Parallelism: *parallel, Recorder: sess.Recorder(), NoWarm: !*warm}
 
 	// Independent experiments are themselves scenario-independent jobs:
 	// fan them out on the shared pool and print the rendered outputs in
@@ -175,7 +176,7 @@ type benchMeasurement struct {
 	Seconds float64 `json:"seconds"`
 }
 
-func writeBenchSnapshot(path string, seed int64, parallelism int) error {
+func writeBenchSnapshot(path string, seed int64, parallelism int, noWarm bool) error {
 	workerSets := []int{1, 2}
 	if n := par.Workers(parallelism); n > 2 {
 		workerSets = append(workerSets, n)
@@ -194,7 +195,7 @@ func writeBenchSnapshot(path string, seed int64, parallelism int) error {
 	}
 
 	for _, w := range workerSets {
-		secs, err := timeBuildPipeline(seed, w)
+		secs, err := timeBuildPipeline(seed, w, noWarm)
 		if err != nil {
 			return err
 		}
@@ -202,7 +203,7 @@ func writeBenchSnapshot(path string, seed int64, parallelism int) error {
 		fmt.Fprintf(os.Stderr, "build-pipeline workers=%d: %.3fs\n", w, secs)
 	}
 	for _, w := range workerSets {
-		secs, err := timeFig13(seed, w)
+		secs, err := timeFig13(seed, w, noWarm)
 		if err != nil {
 			return err
 		}
@@ -215,7 +216,7 @@ func writeBenchSnapshot(path string, seed int64, parallelism int) error {
 	// One more instrumented build to embed the work counters (timed runs
 	// stay uninstrumented so the measurements keep the zero-overhead path).
 	reg := obs.NewRegistry()
-	if err := eval.BuildPipelineInstrumented(seed, workerSets[len(workerSets)-1], reg); err != nil {
+	if err := eval.BuildPipelineInstrumented(seed, workerSets[len(workerSets)-1], reg, noWarm); err != nil {
 		return err
 	}
 	snap.Metrics = reg.Snapshot()
@@ -236,22 +237,22 @@ func writeBenchSnapshot(path string, seed int64, parallelism int) error {
 	return nil
 }
 
-func timeBuildPipeline(seed int64, workers int) (float64, error) {
+func timeBuildPipeline(seed int64, workers int, noWarm bool) (float64, error) {
 	start := time.Now()
-	if err := eval.BuildPipelineBench(seed, workers); err != nil {
+	if err := eval.BuildPipelineBench(seed, workers, noWarm); err != nil {
 		return 0, err
 	}
 	return time.Since(start).Seconds(), nil
 }
 
-func timeFig13(seed int64, workers int) (float64, error) {
+func timeFig13(seed int64, workers int, noWarm bool) (float64, error) {
 	e, ok := eval.ByID("fig13")
 	if !ok {
 		return 0, fmt.Errorf("fig13 not registered")
 	}
 	eval.ResetSweepCache() // measure the computation, not the memo
 	start := time.Now()
-	if _, err := e.Run(eval.Config{Fast: true, Seed: seed, Parallelism: workers}); err != nil {
+	if _, err := e.Run(eval.Config{Fast: true, Seed: seed, Parallelism: workers, NoWarm: noWarm}); err != nil {
 		return 0, err
 	}
 	return time.Since(start).Seconds(), nil

@@ -43,6 +43,7 @@ func main() {
 		parallel  = flag.Int("parallelism", 0, "worker count for per-scenario offline planning (0 = NumCPU, 1 = sequential; results are identical)")
 		ledgerOut = flag.String("ledger-json", "", "write the flight-recorder ledger snapshot JSON to this file")
 		verbose   = flag.Bool("v", false, "mirror flight-recorder events to the structured log")
+		warm      = flag.Bool("warm", true, "warm-start LP solves from deterministic bases (-warm=false for cold A/B comparison)")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -66,7 +67,7 @@ func main() {
 			led.SetLogger(logger)
 		}
 	}
-	err = run(*topoFile, *demFile, *out, *roadmDir, *tickets, *cutoff, *seed, *parallel, *naive, sess.Recorder(), led)
+	err = run(*topoFile, *demFile, *out, *roadmDir, *tickets, *cutoff, *seed, *parallel, *naive, !*warm, sess.Recorder(), led)
 	if err == nil && *ledgerOut != "" {
 		err = writeLedger(*ledgerOut, led)
 	}
@@ -92,7 +93,7 @@ func writeLedger(path string, led *ledger.Ledger) error {
 	return fd.Close()
 }
 
-func run(topoFile, demFile, out, roadmDir string, tickets int, cutoff float64, seed int64, parallelism int, naive bool, rec obs.Recorder, led *ledger.Ledger) error {
+func run(topoFile, demFile, out, roadmDir string, tickets int, cutoff float64, seed int64, parallelism int, naive, noWarm bool, rec obs.Recorder, led *ledger.Ledger) error {
 	net, err := loadNetwork(topoFile)
 	if err != nil {
 		return err
@@ -110,7 +111,7 @@ func run(topoFile, demFile, out, roadmDir string, tickets int, cutoff float64, s
 	if led != nil {
 		ctx = ledger.WithLedger(ctx, led)
 	}
-	planner, err := net.PlanContext(ctx, arrow.PlanOptions{Tickets: tickets, Cutoff: cutoff, Seed: seed, Parallelism: parallelism})
+	planner, err := net.PlanContext(ctx, arrow.PlanOptions{Tickets: tickets, Cutoff: cutoff, Seed: seed, Parallelism: parallelism, NoWarm: noWarm})
 	if err != nil {
 		return err
 	}

@@ -95,6 +95,13 @@ type diffOptions struct {
 	// emulated testbed must preserve (paper: 127x). A missing gauge fails
 	// the gate — the run that produced the snapshot skipped the testbed.
 	minLatencyRatio float64
+	// requireDrop inverts the gate for specific counters: each key must
+	// SHRINK to at most old*(1-frac) in the new snapshot
+	// ("lp.phase1_pivots=0.4" requires a 40% drop). CI uses it to assert the
+	// warm-start engine keeps eliminating phase-1 work versus the committed
+	// cold baseline. A key missing from the new snapshot is a regression —
+	// the run that produced it lost the counter, not the work.
+	requireDrop map[string]float64
 }
 
 // parseKeyThresholds parses "k1=0.1,k2=0.5" into a per-key map.
@@ -188,6 +195,38 @@ func runDiff(w io.Writer, oldPath, newPath string, opts diffOptions) (int, error
 		if f.Growth != 0 || f.Regression {
 			fmt.Fprintf(w, "%s%-32s %10d -> %10d  (%+.1f%%, limit +%.0f%%)\n",
 				mark, f.Key, f.Old, f.New, 100*f.Growth, 100*f.Threshold)
+		}
+	}
+
+	// Required drops gate the other direction: the named counters must have
+	// SHRUNK by at least their fraction. Deterministic pivot counts make
+	// this hardware-independent — CI asserts the warm-start engine still
+	// eliminates phase-1 work relative to the committed cold baseline.
+	if len(opts.requireDrop) > 0 {
+		keys := make([]string, 0, len(opts.requireDrop))
+		for k := range opts.requireDrop {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		oldC, newC := oldB.counters(), newB.counters()
+		for _, k := range keys {
+			frac := opts.requireDrop[k]
+			o, okOld := oldC[k]
+			n, okNew := newC[k]
+			limit := float64(o) * (1 - frac)
+			switch {
+			case !okOld:
+				fmt.Fprintf(w, "✗ %s missing from old snapshot (required to drop %.0f%%)\n", k, 100*frac)
+				regressions++
+			case !okNew:
+				fmt.Fprintf(w, "✗ %s missing from new snapshot (required to drop %.0f%%)\n", k, 100*frac)
+				regressions++
+			case float64(n) > limit:
+				fmt.Fprintf(w, "✗ %-32s %10d -> %10d  (required <= %.0f, drop %.0f%%)\n", k, o, n, limit, 100*frac)
+				regressions++
+			default:
+				fmt.Fprintf(w, "  %-32s %10d -> %10d  (required drop %.0f%% met)\n", k, o, n, 100*frac)
+			}
 		}
 	}
 

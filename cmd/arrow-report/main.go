@@ -6,7 +6,7 @@
 //
 //	arrow-report -run [-seed 1] [-parallelism 8] [-out report.md] [-json report.json] [-ledger-json ledger.json]
 //	arrow-report -ledger ledger.json [-metrics metrics.json] [-out report.md] [-json report.json]
-//	arrow-report -diff old.json new.json [-threshold 0.2] [-key-threshold ticket.infeasible=0.2]
+//	arrow-report -diff old.json new.json [-threshold 0.2] [-key-threshold ticket.infeasible=0.2] [-require-drop lp.phase1_pivots=0.4]
 //
 // -run executes the standard recorded pipeline (the same B4 instance the
 // bench snapshot measures), solves the ARROW scheme, and renders the
@@ -16,7 +16,10 @@
 //
 // -diff compares the deterministic counters of two BENCH/metrics snapshots
 // with per-key growth thresholds and exits nonzero on regression; CI runs
-// it against the committed baseline.
+// it against the committed baseline. -require-drop inverts the gate for
+// named counters: they must shrink by at least the given fraction (CI uses
+// it to pin the warm-start engine's phase-1 pivot elimination against the
+// committed cold baseline).
 package main
 
 import (
@@ -51,6 +54,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		doDiff    = fs.Bool("diff", false, "compare two snapshot JSONs: arrow-report -diff old.json new.json")
 		threshold = fs.Float64("threshold", 0.20, "default allowed relative counter growth for -diff (0.20 = +20%)")
 		keyThresh = fs.String("key-threshold", "", "per-key -diff overrides, e.g. ticket.infeasible=0.1,lp.pivots=0.5 (negative = exempt)")
+		reqDrop   = fs.String("require-drop", "", "with -diff: require counters to SHRINK by at least the fraction, e.g. lp.phase1_pivots=0.4 (missing counter = regression)")
 		minRatio  = fs.Float64("min-latency-ratio", 0, "with -diff: require the new snapshot's emu.latency_ratio gauge to be at least this (0 disables; the paper measures 127x)")
 		verbose   = fs.Bool("v", false, "verbose: mirror ledger events to the structured log")
 	)
@@ -71,7 +75,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "arrow-report:", err)
 			return 2
 		}
-		regressions, err := runDiff(stdout, fs.Arg(0), fs.Arg(1), diffOptions{threshold: *threshold, perKey: perKey, minLatencyRatio: *minRatio})
+		drops, err := parseKeyThresholds(*reqDrop)
+		if err != nil {
+			fmt.Fprintln(stderr, "arrow-report:", err)
+			return 2
+		}
+		regressions, err := runDiff(stdout, fs.Arg(0), fs.Arg(1), diffOptions{threshold: *threshold, perKey: perKey, minLatencyRatio: *minRatio, requireDrop: drops})
 		if err != nil {
 			fmt.Fprintln(stderr, "arrow-report:", err)
 			return 2

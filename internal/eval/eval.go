@@ -29,6 +29,10 @@ type Config struct {
 	// experiment touches. A nil Recorder costs nothing and never changes
 	// any result.
 	Recorder obs.Recorder
+	// NoWarm disables LP warm starts throughout the experiments (pipeline
+	// RWA solves and TE solves). Exposed as arrow-experiments -warm=false
+	// for A/B comparison of pivot counts; the default keeps warm starts on.
+	NoWarm bool
 }
 
 // Result is one regenerated table or figure.

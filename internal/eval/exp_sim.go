@@ -102,7 +102,7 @@ var (
 func availabilitySweep(cfg Config, name string) (*sweepData, error) {
 	// Parallelism is deliberately absent from the key: the sweep is
 	// bit-identical for every worker count, so all settings share one entry.
-	key := fmt.Sprintf("%s-%v-%d", name, cfg.Fast, cfg.Seed)
+	key := fmt.Sprintf("%s-%v-%d-%v", name, cfg.Fast, cfg.Seed, cfg.NoWarm)
 	sweepMu.Lock()
 	e, ok := sweepCache[key]
 	if !ok {
@@ -114,13 +114,18 @@ func availabilitySweep(cfg Config, name string) (*sweepData, error) {
 	return e.d, e.err
 }
 
-// arrowOptsFor forwards the config's recorder into a direct te.Arrow call;
-// nil when no recorder is attached, exactly as before instrumentation.
+// arrowOptsFor forwards the config's recorder and warm-start switch into a
+// direct te.Arrow call; nil when neither is set, exactly as before
+// instrumentation.
 func arrowOptsFor(cfg Config) *te.ArrowOptions {
-	if cfg.Recorder == nil {
+	if cfg.Recorder == nil && !cfg.NoWarm {
 		return nil
 	}
-	return &te.ArrowOptions{LP: &lp.Options{Recorder: cfg.Recorder}}
+	opts := &te.ArrowOptions{NoWarm: cfg.NoWarm}
+	if cfg.Recorder != nil {
+		opts.LP = &lp.Options{Recorder: cfg.Recorder}
+	}
+	return opts
 }
 
 func computeSweep(cfg Config, name string) (*sweepData, error) {
@@ -131,7 +136,7 @@ func computeSweep(cfg Config, name string) (*sweepData, error) {
 	}
 	pl, err := BuildPipeline(tp, PipelineOptions{
 		Cutoff: p.cutoff, NumTickets: p.tickets, Seed: cfg.Seed, MaxScenarios: p.maxScenarios,
-		Parallelism: cfg.Parallelism, Recorder: cfg.Recorder,
+		Parallelism: cfg.Parallelism, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm,
 	})
 	if err != nil {
 		return nil, err
@@ -293,7 +298,7 @@ func runFig14(cfg Config) (*Result, error) {
 		Header: []string{"tickets |Z|", "throughput"}}
 	var series []float64
 	for _, tc := range ticketCounts {
-		pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: tc, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Parallelism: cfg.Parallelism, Recorder: cfg.Recorder})
+		pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: tc, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Parallelism: cfg.Parallelism, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm})
 		if err != nil {
 			return nil, err
 		}
@@ -331,7 +336,7 @@ func runFig15(cfg Config) (*Result, error) {
 	r := &Result{ID: "fig15", Title: "ARROW TE solve time vs |Z| (B4, this machine)",
 		Header: []string{"tickets |Z|", "phase I+II solve (s)", "phase I rows", "simplex iters"}}
 	for _, tc := range ticketCounts {
-		pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: tc, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Parallelism: cfg.Parallelism, Recorder: cfg.Recorder})
+		pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: tc, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Parallelism: cfg.Parallelism, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm})
 		if err != nil {
 			return nil, err
 		}
@@ -359,7 +364,7 @@ func runFig16(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: d.cutoff, NumTickets: d.tickets, Seed: cfg.Seed, MaxScenarios: d.maxScenarios, Parallelism: cfg.Parallelism, Recorder: cfg.Recorder})
+	pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: d.cutoff, NumTickets: d.tickets, Seed: cfg.Seed, MaxScenarios: d.maxScenarios, Parallelism: cfg.Parallelism, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm})
 	if err != nil {
 		return nil, err
 	}

@@ -144,7 +144,7 @@ func runTable9(cfg Config) (*Result, error) {
 			TicketLinks:     []int{0, 1, 2},
 			Tickets:         c.tickets,
 		}}
-		lpAl, err := te.Arrow(n, scs, nil)
+		lpAl, err := te.Arrow(n, scs, arrowOptsFor(cfg))
 		if err != nil {
 			return nil, err
 		}

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/arrow-te/arrow/internal/obs"
 	"github.com/arrow-te/arrow/internal/rwa"
 	"github.com/arrow-te/arrow/internal/scenario"
 	"github.com/arrow-te/arrow/internal/sim"
@@ -128,5 +129,51 @@ func TestBuildPipelineErrorCancelsPool(t *testing.T) {
 	}
 	if after := runtime.NumGoroutine(); after > before {
 		t.Errorf("goroutine leak: %d before, %d after", before, after)
+	}
+}
+
+// TestWarmCountersDeterministicAcrossParallelism pins the warm-start
+// determinism contract: every warm source is fixed before the solve fans
+// out (slack basis for RWA, never "whichever sibling finished first"), so
+// the LP pivot and warm-start counters must be identical at every worker
+// count — not merely the solutions.
+func TestWarmCountersDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds three full pipelines")
+	}
+	counterKeys := []string{
+		"lp.solves", "lp.pivots", "lp.phase1_pivots",
+		"lp.warm_starts", "lp.warm_accepted", "lp.warm_repairs",
+		"lp.phase1_skipped", "lp.pivots_saved",
+	}
+	snap := func(workers int) map[string]int64 {
+		t.Helper()
+		tp, err := topo.B4(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		if _, err := BuildPipeline(tp, PipelineOptions{
+			Cutoff: 0.001, NumTickets: 8, Seed: 1, MaxScenarios: 12,
+			Parallelism: workers, Recorder: reg,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		counters := reg.Snapshot().Counters
+		out := map[string]int64{}
+		for _, k := range counterKeys {
+			out[k] = counters[k]
+		}
+		return out
+	}
+	p1 := snap(1)
+	if p1["lp.warm_starts"] == 0 || p1["lp.phase1_skipped"] == 0 {
+		t.Fatalf("pipeline exercised no warm starts: %v", p1)
+	}
+	for _, workers := range []int{4, 8} {
+		if pw := snap(workers); !reflect.DeepEqual(p1, pw) {
+			t.Errorf("warm counters differ between Parallelism 1 and %d:\n  1: %v\n  %d: %v",
+				workers, p1, workers, pw)
+		}
 	}
 }

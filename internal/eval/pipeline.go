@@ -38,6 +38,7 @@ type Pipeline struct {
 	baseUtilization float64
 	rec             obs.Recorder
 	led             *ledger.Ledger
+	noWarm          bool
 }
 
 // PipelineOptions configures pipeline construction.
@@ -75,6 +76,11 @@ type PipelineOptions struct {
 	// TE solves, winners and residual demand. Same contract as Recorder:
 	// nil costs nothing and results are byte-identical either way.
 	Ledger *ledger.Ledger
+	// NoWarm disables LP warm starts in the per-scenario RWA solves and the
+	// TE solves issued later via SolveScheme. The default (warm) uses only
+	// deterministic warm sources, so results stay schedule-independent at
+	// every Parallelism; the switch exists for A/B pivot-count comparison.
+	NoWarm bool
 }
 
 // solveRWA is rwa.Solve behind a seam so tests can inject failures into
@@ -124,7 +130,7 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 	if opts.Ledger != nil {
 		opts.Ledger.Emit(ledger.Event{Kind: ledger.KindEnumerated, Scenario: -1, Count: len(set.Scenarios)})
 	}
-	p := &Pipeline{Topo: tp, Set: set, baseUtilization: opts.BaseUtilization, rec: opts.Recorder, led: opts.Ledger}
+	p := &Pipeline{Topo: tp, Set: set, baseUtilization: opts.BaseUtilization, rec: opts.Recorder, led: opts.Ledger, noWarm: opts.NoWarm}
 
 	// Pre-build the lazily-memoised optical graph once, on this goroutine,
 	// before fanning out (the memoisation itself is also mutex-guarded; this
@@ -140,7 +146,7 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 		res, err := solveRWA(&rwa.Request{
 			Net: tp.Opt, Cut: set.Scenarios[si].Cut, K: opts.K,
 			AllowTuning: true, AllowModulationChange: true,
-			Recorder: opts.Recorder,
+			Recorder: opts.Recorder, NoWarm: opts.NoWarm,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("eval: scenario %d rwa: %w", si, err)
@@ -271,11 +277,12 @@ func AllSchemes() []Scheme {
 // SolveScheme runs one TE scheme on the network and returns its allocation
 // plus the per-scenario restored-capacity maps to use during evaluation.
 func (p *Pipeline) SolveScheme(s Scheme, n *te.Network) (*te.Allocation, []map[int]float64, error) {
-	// Thread the pipeline's recorder and ledger into the two-phase LP
-	// solves; with neither the options stay nil exactly as before.
+	// Thread the pipeline's recorder, ledger and warm-start switch into the
+	// two-phase LP solves; with none of them the options stay nil exactly
+	// as before.
 	var arrowOpts *te.ArrowOptions
-	if p.rec != nil || p.led != nil {
-		arrowOpts = &te.ArrowOptions{Ledger: p.led}
+	if p.rec != nil || p.led != nil || p.noWarm {
+		arrowOpts = &te.ArrowOptions{Ledger: p.led, NoWarm: p.noWarm}
 		if p.rec != nil {
 			arrowOpts.LP = &lp.Options{Recorder: p.rec}
 		}

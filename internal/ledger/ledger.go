@@ -54,6 +54,10 @@ const (
 	// event carries the status and the solution certificate.
 	KindSolveStart Kind = "solve_start"
 	KindSolveEnd   Kind = "solve_end"
+	// KindWarmStart records one warm-started solve's outcome: Solver names
+	// the model, Status is "phase1_skipped", "accepted" or "rejected", and
+	// Count carries the pivots saved versus a cold start.
+	KindWarmStart Kind = "warm_start"
 	// KindWinner records the winning ticket of one scenario with its
 	// restored capacity and restored-capacity fraction.
 	KindWinner Kind = "winner"

@@ -64,12 +64,12 @@ func CheckCertificate(c *Certificate, tol float64) error {
 // pass over the columns, and it never mutates solver state, so attaching
 // it cannot change the pivot sequence or the returned solution.
 func (sx *simplex) certificate() *Certificate {
-	// Basis duals in the internal minimisation sense.
-	cb := make([]float64, sx.nRow)
+	// Basis duals in the internal minimisation sense (pooled scratch: the
+	// pivot loop has finished by the time the certificate runs).
+	cb, y := sx.cb, sx.y
 	for pos, j := range sx.basisOf {
 		cb[pos] = sx.cost[j]
 	}
-	y := make([]float64, sx.nRow)
 	sx.btran(cb, y)
 
 	// Primal residual: equality rows A x = b over every column (artificials

@@ -47,14 +47,39 @@ type luFactors struct {
 	epoch int32
 }
 
+// patchedCol records one singularity repair made by factorizeRepair: the
+// basis position whose column was linearly dependent, and the row whose
+// unit column was substituted in its place. A slack column is exactly such
+// a unit column (slacks always carry coefficient +1), so the caller can
+// realise the patch by installing the slack of that row.
+type patchedCol struct {
+	pos, row int
+}
+
 // factorize computes the LU factors of the matrix whose columns are
 // cols[i] (each a sparse column over n rows). Columns are processed in
 // ascending-nnz order; within a column the pivot is the largest-magnitude
 // eligible entry.
 func factorize(n int, cols []spCol) (*luFactors, error) {
+	f, _, err := factorizeInto(n, cols, false)
+	return f, err
+}
+
+// factorizeRepair is factorize with singularity repair: a column with no
+// eligible pivot (structurally or numerically dependent on the columns
+// already factored) is replaced in place by the unit column of the
+// lowest-index still-unpivoted row, which pivots trivially with value 1.
+// Every substitution is reported so the caller can update its basis
+// bookkeeping; the returned factors describe the patched matrix exactly.
+func factorizeRepair(n int, cols []spCol) (*luFactors, []patchedCol, error) {
+	return factorizeInto(n, cols, true)
+}
+
+func factorizeInto(n int, cols []spCol, repair bool) (*luFactors, []patchedCol, error) {
 	if len(cols) != n {
-		return nil, errors.New("lp: basis is not square")
+		return nil, nil, errors.New("lp: basis is not square")
 	}
+	var patched []patchedCol
 	f := &luFactors{
 		n:          n,
 		colOrder:   make([]int, n),
@@ -125,11 +150,31 @@ func factorize(n int, cols []spCol) (*luFactors, error) {
 			}
 		}
 		if pivRow < 0 || pivAbs < 1e-11 {
-			// Clean up workspace before failing.
+			// Clean up the workspace before failing or patching.
 			for _, r := range touched {
 				w[r] = 0
 			}
-			return nil, errSingular
+			if !repair {
+				return nil, nil, errSingular
+			}
+			// Patch: pivot the unit column of the lowest-index unpivoted
+			// row instead. Its single entry sits in an unpivoted row, so
+			// the step completes with pivot value 1 and empty L/U columns.
+			pr := -1
+			for r := 0; r < n; r++ {
+				if f.pinv[r] < 0 {
+					pr = r
+					break
+				}
+			}
+			if pr < 0 {
+				return nil, nil, errSingular // unreachable: k < n pivots placed
+			}
+			patched = append(patched, patchedCol{pos: j, row: pr})
+			f.rowOfPivot[k] = pr
+			f.pinv[pr] = k
+			f.udiag[k] = 1
+			continue
 		}
 		pivVal := w[pivRow]
 		f.rowOfPivot[k] = pivRow
@@ -155,7 +200,7 @@ func factorize(n int, cols []spCol) (*luFactors, error) {
 			}
 		}
 	}
-	return f, nil
+	return f, patched, nil
 }
 
 // reach returns, as a stack (reverse topological order), the pivot steps

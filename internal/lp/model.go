@@ -75,6 +75,10 @@ func NewModel(name string) *Model { return &Model{name: name} }
 // Name returns the model's name.
 func (m *Model) Name() string { return m.name }
 
+// SetName renames the model. Useful when one model skeleton is reused
+// across solve families (diagnostics and ledger events carry the name).
+func (m *Model) SetName(name string) { m.name = name }
+
 // SetMaximize selects between maximisation (true) and minimisation (false,
 // the default).
 func (m *Model) SetMaximize(max bool) { m.maximize = max }
@@ -151,6 +155,38 @@ func (m *Model) AddConstr(expr Expr, sense Sense, rhs float64, name string) Cons
 	}
 	m.rows = append(m.rows, rowData{terms: combineTerms(expr), sense: sense, rhs: rhs, name: name})
 	return Constr(len(m.rows) - 1)
+}
+
+// SetRHS overwrites the right-hand side of constraint c in place. Part of
+// the delta API: together with SetBounds and TruncateConstrs it lets one
+// built model skeleton be re-solved under per-scenario patches without
+// re-running combineTerms or cloning, so a basis from the previous solve
+// stays structurally valid for SolveWithBasis.
+func (m *Model) SetRHS(c Constr, rhs float64) { m.rows[c].rhs = rhs }
+
+// RHS returns the right-hand side of constraint c.
+func (m *Model) RHS(c Constr) float64 { return m.rows[c].rhs }
+
+// ConstrSense returns the sense of constraint c.
+func (m *Model) ConstrSense(c Constr) Sense { return m.rows[c].sense }
+
+// ConstrName returns the diagnostic name of constraint c.
+func (m *Model) ConstrName(c Constr) string { return m.rows[c].name }
+
+// TruncateConstrs drops every constraint with index >= n, rewinding the
+// model to an earlier skeleton. Variables are untouched. Constraint
+// handles returned by AddConstr for dropped rows become invalid; handles
+// below n stay valid. Part of the delta API (see SetRHS).
+func (m *Model) TruncateConstrs(n int) {
+	if n < 0 || n > len(m.rows) {
+		panic(fmt.Sprintf("lp: TruncateConstrs(%d) outside [0, %d]", n, len(m.rows)))
+	}
+	// Clear the tails so their term slices can be collected even while the
+	// backing array is retained for reuse by later AddConstr calls.
+	for i := n; i < len(m.rows); i++ {
+		m.rows[i] = rowData{}
+	}
+	m.rows = m.rows[:n]
 }
 
 // combineTerms sums duplicate variables and drops zero coefficients,

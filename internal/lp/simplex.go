@@ -48,6 +48,11 @@ type Solution struct {
 	// and feasibility residuals); populated at StatusOptimal only. Verify
 	// it with CheckCertificate.
 	Cert *Certificate
+	// Basis is the final simplex basis, suitable for warm-starting related
+	// solves via SolveWithBasis; populated at StatusOptimal only.
+	Basis *Basis
+	// Warm reports what the warm-start machinery did; nil on cold solves.
+	Warm *WarmInfo
 }
 
 // Options tunes the simplex solver. The zero value selects defaults.
@@ -63,6 +68,11 @@ type Options struct {
 	Recorder obs.Recorder
 }
 
+// withDefaults resolves the effective solver settings. Zero values select
+// the defaults. Negative values (and NaN tolerances) are invalid — a
+// solver with MaxIter -1 would never pivot and Refactor -1 would
+// refactorise every step — so they are explicitly clamped to the defaults
+// rather than being allowed to leak into the solve.
 func (o *Options) withDefaults(rows, cols int) Options {
 	v := Options{MaxIter: 20000 + 40*(rows+cols), FeasTol: 1e-7, OptTol: 1e-7, Refactor: 64}
 	if o == nil {
@@ -71,16 +81,16 @@ func (o *Options) withDefaults(rows, cols int) Options {
 	v.Recorder = o.Recorder
 	if o.MaxIter > 0 {
 		v.MaxIter = o.MaxIter
-	}
+	} // MaxIter < 0: clamped to the default
 	if o.FeasTol > 0 {
 		v.FeasTol = o.FeasTol
-	}
+	} // FeasTol <= 0 or NaN: clamped to the default
 	if o.OptTol > 0 {
 		v.OptTol = o.OptTol
-	}
+	} // OptTol <= 0 or NaN: clamped to the default
 	if o.Refactor > 0 {
 		v.Refactor = o.Refactor
-	}
+	} // Refactor < 0: clamped to the default
 	return v
 }
 
@@ -131,10 +141,20 @@ type simplex struct {
 	etas  []eta
 	iters int
 
-	// scratch
+	// scratch vectors, allocated once per simplex and reused across every
+	// FTRAN/BTRAN/pricing pass (and by duals/certificate extraction)
 	w, y, rhs, accum []float64
+	cb, d            []float64
+	// etaPool recycles eta column backings freed by refactorisations.
+	etaPool [][]float64
 
 	degenerate int // consecutive degenerate pivots (Bland trigger)
+
+	// warm-start state; nil on cold solves
+	warm *WarmInfo
+	// startingArts counts artificials installed at a nonzero residual by
+	// the most recent solveFromPoint (the pivots the start still owes).
+	startingArts int
 
 	// local metric accumulators, flushed to opt.Recorder once per solve
 	phase1Iters int
@@ -172,6 +192,7 @@ func newSimplex(m *Model, opts *Options) (*simplex, error) {
 
 		w: make([]float64, nRow), y: make([]float64, nRow),
 		rhs: make([]float64, nRow), accum: make([]float64, nRow),
+		cb: make([]float64, nRow), d: make([]float64, nRow),
 	}
 	sign := 1.0
 	if m.maximize {
@@ -250,6 +271,17 @@ func (sx *simplex) flushMetrics() {
 	r.Observe("lp.eta_depth_max", float64(sx.maxEtaDepth))
 	r.Observe("lp.rows", float64(sx.nRow))
 	r.Observe("lp.structural_vars", float64(sx.nStr))
+	if wi := sx.warm; wi != nil {
+		r.Add("lp.warm_starts", 1)
+		if wi.Accepted {
+			r.Add("lp.warm_accepted", 1)
+		}
+		r.Add("lp.warm_repairs", int64(wi.Repairs))
+		if wi.Phase1Skipped {
+			r.Add("lp.phase1_skipped", 1)
+		}
+		r.Add("lp.pivots_saved", int64(wi.PivotsSaved))
+	}
 	if c := sx.cert; c != nil {
 		r.Add("lp.certificates", 1)
 		r.Observe("lp.duality_gap", c.Gap)
@@ -266,6 +298,16 @@ func (sx *simplex) solve() (*Solution, error) {
 	for j := 0; j < sx.nStr+sx.nRow; j++ {
 		sx.x[j], sx.status[j] = initialValue(sx.lb[j], sx.ub[j])
 	}
+	return sx.solveFromPoint()
+}
+
+// solveFromPoint installs the all-artificial basis against the current
+// nonbasic point (the residual of each row decides its artificial's sign
+// and starting value), factorises, and runs both phases. Cold starts
+// arrive here from the initialValue point; warm starts whose basis turned
+// out infeasible arrive from the projected warm point, which typically
+// leaves most artificials at zero.
+func (sx *simplex) solveFromPoint() (*Solution, error) {
 	// Residual r = b - A x determines artificials.
 	res := append([]float64(nil), sx.b...)
 	for j := 0; j < sx.nStr+sx.nRow; j++ {
@@ -276,6 +318,7 @@ func (sx *simplex) solve() (*Solution, error) {
 			}
 		}
 	}
+	sx.startingArts = 0
 	for i := 0; i < sx.nRow; i++ {
 		a := sx.nStr + sx.nRow + i
 		coef := 1.0
@@ -288,28 +331,41 @@ func (sx *simplex) solve() (*Solution, error) {
 		sx.status[a] = basic
 		sx.basisOf[i] = a
 		sx.posOf[a] = i
+		if sx.x[a] > sx.opt.FeasTol {
+			sx.startingArts++
+		}
 	}
 	if err := sx.refactorize(); err != nil {
 		return nil, err
 	}
+	return sx.phases(true)
+}
 
-	// Phase 1: minimise the sum of artificials.
-	phase1Cost := make([]float64, sx.nTot)
-	for i := 0; i < sx.nRow; i++ {
-		phase1Cost[sx.nStr+sx.nRow+i] = 1
+// phases runs phase 1 (unless the caller established a primal-feasible
+// basis already), pins the artificials, runs phase 2, and assembles the
+// solution.
+func (sx *simplex) phases(runPhase1 bool) (*Solution, error) {
+	if runPhase1 {
+		// Phase 1: minimise the sum of artificials.
+		phase1Cost := make([]float64, sx.nTot)
+		for i := 0; i < sx.nRow; i++ {
+			phase1Cost[sx.nStr+sx.nRow+i] = 1
+		}
+		st, err := sx.iterate(phase1Cost, true)
+		sx.phase1Iters = sx.iters
+		if err != nil {
+			return nil, err
+		}
+		if st == StatusIterLimit {
+			return &Solution{Status: StatusIterLimit, X: sx.extract(), Iterations: sx.iters, Warm: sx.warm}, nil
+		}
+		if sx.artificialSum() > sx.opt.FeasTol*10 {
+			return &Solution{Status: StatusInfeasible, X: sx.extract(), Iterations: sx.iters, Warm: sx.warm}, nil
+		}
 	}
-	st, err := sx.iterate(phase1Cost, true)
-	sx.phase1Iters = sx.iters
-	if err != nil {
-		return nil, err
-	}
-	if st == StatusIterLimit {
-		return &Solution{Status: StatusIterLimit, X: sx.extract(), Iterations: sx.iters}, nil
-	}
-	if sx.artificialSum() > sx.opt.FeasTol*10 {
-		return &Solution{Status: StatusInfeasible, X: sx.extract(), Iterations: sx.iters}, nil
-	}
-	// Pin artificials to zero for phase 2.
+	// Pin artificials to zero for phase 2. (On a warm start that skipped
+	// phase 1 the artificials were never installed: empty columns, already
+	// at zero — the pin is then a no-op that keeps them retired.)
 	for i := 0; i < sx.nRow; i++ {
 		a := sx.nStr + sx.nRow + i
 		sx.ub[a] = 0
@@ -319,24 +375,49 @@ func (sx *simplex) solve() (*Solution, error) {
 	}
 
 	// Phase 2: minimise the true cost.
-	st, err = sx.iterate(sx.cost, false)
+	st, err := sx.iterate(sx.cost, false)
 	if err != nil {
 		return nil, err
 	}
-	sol := &Solution{Status: st, X: sx.extract(), Iterations: sx.iters}
+	sol := &Solution{Status: st, X: sx.extract(), Iterations: sx.iters, Warm: sx.warm}
 	sol.Objective = sx.m.ObjValue(sol.X)
 	if st == StatusOptimal {
 		sol.Duals = sx.duals()
 		sol.Cert = sx.certificate()
 		sx.cert = sol.Cert
+		sol.Basis = sx.exportBasis()
 	}
 	return sol, nil
+}
+
+// exportBasis snapshots the final basis in portable form. A basic
+// artificial (possible after a degenerate phase 1) sits at numerical zero
+// and its column is a ± unit column of its row — structurally the row's
+// slack — so it is exported as slack-basic and the importer rebuilds an
+// equivalent basis.
+func (sx *simplex) exportBasis() *Basis {
+	b := &Basis{
+		VarStatus: make([]BasisStatus, sx.nStr),
+		RowStatus: make([]BasisStatus, sx.nRow),
+	}
+	for j := 0; j < sx.nStr; j++ {
+		b.VarStatus[j] = exportStatus(sx.status[j])
+	}
+	for i := 0; i < sx.nRow; i++ {
+		b.RowStatus[i] = exportStatus(sx.status[sx.nStr+i])
+	}
+	for i := 0; i < sx.nRow; i++ {
+		if sx.status[sx.nStr+sx.nRow+i] == basic {
+			b.RowStatus[i] = BasisBasic
+		}
+	}
+	return b
 }
 
 // duals computes the shadow prices y = B^-T c_B of the final basis,
 // converted to the model's own optimisation sense.
 func (sx *simplex) duals() []float64 {
-	cb := make([]float64, sx.nRow)
+	cb := sx.cb
 	for pos, j := range sx.basisOf {
 		cb[pos] = sx.cost[j]
 	}
@@ -389,6 +470,13 @@ func (sx *simplex) refactorize() error {
 	}
 	sx.refactors++
 	sx.lu = lu
+	// Recycle the eta column backings: refactorisation retires the whole
+	// eta file at once, and the next pivots would otherwise reallocate
+	// columns of exactly this size.
+	for i := range sx.etas {
+		sx.etaPool = append(sx.etaPool, sx.etas[i].col)
+		sx.etas[i].col = nil
+	}
 	sx.etas = sx.etas[:0]
 	sx.recomputeBasics()
 	return nil
@@ -457,8 +545,8 @@ func (sx *simplex) btran(c, out []float64) {
 // unbounded, or the iteration limit. phase1 permits early exit once the
 // artificial sum is (numerically) zero.
 func (sx *simplex) iterate(cost []float64, phase1 bool) (Status, error) {
-	cb := make([]float64, sx.nRow)
-	d := make([]float64, sx.nRow) // entering column in basis coordinates
+	cb := sx.cb
+	d := sx.d // entering column in basis coordinates
 	for {
 		if sx.iters >= sx.opt.MaxIter {
 			return StatusIterLimit, nil
@@ -653,8 +741,15 @@ func (sx *simplex) pivot(enter int, dir float64, d []float64, phase1 bool) (Stat
 	sx.posOf[enter] = leave
 	sx.status[enter] = basic
 
-	// Record the eta for the new basis.
-	col := make([]float64, sx.nRow)
+	// Record the eta for the new basis, reusing a pooled column if one is
+	// available.
+	var col []float64
+	if n := len(sx.etaPool); n > 0 {
+		col = sx.etaPool[n-1]
+		sx.etaPool = sx.etaPool[:n-1]
+	} else {
+		col = make([]float64, sx.nRow)
+	}
 	copy(col, d)
 	sx.etas = append(sx.etas, eta{pos: leave, col: col, piv: d[leave]})
 	if len(sx.etas) > sx.maxEtaDepth {

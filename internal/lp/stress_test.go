@@ -189,3 +189,112 @@ func TestLargeSparseNetworkLP(t *testing.T) {
 		t.Fatalf("violation %g", v)
 	}
 }
+
+// randomWarmModel builds a random bounded LP that is feasible by
+// construction (x = 0 satisfies every row: LE rows get rhs >= 0, GE rows
+// rhs <= 0, and the occasional EQ row rhs 0).
+func randomWarmModel(rng *rand.Rand, name string) *Model {
+	m := NewModel(name)
+	m.SetMaximize(rng.Intn(2) == 0)
+	nv := 4 + rng.Intn(8)
+	nr := 3 + rng.Intn(8)
+	vars := make([]Var, nv)
+	for j := range vars {
+		obj := rng.NormFloat64() * 3
+		vars[j] = m.AddVar(0, 1+rng.Float64()*9, obj, "v")
+	}
+	for i := 0; i < nr; i++ {
+		var e Expr
+		for j := range vars {
+			if rng.Float64() < 0.5 {
+				e = e.Plus(math.Round(rng.NormFloat64()*40)/10, vars[j])
+			}
+		}
+		if len(e) == 0 {
+			e = e.Plus(1, vars[rng.Intn(nv)])
+		}
+		switch rng.Intn(10) {
+		case 0:
+			m.AddConstr(e, EQ, 0, "eq")
+		case 1, 2, 3:
+			m.AddConstr(e, GE, -(1 + rng.Float64()*20), "ge")
+		default:
+			m.AddConstr(e, LE, 1+rng.Float64()*20, "le")
+		}
+	}
+	return m
+}
+
+// TestWarmColdObjectivesAgree is the warm-start property test: across ~200
+// random models, perturb the bounds and right-hand sides of a solved base
+// model, then solve the perturbation cold and warm (from the base basis).
+// Both must agree on status, agree on the objective within 1e-9, and both
+// certificates must pass CheckCertificate. A second warm solve must also
+// repeat the first one's pivot count exactly (determinism).
+func TestWarmColdObjectivesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7001))
+	agreed, skippedP1 := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		m := randomWarmModel(rng, "prop")
+		base, err := Solve(m, nil)
+		if err != nil {
+			t.Fatalf("trial %d base: %v", trial, err)
+		}
+		if base.Status != StatusOptimal {
+			continue // random instance unbounded: no basis to reuse
+		}
+		// Perturb: shift some rhs and some upper bounds.
+		for i := 0; i < m.NumConstrs(); i++ {
+			if m.ConstrSense(Constr(i)) != EQ && rng.Float64() < 0.5 {
+				m.SetRHS(Constr(i), m.RHS(Constr(i))+rng.NormFloat64())
+			}
+		}
+		for j := 0; j < m.NumVars(); j++ {
+			if rng.Float64() < 0.3 {
+				lb, ub := m.Bounds(Var(j))
+				m.SetBounds(Var(j), lb, math.Max(lb, ub+rng.NormFloat64()))
+			}
+		}
+		cold, err := Solve(m, nil)
+		if err != nil {
+			t.Fatalf("trial %d cold: %v", trial, err)
+		}
+		warm, err := SolveWithBasis(m, base.Basis, nil)
+		if err != nil {
+			t.Fatalf("trial %d warm: %v", trial, err)
+		}
+		if warm.Status != cold.Status {
+			t.Fatalf("trial %d: warm status %v, cold %v", trial, warm.Status, cold.Status)
+		}
+		if cold.Status != StatusOptimal {
+			continue
+		}
+		if diff := math.Abs(warm.Objective - cold.Objective); diff > 1e-9*(1+math.Abs(cold.Objective)) {
+			t.Fatalf("trial %d: objectives differ by %g (warm %v, cold %v)", trial, diff, warm.Objective, cold.Objective)
+		}
+		if err := CheckCertificate(cold.Cert, 0); err != nil {
+			t.Fatalf("trial %d cold certificate: %v", trial, err)
+		}
+		if err := CheckCertificate(warm.Cert, 0); err != nil {
+			t.Fatalf("trial %d warm certificate: %v", trial, err)
+		}
+		again, err := SolveWithBasis(m, base.Basis, nil)
+		if err != nil {
+			t.Fatalf("trial %d warm repeat: %v", trial, err)
+		}
+		if again.Iterations != warm.Iterations {
+			t.Fatalf("trial %d: warm pivot count not deterministic: %d vs %d", trial, warm.Iterations, again.Iterations)
+		}
+		agreed++
+		if warm.Warm != nil && warm.Warm.Phase1Skipped {
+			skippedP1++
+		}
+	}
+	if agreed < 150 {
+		t.Fatalf("only %d/200 trials reached an optimal comparison", agreed)
+	}
+	if skippedP1 == 0 {
+		t.Fatal("no trial ever skipped phase 1: warm start is not engaging")
+	}
+	t.Logf("agreed=%d phase1Skipped=%d", agreed, skippedP1)
+}

@@ -28,6 +28,11 @@ type Options struct {
 	// Counters accumulate locally and flush once per Solve; a nil Recorder
 	// costs nothing and never changes the search.
 	Recorder obs.Recorder
+	// NoWarm disables warm-starting child node relaxations from the parent
+	// node's final basis. Warm starts never change which solution is found
+	// (the warm solver reaches the same optimum); the switch exists for A/B
+	// pivot-count comparison.
+	NoWarm bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -35,6 +40,8 @@ func (o *Options) withDefaults() Options {
 	if o == nil {
 		return v
 	}
+	// Non-positive values are explicitly clamped to the defaults: a negative
+	// node budget or tolerance is treated as "unset", never as "zero budget".
 	if o.MaxNodes > 0 {
 		v.MaxNodes = o.MaxNodes
 	}
@@ -46,6 +53,7 @@ func (o *Options) withDefaults() Options {
 	}
 	v.LP = o.LP
 	v.Recorder = o.Recorder
+	v.NoWarm = o.NoWarm
 	return v
 }
 
@@ -100,10 +108,15 @@ func certify(m *lp.Model, s *Solution) *lp.Certificate {
 	return c
 }
 
-// node is one open subproblem: a set of tightened variable bounds.
+// node is one open subproblem: a set of tightened variable bounds, plus the
+// parent relaxation's final basis used to warm-start this node's LP. All
+// nodes solve against one shared model skeleton (`work`) whose bounds are
+// re-patched per node, so a parent basis is always structurally valid for
+// its children; only bound changes need repair.
 type node struct {
 	lb, ub map[lp.Var]float64
 	bound  float64 // parent LP relaxation value (in solve sense: minimisation)
+	basis  *lp.Basis
 }
 
 // Solve runs branch and bound on m. Variables added with AddIntVar or
@@ -198,7 +211,14 @@ func Solve(m *lp.Model, opts *Options) (*Solution, error) {
 			pruned++
 			continue
 		}
-		rel, err := lp.Solve(work, lpOpts)
+		var rel *lp.Solution
+		var err error
+		if opt.NoWarm || cur.basis == nil {
+			// Root node (or warm starts disabled): cold solve.
+			rel, err = lp.Solve(work, lpOpts)
+		} else {
+			rel, err = lp.SolveWithBasis(work, cur.basis, lpOpts)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -234,19 +254,23 @@ func Solve(m *lp.Model, opts *Options) (*Solution, error) {
 			}
 		}
 		if branch < 0 {
-			// Integral: new incumbent.
+			// Integral: new incumbent. The reported objective is evaluated
+			// at the *returned* point (integer values rounded exactly), not
+			// the relaxation's value at the pre-rounding point, so the
+			// certificate's Primal always describes the X handed back.
 			if relVal < bestVal {
 				bestVal = relVal
 				incumbents++
-				best = &Solution{Status: lp.StatusOptimal, Objective: rel.Objective, X: roundInts(rel.X, intVars), Nodes: nodes}
+				xr := roundInts(rel.X, intVars)
+				best = &Solution{Status: lp.StatusOptimal, Objective: m.ObjValue(xr), X: xr, Nodes: nodes}
 			}
 			continue
 		}
 
 		x := rel.X[branch]
-		down := &node{lb: cloneMap(cur.lb), ub: cloneMap(cur.ub), bound: relVal}
+		down := &node{lb: cloneMap(cur.lb), ub: cloneMap(cur.ub), bound: relVal, basis: rel.Basis}
 		down.ub[branch] = math.Floor(x)
-		up := &node{lb: cloneMap(cur.lb), ub: cloneMap(cur.ub), bound: relVal}
+		up := &node{lb: cloneMap(cur.lb), ub: cloneMap(cur.ub), bound: relVal, basis: rel.Basis}
 		up.lb[branch] = math.Ceil(x)
 		open = append(open, down, up)
 	}
@@ -258,7 +282,10 @@ func Solve(m *lp.Model, opts *Options) (*Solution, error) {
 		return &Solution{Status: lp.StatusInfeasible, Nodes: nodes}, nil
 	}
 	best.Nodes = nodes
-	best.Bound = best.Objective
+	// The proven bound is the incumbent's LP relaxation value; with rounded
+	// integer values the returned point's objective can differ from it by
+	// O(IntTol), which the certificate reports as a (tiny) gap.
+	best.Bound = sign * bestVal
 	if len(open) > 0 {
 		// Search truncated: report the remaining bound honestly.
 		rem := math.Inf(1)
@@ -271,6 +298,10 @@ func Solve(m *lp.Model, opts *Options) (*Solution, error) {
 			best.Bound = sign * rem
 		}
 	}
+	// Certify against the ORIGINAL model m, not the bound-tightened work
+	// clone: branching bounds are search artifacts that only ever tighten
+	// within m's bounds, so the incumbent is feasible for m and the
+	// certificate must describe the problem the caller posed.
 	best.Cert = certify(m, best)
 	if r := opt.Recorder; r != nil {
 		r.Observe("mip.gap", best.Cert.Gap)

@@ -26,6 +26,11 @@ var CoreCounters = []string{
 	"lp.degenerate_pivots",
 	"lp.certificates",
 	"lp.cert_failures",
+	"lp.warm_starts",
+	"lp.warm_accepted",
+	"lp.warm_repairs",
+	"lp.phase1_skipped",
+	"lp.pivots_saved",
 	"mip.solves",
 	"mip.nodes",
 	"mip.pruned",

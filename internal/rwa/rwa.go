@@ -40,6 +40,12 @@ type Request struct {
 	// options, LP effort) and is forwarded into the assignment LP. A nil
 	// Recorder costs nothing and never changes the solution.
 	Recorder obs.Recorder
+
+	// NoWarm disables warm-starting the assignment LP from a slack basis.
+	// The assignment LP is slack-feasible by construction (all rows are <=
+	// with nonnegative rhs), so the warm start deterministically skips
+	// phase 1; NoWarm exists for A/B comparison, not correctness.
+	NoWarm bool
 }
 
 func (r *Request) k() int {
@@ -301,7 +307,15 @@ func solveAssignmentLP(req *Request, spectra []*spectrum.Bitmap, res *Result) er
 	if req.Recorder != nil {
 		lpo = &lp.Options{Recorder: req.Recorder}
 	}
-	sol, err := lp.Solve(m, lpo)
+	var sol *lp.Solution
+	var err error
+	if req.NoWarm {
+		sol, err = lp.Solve(m, lpo)
+	} else {
+		// All rows are <= with nonnegative rhs, so the all-slack basis is
+		// primal feasible and the warm start skips phase 1 entirely.
+		sol, err = lp.SolveWithBasis(m, lp.SlackBasis(m), lpo)
+	}
 	if err != nil {
 		return fmt.Errorf("rwa assignment LP: %w", err)
 	}

@@ -19,6 +19,12 @@ type ArrowOptions struct {
 	// unmet demand of the final plan. Nil costs nothing and never changes
 	// the allocation.
 	Ledger *ledger.Ledger
+	// NoWarm disables warm-starting: Phase I then starts cold instead of
+	// from the all-slack basis, and Phase II starts cold instead of from
+	// Phase I's final basis. The warm sources are deterministic (never
+	// "whichever solve finished first"), so the switch exists only for A/B
+	// pivot-count comparison.
+	NoWarm bool
 }
 
 func (o *ArrowOptions) alpha() float64 {
@@ -33,6 +39,30 @@ func (o *ArrowOptions) ledger() *ledger.Ledger {
 		return nil
 	}
 	return o.Ledger
+}
+
+func (o *ArrowOptions) noWarm() bool { return o != nil && o.NoWarm }
+
+// emitWarmStart records a warm-started solve's outcome on the ledger:
+// whether the starting basis let the solver skip phase 1 entirely, was
+// accepted (possibly after repair), or was rejected in favour of a cold
+// start, plus the phase-1 pivots saved versus a cold start.
+func emitWarmStart(L *ledger.Ledger, solver string, sol *lp.Solution) {
+	if L == nil || sol == nil || sol.Warm == nil {
+		return
+	}
+	wi := sol.Warm
+	status := "rejected"
+	switch {
+	case wi.Phase1Skipped:
+		status = "phase1_skipped"
+	case wi.Accepted:
+		status = "accepted"
+	}
+	L.Emit(ledger.Event{
+		Kind: ledger.KindWarmStart, Scenario: -1, Solver: solver,
+		Status: status, Count: wi.PivotsSaved,
+	})
 }
 
 // emitPlan records the final restoration plan: one winner event per
@@ -79,11 +109,14 @@ func Arrow(n *Network, scs []RestorableScenario, opts *ArrowOptions) (*Allocatio
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
-	winners, p1stats, err := arrowPhase1WithStats(n, scs, opts)
+	winners, p1stats, p1basis, err := arrowPhase1WithStats(n, scs, opts)
 	if err != nil {
 		return nil, err
 	}
-	al, err := ArrowPhase2(n, scs, winners, opts)
+	// Phase II warm-starts from Phase I's basis restricted to the shared
+	// base-model rows — a deterministic source fixed before any Phase II
+	// solve runs.
+	al, err := arrowPhase2WithBasis(n, scs, winners, opts, p1basis)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +137,10 @@ func Arrow(n *Network, scs []RestorableScenario, opts *ArrowOptions) (*Allocatio
 		}
 	}
 	if !allFirst {
-		fallback, err := ArrowPhase2(n, scs, make([]int, len(scs)), opts)
+		// The fallback solve warm-starts from the SAME Phase I basis as the
+		// winners solve (not from the winners solve's result), keeping the
+		// warm source independent of which Phase II solve ran first.
+		fallback, err := arrowPhase2WithBasis(n, scs, make([]int, len(scs)), opts, p1basis)
 		if err != nil {
 			return nil, err
 		}
@@ -173,18 +209,23 @@ func ArrowNaive(n *Network, scs []RestorableScenario, opts *ArrowOptions) (*Allo
 // identical surviving+restorable tunnel sets, which collapses the common
 // case where every ticket restores some capacity on every link.
 func ArrowPhase1(n *Network, scs []RestorableScenario, opts *ArrowOptions) ([]int, error) {
-	winners, _, err := arrowPhase1WithStats(n, scs, opts)
+	winners, _, _, err := arrowPhase1WithStats(n, scs, opts)
 	return winners, err
 }
 
 // arrowPhase1WithStats is ArrowPhase1 plus model-size/iteration reporting.
-func arrowPhase1WithStats(n *Network, scs []RestorableScenario, opts *ArrowOptions) ([]int, SolveStats, error) {
+// It additionally returns Phase I's final basis restricted to the shared
+// base-model rows, ready to warm-start Phase II (nil when warm starts are
+// disabled): both phases extend the same newBaseModel skeleton, so the
+// variable layout and the leading constraint rows coincide exactly.
+func arrowPhase1WithStats(n *Network, scs []RestorableScenario, opts *ArrowOptions) ([]int, SolveStats, *lp.Basis, error) {
 	for qi := range scs {
 		if len(scs[qi].Tickets) == 0 {
-			return nil, SolveStats{}, fmt.Errorf("te: arrow: scenario %d has no tickets", qi)
+			return nil, SolveStats{}, nil, fmt.Errorf("te: arrow: scenario %d has no tickets", qi)
 		}
 	}
 	bm := newBaseModel("arrow-phase1", n)
+	baseRows := bm.m.NumConstrs()
 	alpha := opts.alpha()
 
 	// refLoad[qi][link] is the ticket-INDEPENDENT reference load used to
@@ -297,18 +338,34 @@ func arrowPhase1WithStats(n *Network, scs []RestorableScenario, opts *ArrowOptio
 	if L != nil {
 		L.Emit(ledger.Event{Kind: ledger.KindSolveStart, Scenario: -1, Solver: bm.m.Name()})
 	}
-	sol, err := lp.Solve(bm.m, lpo)
+	var sol *lp.Solution
+	var err error
+	if opts.noWarm() {
+		sol, err = lp.Solve(bm.m, lpo)
+	} else {
+		// Every Phase I row is satisfied at x = 0 (GE rows have rhs 0, LE
+		// rows nonnegative rhs), so the all-slack basis skips phase 1.
+		sol, err = lp.SolveWithBasis(bm.m, lp.SlackBasis(bm.m), lpo)
+	}
 	if err != nil {
-		return nil, SolveStats{}, fmt.Errorf("te: arrow phase 1: %w", err)
+		return nil, SolveStats{}, nil, fmt.Errorf("te: arrow phase 1: %w", err)
 	}
 	if L != nil {
+		emitWarmStart(L, bm.m.Name(), sol)
 		L.Emit(ledger.Event{
 			Kind: ledger.KindSolveEnd, Scenario: -1, Solver: bm.m.Name(),
 			Status: sol.Status.String(), Cert: sol.Cert,
 		})
 	}
 	if sol.Status != lp.StatusOptimal {
-		return nil, SolveStats{}, fmt.Errorf("te: arrow phase 1: status %v", sol.Status)
+		return nil, SolveStats{}, nil, fmt.Errorf("te: arrow phase 1: status %v", sol.Status)
+	}
+	var p1basis *lp.Basis
+	if !opts.noWarm() && sol.Basis != nil {
+		p1basis = &lp.Basis{VarStatus: sol.Basis.VarStatus, RowStatus: sol.Basis.RowStatus}
+		if len(p1basis.RowStatus) > baseRows {
+			p1basis.RowStatus = p1basis.RowStatus[:baseRows]
+		}
 	}
 	stats := SolveStats{Phase1Vars: bm.m.NumVars(), Phase1Rows: bm.m.NumConstrs(), Phase1Iters: sol.Iterations}
 
@@ -349,12 +406,21 @@ func arrowPhase1WithStats(n *Network, scs []RestorableScenario, opts *ArrowOptio
 		}
 		winners[qi] = best
 	}
-	return winners, stats, nil
+	return winners, stats, p1basis, nil
 }
 
 // ArrowPhase2 solves the Table 3 LP with the given winning ticket per
 // scenario and returns the final allocation plus the restoration plan.
+// Standalone calls warm-start from the all-slack basis (unless NoWarm);
+// Arrow instead passes Phase I's basis through arrowPhase2WithBasis.
 func ArrowPhase2(n *Network, scs []RestorableScenario, winners []int, opts *ArrowOptions) (*Allocation, error) {
+	return arrowPhase2WithBasis(n, scs, winners, opts, nil)
+}
+
+// arrowPhase2WithBasis is ArrowPhase2 with an explicit warm-start basis.
+// A nil basis (with warm starts enabled) falls back to the all-slack basis,
+// which is primal feasible for every Table 3 model.
+func arrowPhase2WithBasis(n *Network, scs []RestorableScenario, winners []int, opts *ArrowOptions, warm *lp.Basis) (*Allocation, error) {
 	if len(winners) != len(scs) {
 		return nil, fmt.Errorf("te: arrow phase 2: %d winners for %d scenarios", len(winners), len(scs))
 	}
@@ -415,8 +481,16 @@ func ArrowPhase2(n *Network, scs []RestorableScenario, winners []int, opts *Arro
 	if L != nil {
 		L.Emit(ledger.Event{Kind: ledger.KindSolveStart, Scenario: -1, Solver: bm.m.Name()})
 	}
-	al, err := bm.solve(n, lpo)
+	warmBasis := warm
+	if !opts.noWarm() && warmBasis == nil {
+		warmBasis = lp.SlackBasis(bm.m)
+	}
+	if opts.noWarm() {
+		warmBasis = nil
+	}
+	al, sol, err := bm.solveLP(n, lpo, warmBasis)
 	if L != nil {
+		emitWarmStart(L, bm.m.Name(), sol)
 		status := "optimal"
 		if err != nil {
 			status = "error"

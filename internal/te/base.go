@@ -66,23 +66,38 @@ func (bm *baseModel) extract(n *Network, sol *lp.Solution) *Allocation {
 	return al
 }
 
-// solve runs the LP and fails on any non-optimal status: every TE model in
-// this package is feasible by construction (b_f = a_{f,t} = 0 always works)
-// and bounded (b_f <= d_f), so anything else is an internal error.
+// solve runs the LP cold and fails on any non-optimal status: every TE
+// model in this package is feasible by construction (b_f = a_{f,t} = 0
+// always works) and bounded (b_f <= d_f), so anything else is an internal
+// error.
 func (bm *baseModel) solve(n *Network, opts *lp.Options) (*Allocation, error) {
-	sol, err := lp.Solve(bm.m, opts)
+	al, _, err := bm.solveLP(n, opts, nil)
+	return al, err
+}
+
+// solveLP is solve with an optional warm-start basis (nil = cold solve).
+// It also returns the raw lp.Solution so callers can inspect the final
+// basis and warm-start outcome.
+func (bm *baseModel) solveLP(n *Network, opts *lp.Options, warm *lp.Basis) (*Allocation, *lp.Solution, error) {
+	var sol *lp.Solution
+	var err error
+	if warm != nil {
+		sol, err = lp.SolveWithBasis(bm.m, warm, opts)
+	} else {
+		sol, err = lp.Solve(bm.m, opts)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("te: %s: %w", bm.m.Name(), err)
+		return nil, nil, fmt.Errorf("te: %s: %w", bm.m.Name(), err)
 	}
 	if sol.Status != lp.StatusOptimal {
-		return nil, fmt.Errorf("te: %s: unexpected status %v", bm.m.Name(), sol.Status)
+		return nil, sol, fmt.Errorf("te: %s: unexpected status %v", bm.m.Name(), sol.Status)
 	}
 	al := bm.extract(n, sol)
 	al.Stats.Phase2Vars = bm.m.NumVars()
 	al.Stats.Phase2Rows = bm.m.NumConstrs()
 	al.Stats.Phase2Iters = sol.Iterations
 	al.Cert = sol.Cert
-	return al, nil
+	return al, sol, nil
 }
 
 // MaxConcurrentScale solves the max-concurrent-flow problem: the largest
