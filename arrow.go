@@ -191,6 +191,12 @@ type PlanOptions struct {
 	// sources are deterministic, so the switch only changes solver effort,
 	// never plan quality.
 	NoWarm bool
+	// NoColgen disables ticket column generation in the TE solves issued
+	// by this planner (arrow-plan -colgen=false): every ticket block is
+	// enumerated into the Phase I master up front instead of being priced
+	// in lazily. Both modes produce identical winning tickets; the switch
+	// exists for A/B comparison of solver effort.
+	NoColgen bool
 }
 
 // Planner holds the offline artifacts: failure scenarios, RWA solutions and
@@ -205,6 +211,8 @@ type Planner struct {
 	rec       obs.Recorder
 	led       *ledger.Ledger
 	noWarm    bool
+	noColgen  bool
+	workers   int
 }
 
 // Plan runs ARROW's offline stage: enumerate probable fiber-cut scenarios,
@@ -241,7 +249,7 @@ func (n *Network) PlanContext(ctx context.Context, opts PlanOptions) (*Planner, 
 		return nil, fmt.Errorf("arrow: %d failure probabilities for %d fibers", len(probs), len(n.opt.Fibers))
 	}
 	set := scenario.Enumerate(probs, opts.Cutoff)
-	p := &Planner{net: n, probs: probs, tunnels: opts.TunnelsPerFlow, set: set, rec: obs.FromContext(ctx), led: ledger.FromContext(ctx), noWarm: opts.NoWarm}
+	p := &Planner{net: n, probs: probs, tunnels: opts.TunnelsPerFlow, set: set, rec: obs.FromContext(ctx), led: ledger.FromContext(ctx), noWarm: opts.NoWarm, noColgen: opts.NoColgen, workers: opts.Parallelism}
 	if p.led != nil {
 		p.led.Emit(ledger.Event{Kind: ledger.KindEnumerated, Scenario: -1, Count: len(set.Scenarios)})
 	}
@@ -366,7 +374,7 @@ func (p *Planner) Solve(demands []Demand, opts SolveOptions) (*TrafficPlan, erro
 	if err != nil {
 		return nil, err
 	}
-	teOpts := &te.ArrowOptions{Alpha: opts.Alpha, Ledger: p.led, NoWarm: p.noWarm}
+	teOpts := &te.ArrowOptions{Alpha: opts.Alpha, Ledger: p.led, NoWarm: p.noWarm, NoColgen: p.noColgen, Parallelism: p.workers}
 	if p.rec != nil {
 		teOpts.LP = &lp.Options{Recorder: p.rec}
 	}

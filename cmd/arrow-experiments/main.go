@@ -43,6 +43,8 @@ func main() {
 		benchOut = flag.String("bench-out", "BENCH_pipeline.json", "path for the -bench-json snapshot")
 		verbose  = flag.Bool("v", false, "log per-experiment progress at debug level")
 		warm     = flag.Bool("warm", true, "warm-start LP solves from deterministic bases (-warm=false for cold A/B comparison)")
+		colgen   = flag.Bool("colgen", true, "price ticket blocks into the TE master lazily (-colgen=false enumerates every ticket up front for A/B comparison)")
+		force    = flag.Bool("bench-force", false, "overwrite a -bench-json snapshot even when it was measured at a different GOMAXPROCS")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -75,7 +77,7 @@ func main() {
 	}()
 
 	if *bench {
-		if err := writeBenchSnapshot(*benchOut, *seed, *parallel, !*warm); err != nil {
+		if err := writeBenchSnapshot(*benchOut, *seed, *parallel, !*warm, !*colgen, *force); err != nil {
 			fmt.Fprintln(os.Stderr, "bench-json:", err)
 			exitCode = 1
 		}
@@ -96,7 +98,7 @@ func main() {
 		return
 	}
 
-	cfg := eval.Config{Fast: !*full, Seed: *seed, Parallelism: *parallel, Recorder: sess.Recorder(), NoWarm: !*warm}
+	cfg := eval.Config{Fast: !*full, Seed: *seed, Parallelism: *parallel, Recorder: sess.Recorder(), NoWarm: !*warm, NoColgen: !*colgen}
 
 	// Independent experiments are themselves scenario-independent jobs:
 	// fan them out on the shared pool and print the rendered outputs in
@@ -176,7 +178,40 @@ type benchMeasurement struct {
 	Seconds float64 `json:"seconds"`
 }
 
-func writeBenchSnapshot(path string, seed int64, parallelism int, noWarm bool) error {
+// checkBenchOverwrite guards the snapshot file against silent apples-to-
+// oranges baselines: wall-clock numbers measured at a different GOMAXPROCS
+// are not comparable, so refusing the overwrite (unless -bench-force) keeps
+// a checked-in baseline honest when a re-measure runs on a smaller host.
+func checkBenchOverwrite(path string, force bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var prev benchSnapshot
+	if err := json.Unmarshal(data, &prev); err != nil {
+		// Unparseable previous snapshot: overwriting cannot make the
+		// baseline any less comparable.
+		return nil
+	}
+	if prev.GoMaxProcs != 0 && prev.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		if force {
+			fmt.Fprintf(os.Stderr, "bench-json: warning: overwriting snapshot measured at GOMAXPROCS=%d with GOMAXPROCS=%d (-bench-force)\n",
+				prev.GoMaxProcs, runtime.GOMAXPROCS(0))
+			return nil
+		}
+		return fmt.Errorf("%s was measured at GOMAXPROCS=%d but this host has GOMAXPROCS=%d; wall-clock numbers would not be comparable (pass -bench-force to overwrite anyway)",
+			path, prev.GoMaxProcs, runtime.GOMAXPROCS(0))
+	}
+	return nil
+}
+
+func writeBenchSnapshot(path string, seed int64, parallelism int, noWarm, noColgen, force bool) error {
+	if err := checkBenchOverwrite(path, force); err != nil {
+		return err
+	}
 	workerSets := []int{1, 2}
 	if n := par.Workers(parallelism); n > 2 {
 		workerSets = append(workerSets, n)
@@ -195,7 +230,7 @@ func writeBenchSnapshot(path string, seed int64, parallelism int, noWarm bool) e
 	}
 
 	for _, w := range workerSets {
-		secs, err := timeBuildPipeline(seed, w, noWarm)
+		secs, err := timeBuildPipeline(seed, w, noWarm, noColgen)
 		if err != nil {
 			return err
 		}
@@ -203,7 +238,7 @@ func writeBenchSnapshot(path string, seed int64, parallelism int, noWarm bool) e
 		fmt.Fprintf(os.Stderr, "build-pipeline workers=%d: %.3fs\n", w, secs)
 	}
 	for _, w := range workerSets {
-		secs, err := timeFig13(seed, w, noWarm)
+		secs, err := timeFig13(seed, w, noWarm, noColgen)
 		if err != nil {
 			return err
 		}
@@ -216,7 +251,7 @@ func writeBenchSnapshot(path string, seed int64, parallelism int, noWarm bool) e
 	// One more instrumented build to embed the work counters (timed runs
 	// stay uninstrumented so the measurements keep the zero-overhead path).
 	reg := obs.NewRegistry()
-	if err := eval.BuildPipelineInstrumented(seed, workerSets[len(workerSets)-1], reg, noWarm); err != nil {
+	if err := eval.BuildPipelineInstrumented(seed, workerSets[len(workerSets)-1], reg, noWarm, noColgen); err != nil {
 		return err
 	}
 	snap.Metrics = reg.Snapshot()
@@ -237,22 +272,22 @@ func writeBenchSnapshot(path string, seed int64, parallelism int, noWarm bool) e
 	return nil
 }
 
-func timeBuildPipeline(seed int64, workers int, noWarm bool) (float64, error) {
+func timeBuildPipeline(seed int64, workers int, noWarm, noColgen bool) (float64, error) {
 	start := time.Now()
-	if err := eval.BuildPipelineBench(seed, workers, noWarm); err != nil {
+	if err := eval.BuildPipelineBench(seed, workers, noWarm, noColgen); err != nil {
 		return 0, err
 	}
 	return time.Since(start).Seconds(), nil
 }
 
-func timeFig13(seed int64, workers int, noWarm bool) (float64, error) {
+func timeFig13(seed int64, workers int, noWarm, noColgen bool) (float64, error) {
 	e, ok := eval.ByID("fig13")
 	if !ok {
 		return 0, fmt.Errorf("fig13 not registered")
 	}
 	eval.ResetSweepCache() // measure the computation, not the memo
 	start := time.Now()
-	if _, err := e.Run(eval.Config{Fast: true, Seed: seed, Parallelism: workers, NoWarm: noWarm}); err != nil {
+	if _, err := e.Run(eval.Config{Fast: true, Seed: seed, Parallelism: workers, NoWarm: noWarm, NoColgen: noColgen}); err != nil {
 		return 0, err
 	}
 	return time.Since(start).Seconds(), nil

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func writeSnapshot(t *testing.T, dir string, procs int) string {
+	t.Helper()
+	path := filepath.Join(dir, "BENCH_pipeline.json")
+	data, err := json.Marshal(&benchSnapshot{GoMaxProcs: procs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckBenchOverwriteRefusesProcsMismatch(t *testing.T) {
+	path := writeSnapshot(t, t.TempDir(), runtime.GOMAXPROCS(0)+3)
+	err := checkBenchOverwrite(path, false)
+	if err == nil {
+		t.Fatal("overwrite of a snapshot measured at a different GOMAXPROCS was allowed without -bench-force")
+	}
+	if !strings.Contains(err.Error(), "-bench-force") {
+		t.Errorf("refusal %q does not tell the operator about -bench-force", err)
+	}
+	if err := checkBenchOverwrite(path, true); err != nil {
+		t.Errorf("-bench-force did not override the mismatch guard: %v", err)
+	}
+}
+
+func TestCheckBenchOverwriteAllows(t *testing.T) {
+	dir := t.TempDir()
+	// Missing file: nothing to protect.
+	if err := checkBenchOverwrite(filepath.Join(dir, "absent.json"), false); err != nil {
+		t.Errorf("missing snapshot refused: %v", err)
+	}
+	// Matching GOMAXPROCS: comparable, overwrite fine.
+	if err := checkBenchOverwrite(writeSnapshot(t, dir, runtime.GOMAXPROCS(0)), false); err != nil {
+		t.Errorf("matching-procs snapshot refused: %v", err)
+	}
+	// Unparseable previous snapshot: overwriting cannot lose a usable baseline.
+	garbled := filepath.Join(dir, "garbled.json")
+	if err := os.WriteFile(garbled, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkBenchOverwrite(garbled, false); err != nil {
+		t.Errorf("garbled snapshot refused: %v", err)
+	}
+	// Legacy snapshot without the field (GoMaxProcs 0): accepted.
+	if err := checkBenchOverwrite(writeSnapshot(t, dir, 0), false); err != nil {
+		t.Errorf("legacy snapshot without GoMaxProcs refused: %v", err)
+	}
+}

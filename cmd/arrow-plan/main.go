@@ -44,6 +44,7 @@ func main() {
 		ledgerOut = flag.String("ledger-json", "", "write the flight-recorder ledger snapshot JSON to this file")
 		verbose   = flag.Bool("v", false, "mirror flight-recorder events to the structured log")
 		warm      = flag.Bool("warm", true, "warm-start LP solves from deterministic bases (-warm=false for cold A/B comparison)")
+		colgen    = flag.Bool("colgen", true, "price ticket blocks into the TE master lazily (-colgen=false enumerates every ticket up front for A/B comparison)")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -67,7 +68,7 @@ func main() {
 			led.SetLogger(logger)
 		}
 	}
-	err = run(*topoFile, *demFile, *out, *roadmDir, *tickets, *cutoff, *seed, *parallel, *naive, !*warm, sess.Recorder(), led)
+	err = run(*topoFile, *demFile, *out, *roadmDir, *tickets, *cutoff, *seed, *parallel, *naive, !*warm, !*colgen, sess.Recorder(), led)
 	if err == nil && *ledgerOut != "" {
 		err = writeLedger(*ledgerOut, led)
 	}
@@ -93,7 +94,7 @@ func writeLedger(path string, led *ledger.Ledger) error {
 	return fd.Close()
 }
 
-func run(topoFile, demFile, out, roadmDir string, tickets int, cutoff float64, seed int64, parallelism int, naive, noWarm bool, rec obs.Recorder, led *ledger.Ledger) error {
+func run(topoFile, demFile, out, roadmDir string, tickets int, cutoff float64, seed int64, parallelism int, naive, noWarm, noColgen bool, rec obs.Recorder, led *ledger.Ledger) error {
 	net, err := loadNetwork(topoFile)
 	if err != nil {
 		return err
@@ -111,7 +112,7 @@ func run(topoFile, demFile, out, roadmDir string, tickets int, cutoff float64, s
 	if led != nil {
 		ctx = ledger.WithLedger(ctx, led)
 	}
-	planner, err := net.PlanContext(ctx, arrow.PlanOptions{Tickets: tickets, Cutoff: cutoff, Seed: seed, Parallelism: parallelism, NoWarm: noWarm})
+	planner, err := net.PlanContext(ctx, arrow.PlanOptions{Tickets: tickets, Cutoff: cutoff, Seed: seed, Parallelism: parallelism, NoWarm: noWarm, NoColgen: noColgen})
 	if err != nil {
 		return err
 	}

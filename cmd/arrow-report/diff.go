@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/arrow-te/arrow/internal/ledger"
 	"github.com/arrow-te/arrow/internal/obs"
 )
 
@@ -169,9 +170,96 @@ func diffCounters(oldC, newC map[string]int64, opts diffOptions) []diffFinding {
 	return out
 }
 
+// ledgerWinners loads path as a flight-recorder ledger snapshot and
+// extracts the per-scenario winning tickets. ok is false when the file is
+// not a ledger snapshot (no events) — the caller falls back to the counter
+// diff.
+func ledgerWinners(path string) (map[int]int, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	var snap struct {
+		Events []struct {
+			Kind     string `json:"kind"`
+			Scenario int    `json:"scenario"`
+			Ticket   int    `json:"ticket"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil || len(snap.Events) == 0 {
+		return nil, false, nil
+	}
+	winners := map[int]int{}
+	for _, ev := range snap.Events {
+		if ev.Kind == string(ledger.KindWinner) {
+			winners[ev.Scenario] = ev.Ticket
+		}
+	}
+	return winners, true, nil
+}
+
+// diffWinners compares the winning-ticket allocations of two ledger
+// snapshots scenario by scenario. Any difference is a regression: the
+// colgen and full-enumeration modes are required to select identical
+// winners, and CI runs this gate on every push.
+func diffWinners(w io.Writer, oldPath, newPath string, oldW, newW map[int]int) int {
+	keys := map[int]bool{}
+	for q := range oldW {
+		keys[q] = true
+	}
+	for q := range newW {
+		keys[q] = true
+	}
+	qs := make([]int, 0, len(keys))
+	for q := range keys {
+		qs = append(qs, q)
+	}
+	sort.Ints(qs)
+	regressions := 0
+	fmt.Fprintf(w, "winner diff %s -> %s (%d scenarios):\n", oldPath, newPath, len(qs))
+	for _, q := range qs {
+		o, okOld := oldW[q]
+		n, okNew := newW[q]
+		switch {
+		case !okOld:
+			fmt.Fprintf(w, "✗ scenario %d has a winner only in %s (#%d)\n", q, newPath, n)
+			regressions++
+		case !okNew:
+			fmt.Fprintf(w, "✗ scenario %d has a winner only in %s (#%d)\n", q, oldPath, o)
+			regressions++
+		case o != n:
+			fmt.Fprintf(w, "✗ scenario %d winner differs: #%d -> #%d\n", q, o, n)
+			regressions++
+		}
+	}
+	if regressions == 0 {
+		fmt.Fprintf(w, "winning tickets identical across %d scenarios\n", len(qs))
+	} else {
+		fmt.Fprintf(w, "%d winner mismatch(es)\n", regressions)
+	}
+	return regressions
+}
+
 // runDiff compares two snapshot files and writes a report; it returns the
-// number of regressions.
+// number of regressions. When both files are flight-recorder ledger
+// snapshots the comparison is winner equality; otherwise both must be
+// BENCH/metrics snapshots and the comparison is the counter gate.
 func runDiff(w io.Writer, oldPath, newPath string, opts diffOptions) (int, error) {
+	oldW, oldIsLedger, err := ledgerWinners(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newW, newIsLedger, err := ledgerWinners(newPath)
+	if err != nil {
+		return 0, err
+	}
+	if oldIsLedger != newIsLedger {
+		return 0, fmt.Errorf("cannot compare a ledger snapshot with a metrics snapshot (%s vs %s)", oldPath, newPath)
+	}
+	if oldIsLedger {
+		return diffWinners(w, oldPath, newPath, oldW, newW), nil
+	}
+
 	oldB, err := loadBenchFile(oldPath)
 	if err != nil {
 		return 0, err

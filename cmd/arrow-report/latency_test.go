@@ -158,7 +158,7 @@ func TestRunReportIncludesLatencySection(t *testing.T) {
 	}
 	led := ledger.New()
 	reg := obs.NewRegistry()
-	if _, _, err := eval.RunRecorded(1, 2, reg, led); err != nil {
+	if _, _, err := eval.RunRecorded(1, 2, reg, led, false); err != nil {
 		t.Fatal(err)
 	}
 	tb, err := eval.RunTestbedRecorded(1, reg, led)

@@ -43,20 +43,22 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("arrow-report", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		doRun     = fs.Bool("run", false, "run the standard recorded pipeline and render its report")
-		seed      = fs.Int64("seed", 1, "random seed for -run")
-		parallel  = fs.Int("parallelism", 0, "worker count for -run (0 = NumCPU; results are identical)")
-		ledgerIn  = fs.String("ledger", "", "render an existing ledger snapshot JSON instead of running")
-		metricsIn = fs.String("metrics", "", "metrics snapshot JSON to embed in the report (with -ledger)")
-		out       = fs.String("out", "-", "markdown report output path (- = stdout)")
-		jsonOut   = fs.String("json", "", "also write the report as JSON to this path")
-		ledgerOut = fs.String("ledger-json", "", "with -run: write the raw ledger snapshot to this path")
-		doDiff    = fs.Bool("diff", false, "compare two snapshot JSONs: arrow-report -diff old.json new.json")
-		threshold = fs.Float64("threshold", 0.20, "default allowed relative counter growth for -diff (0.20 = +20%)")
-		keyThresh = fs.String("key-threshold", "", "per-key -diff overrides, e.g. ticket.infeasible=0.1,lp.pivots=0.5 (negative = exempt)")
-		reqDrop   = fs.String("require-drop", "", "with -diff: require counters to SHRINK by at least the fraction, e.g. lp.phase1_pivots=0.4 (missing counter = regression)")
-		minRatio  = fs.Float64("min-latency-ratio", 0, "with -diff: require the new snapshot's emu.latency_ratio gauge to be at least this (0 disables; the paper measures 127x)")
-		verbose   = fs.Bool("v", false, "verbose: mirror ledger events to the structured log")
+		doRun      = fs.Bool("run", false, "run the standard recorded pipeline and render its report")
+		seed       = fs.Int64("seed", 1, "random seed for -run")
+		parallel   = fs.Int("parallelism", 0, "worker count for -run (0 = NumCPU; results are identical)")
+		noColgen   = fs.Bool("no-colgen", false, "with -run: enumerate every ticket into the TE master up front instead of pricing lazily (A/B reference for the colgen default)")
+		metricsOut = fs.String("metrics-out", "", "with -run: write the run's metrics snapshot JSON to this path (diffable with -diff)")
+		ledgerIn   = fs.String("ledger", "", "render an existing ledger snapshot JSON instead of running")
+		metricsIn  = fs.String("metrics", "", "metrics snapshot JSON to embed in the report (with -ledger)")
+		out        = fs.String("out", "-", "markdown report output path (- = stdout)")
+		jsonOut    = fs.String("json", "", "also write the report as JSON to this path")
+		ledgerOut  = fs.String("ledger-json", "", "with -run: write the raw ledger snapshot to this path")
+		doDiff     = fs.Bool("diff", false, "compare two snapshot JSONs: arrow-report -diff old.json new.json")
+		threshold  = fs.Float64("threshold", 0.20, "default allowed relative counter growth for -diff (0.20 = +20%)")
+		keyThresh  = fs.String("key-threshold", "", "per-key -diff overrides, e.g. ticket.infeasible=0.1,lp.pivots=0.5 (negative = exempt)")
+		reqDrop    = fs.String("require-drop", "", "with -diff: require counters to SHRINK by at least the fraction, e.g. lp.phase1_pivots=0.4 (missing counter = regression)")
+		minRatio   = fs.Float64("min-latency-ratio", 0, "with -diff: require the new snapshot's emu.latency_ratio gauge to be at least this (0 disables; the paper measures 127x)")
+		verbose    = fs.Bool("v", false, "verbose: mirror ledger events to the structured log")
 	)
 	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(argv); err != nil {
@@ -123,8 +125,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			led.SetLogger(logger)
 		}
 		reg := obs.NewRegistry()
-		logger.Info("building recorded pipeline", "seed", *seed, "parallelism", *parallel)
-		if _, _, err := eval.RunRecorded(*seed, *parallel, reg, led); err != nil {
+		logger.Info("building recorded pipeline", "seed", *seed, "parallelism", *parallel, "colgen", !*noColgen)
+		if _, _, err := eval.RunRecorded(*seed, *parallel, reg, led, *noColgen); err != nil {
 			fmt.Fprintln(stderr, "arrow-report:", err)
 			return 1
 		}
@@ -146,6 +148,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 			fd.Close()
+		}
+		if *metricsOut != "" {
+			data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+			if err != nil {
+				fmt.Fprintln(stderr, "arrow-report:", err)
+				return 1
+			}
+			if err := os.WriteFile(*metricsOut, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintln(stderr, "arrow-report:", err)
+				return 1
+			}
 		}
 		rep := buildReport(led.Snapshot(), reg.Snapshot())
 		logger.Info("run recorded", "events", led.Len(), "scenarios", len(rep.Scenarios), "cert_failures", rep.Certificates.Failures)

@@ -60,6 +60,29 @@ type CertSummary struct {
 	AllPassing bool    `json:"all_passing"`
 }
 
+// PricingRound is one column-generation sweep over the deferred ticket
+// blocks of the Phase I restricted master, from a KindPricingRound event.
+type PricingRound struct {
+	Round   int `json:"round"`
+	Columns int `json:"columns"`
+	// WorstRC is the most negative reduced cost seen in the sweep (0 in the
+	// final, priced-out sweep).
+	WorstRC float64 `json:"worst_reduced_cost"`
+	// Master is the restricted master's size after the sweep's appends
+	// ("<vars>v/<rows>r").
+	Master string `json:"master"`
+}
+
+// PricingReport is the column-generation trajectory of a run: how many
+// sweeps the restricted masters needed, how many ticket columns they priced
+// in, and how the worst reduced cost decayed toward the priced-out
+// certificate.
+type PricingReport struct {
+	Rounds        int            `json:"rounds"`
+	ColumnsPriced int            `json:"columns_priced"`
+	Trajectory    []PricingRound `json:"trajectory"`
+}
+
 // RunReport is the rendered artifact of one recorded run.
 type RunReport struct {
 	SchemaVersion int              `json:"schema_version"`
@@ -82,6 +105,10 @@ type RunReport struct {
 	// latency ratio and the latency-aware availability comparison. Absent
 	// when the ledger recorded no emulated episodes or tagged replays.
 	Latency *LatencyReport `json:"latency,omitempty"`
+	// Pricing is the column-generation section: sweeps, columns priced per
+	// sweep and the reduced-cost trajectory. Absent when the run used full
+	// enumeration (-no-colgen) or the ledger predates pricing events.
+	Pricing *PricingReport `json:"pricing,omitempty"`
 	// Metrics embeds the metrics snapshot of the run, when available.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
@@ -144,6 +171,15 @@ func buildReport(snap *ledger.Snapshot, metrics *obs.Snapshot) *RunReport {
 				s.CertOK = lp.CheckCertificate(ev.Cert, 0) == nil
 			}
 			rep.Solves = append(rep.Solves, s)
+		case ledger.KindPricingRound:
+			if rep.Pricing == nil {
+				rep.Pricing = &PricingReport{}
+			}
+			rep.Pricing.Rounds++
+			rep.Pricing.ColumnsPriced += ev.Count
+			rep.Pricing.Trajectory = append(rep.Pricing.Trajectory, PricingRound{
+				Round: ev.Round, Columns: ev.Count, WorstRC: ev.Gbps, Master: ev.Detail,
+			})
 		case ledger.KindUnmetDemand:
 			rep.UnmetGbps = ev.Gbps
 			rep.UnmetFraction = ev.Fraction
@@ -221,6 +257,17 @@ func renderMarkdown(w io.Writer, rep *RunReport) {
 	fmt.Fprintf(w, "\nResidual unmet demand: %.1f Gbps (%.2f%% of total).\n", rep.UnmetGbps, 100*rep.UnmetFraction)
 	if rep.SimIntervals > 0 {
 		fmt.Fprintf(w, "Timeline replay: %d intervals, %.4f time-weighted delivered fraction.\n", rep.SimIntervals, rep.SimDelivered)
+	}
+
+	if p := rep.Pricing; p != nil {
+		fmt.Fprintf(w, "\n## Pricing (column generation)\n\n")
+		fmt.Fprintf(w, "%d sweeps priced %d ticket columns into the restricted Phase I masters; a sweep with 0 columns is the priced-out certificate (the restricted optimum is exact).\n\n",
+			p.Rounds, p.ColumnsPriced)
+		fmt.Fprintf(w, "| sweep | columns priced | worst reduced cost | master size |\n")
+		fmt.Fprintf(w, "|-------|----------------|--------------------|-------------|\n")
+		for _, pr := range p.Trajectory {
+			fmt.Fprintf(w, "| %d | %d | %.6g | %s |\n", pr.Round, pr.Columns, pr.WorstRC, pr.Master)
+		}
 	}
 
 	if rep.Latency != nil {

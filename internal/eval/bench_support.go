@@ -20,23 +20,24 @@ func ResetSweepCache() {
 // BuildPipelineBench runs one standard B4 offline pipeline build (the same
 // instance bench_test.go uses) at the given worker count. It exists so
 // cmd/arrow-experiments can time the offline stage without importing test
-// code; the result is discarded. noWarm disables LP warm starts for A/B
-// comparison (arrow-experiments -warm=false).
-func BuildPipelineBench(seed int64, workers int, noWarm bool) error {
-	return BuildPipelineInstrumented(seed, workers, nil, noWarm)
+// code; the result is discarded. noWarm disables LP warm starts and
+// noColgen disables ticket column generation, for A/B comparison
+// (arrow-experiments -warm=false / -colgen=false).
+func BuildPipelineBench(seed int64, workers int, noWarm, noColgen bool) error {
+	return BuildPipelineInstrumented(seed, workers, nil, noWarm, noColgen)
 }
 
 // BuildPipelineInstrumented is BuildPipelineBench with a metrics recorder
 // attached, used by the -bench-json snapshot to embed the solver counters
 // of the standard build. A nil recorder reproduces BuildPipelineBench.
-func BuildPipelineInstrumented(seed int64, workers int, rec obs.Recorder, noWarm bool) error {
+func BuildPipelineInstrumented(seed int64, workers int, rec obs.Recorder, noWarm, noColgen bool) error {
 	tp, err := topo.B4(seed + 5)
 	if err != nil {
 		return err
 	}
 	_, err = BuildPipeline(tp, PipelineOptions{
 		Cutoff: 0.001, NumTickets: 12, Seed: seed, MaxScenarios: 16,
-		Parallelism: workers, Recorder: rec, NoWarm: noWarm,
+		Parallelism: workers, Recorder: rec, NoWarm: noWarm, NoColgen: noColgen,
 	})
 	return err
 }
@@ -46,15 +47,17 @@ func BuildPipelineInstrumented(seed int64, workers int, rec obs.Recorder, noWarm
 // attached, then solves the ARROW scheme on a standard traffic matrix so
 // the ledger carries the complete decision stream: scenarios, tickets, the
 // two-phase solves with certificates, winners and residual demand. This is
-// the default run behind cmd/arrow-report -run.
-func RunRecorded(seed int64, workers int, rec obs.Recorder, led *ledger.Ledger) (*Pipeline, *te.Allocation, error) {
+// the default run behind cmd/arrow-report -run. noColgen switches the TE
+// solves to full ticket enumeration (arrow-report -run -no-colgen), the A/B
+// reference for the column-generation default.
+func RunRecorded(seed int64, workers int, rec obs.Recorder, led *ledger.Ledger, noColgen bool) (*Pipeline, *te.Allocation, error) {
 	tp, err := topo.B4(seed + 5)
 	if err != nil {
 		return nil, nil, err
 	}
 	pl, err := BuildPipeline(tp, PipelineOptions{
 		Cutoff: 0.001, NumTickets: 12, Seed: seed, MaxScenarios: 16,
-		Parallelism: workers, Recorder: rec, Ledger: led,
+		Parallelism: workers, Recorder: rec, Ledger: led, NoColgen: noColgen,
 	})
 	if err != nil {
 		return nil, nil, err

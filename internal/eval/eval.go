@@ -33,6 +33,11 @@ type Config struct {
 	// RWA solves and TE solves). Exposed as arrow-experiments -warm=false
 	// for A/B comparison of pivot counts; the default keeps warm starts on.
 	NoWarm bool
+	// NoColgen disables ticket column generation in the two-phase TE
+	// solves, enumerating every ticket block up front. Exposed as
+	// arrow-experiments -colgen=false for A/B comparison against the lazy
+	// pricing default; both modes produce identical winning tickets.
+	NoColgen bool
 }
 
 // Result is one regenerated table or figure.

@@ -102,7 +102,7 @@ var (
 func availabilitySweep(cfg Config, name string) (*sweepData, error) {
 	// Parallelism is deliberately absent from the key: the sweep is
 	// bit-identical for every worker count, so all settings share one entry.
-	key := fmt.Sprintf("%s-%v-%d-%v", name, cfg.Fast, cfg.Seed, cfg.NoWarm)
+	key := fmt.Sprintf("%s-%v-%d-%v-%v", name, cfg.Fast, cfg.Seed, cfg.NoWarm, cfg.NoColgen)
 	sweepMu.Lock()
 	e, ok := sweepCache[key]
 	if !ok {
@@ -114,14 +114,14 @@ func availabilitySweep(cfg Config, name string) (*sweepData, error) {
 	return e.d, e.err
 }
 
-// arrowOptsFor forwards the config's recorder and warm-start switch into a
-// direct te.Arrow call; nil when neither is set, exactly as before
-// instrumentation.
+// arrowOptsFor forwards the config's recorder, warm-start and colgen
+// switches into a direct te.Arrow call; nil when none is set, exactly as
+// before instrumentation.
 func arrowOptsFor(cfg Config) *te.ArrowOptions {
-	if cfg.Recorder == nil && !cfg.NoWarm {
+	if cfg.Recorder == nil && !cfg.NoWarm && !cfg.NoColgen {
 		return nil
 	}
-	opts := &te.ArrowOptions{NoWarm: cfg.NoWarm}
+	opts := &te.ArrowOptions{NoWarm: cfg.NoWarm, NoColgen: cfg.NoColgen}
 	if cfg.Recorder != nil {
 		opts.LP = &lp.Options{Recorder: cfg.Recorder}
 	}
@@ -136,7 +136,7 @@ func computeSweep(cfg Config, name string) (*sweepData, error) {
 	}
 	pl, err := BuildPipeline(tp, PipelineOptions{
 		Cutoff: p.cutoff, NumTickets: p.tickets, Seed: cfg.Seed, MaxScenarios: p.maxScenarios,
-		Parallelism: cfg.Parallelism, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm,
+		Parallelism: cfg.Parallelism, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm, NoColgen: cfg.NoColgen,
 	})
 	if err != nil {
 		return nil, err
@@ -298,7 +298,7 @@ func runFig14(cfg Config) (*Result, error) {
 		Header: []string{"tickets |Z|", "throughput"}}
 	var series []float64
 	for _, tc := range ticketCounts {
-		pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: tc, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Parallelism: cfg.Parallelism, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm})
+		pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: tc, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Parallelism: cfg.Parallelism, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm, NoColgen: cfg.NoColgen})
 		if err != nil {
 			return nil, err
 		}
@@ -336,7 +336,7 @@ func runFig15(cfg Config) (*Result, error) {
 	r := &Result{ID: "fig15", Title: "ARROW TE solve time vs |Z| (B4, this machine)",
 		Header: []string{"tickets |Z|", "phase I+II solve (s)", "phase I rows", "simplex iters"}}
 	for _, tc := range ticketCounts {
-		pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: tc, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Parallelism: cfg.Parallelism, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm})
+		pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: tc, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Parallelism: cfg.Parallelism, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm, NoColgen: cfg.NoColgen})
 		if err != nil {
 			return nil, err
 		}
@@ -364,7 +364,7 @@ func runFig16(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: d.cutoff, NumTickets: d.tickets, Seed: cfg.Seed, MaxScenarios: d.maxScenarios, Parallelism: cfg.Parallelism, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm})
+	pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: d.cutoff, NumTickets: d.tickets, Seed: cfg.Seed, MaxScenarios: d.maxScenarios, Parallelism: cfg.Parallelism, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm, NoColgen: cfg.NoColgen})
 	if err != nil {
 		return nil, err
 	}

@@ -25,7 +25,7 @@ func TestMetricsSchemaGolden(t *testing.T) {
 		t.Skip("builds a full pipeline")
 	}
 	reg := obs.NewRegistry()
-	if err := BuildPipelineInstrumented(1, 2, reg, false); err != nil {
+	if err := BuildPipelineInstrumented(1, 2, reg, false, false); err != nil {
 		t.Fatal(err)
 	}
 	snap := reg.Snapshot()

@@ -39,6 +39,8 @@ type Pipeline struct {
 	rec             obs.Recorder
 	led             *ledger.Ledger
 	noWarm          bool
+	noColgen        bool
+	parallelism     int
 }
 
 // PipelineOptions configures pipeline construction.
@@ -81,6 +83,12 @@ type PipelineOptions struct {
 	// deterministic warm sources, so results stay schedule-independent at
 	// every Parallelism; the switch exists for A/B pivot-count comparison.
 	NoWarm bool
+	// NoColgen makes the ARROW Phase I solves issued via SolveScheme
+	// enumerate every ticket up front instead of pricing ticket columns in
+	// lazily. Both modes produce identical winning-ticket allocations at
+	// every Parallelism; the switch exists for A/B comparison of pivot
+	// counts and master sizes.
+	NoColgen bool
 }
 
 // solveRWA is rwa.Solve behind a seam so tests can inject failures into
@@ -130,7 +138,11 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 	if opts.Ledger != nil {
 		opts.Ledger.Emit(ledger.Event{Kind: ledger.KindEnumerated, Scenario: -1, Count: len(set.Scenarios)})
 	}
-	p := &Pipeline{Topo: tp, Set: set, baseUtilization: opts.BaseUtilization, rec: opts.Recorder, led: opts.Ledger, noWarm: opts.NoWarm}
+	p := &Pipeline{
+		Topo: tp, Set: set, baseUtilization: opts.BaseUtilization,
+		rec: opts.Recorder, led: opts.Ledger,
+		noWarm: opts.NoWarm, noColgen: opts.NoColgen, parallelism: opts.Parallelism,
+	}
 
 	// Pre-build the lazily-memoised optical graph once, on this goroutine,
 	// before fanning out (the memoisation itself is also mutex-guarded; this
@@ -277,12 +289,16 @@ func AllSchemes() []Scheme {
 // SolveScheme runs one TE scheme on the network and returns its allocation
 // plus the per-scenario restored-capacity maps to use during evaluation.
 func (p *Pipeline) SolveScheme(s Scheme, n *te.Network) (*te.Allocation, []map[int]float64, error) {
-	// Thread the pipeline's recorder, ledger and warm-start switch into the
-	// two-phase LP solves; with none of them the options stay nil exactly
-	// as before.
+	// Thread the pipeline's recorder, ledger, warm-start/colgen switches and
+	// pricing parallelism into the two-phase LP solves; with none of them
+	// the options stay nil exactly as before (nil defaults to colgen on,
+	// serial pricing — same results, just an unfanned pricing sweep).
 	var arrowOpts *te.ArrowOptions
-	if p.rec != nil || p.led != nil || p.noWarm {
-		arrowOpts = &te.ArrowOptions{Ledger: p.led, NoWarm: p.noWarm}
+	if p.rec != nil || p.led != nil || p.noWarm || p.noColgen || p.parallelism > 1 {
+		arrowOpts = &te.ArrowOptions{
+			Ledger: p.led, NoWarm: p.noWarm,
+			NoColgen: p.noColgen, Parallelism: p.parallelism,
+		}
 		if p.rec != nil {
 			arrowOpts.LP = &lp.Options{Recorder: p.rec}
 		}

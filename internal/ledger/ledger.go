@@ -58,6 +58,12 @@ const (
 	// the model, Status is "phase1_skipped", "accepted" or "rejected", and
 	// Count carries the pivots saved versus a cold start.
 	KindWarmStart Kind = "warm_start"
+	// KindPricingRound records one column-generation sweep over the deferred
+	// tickets of the phase-I restricted master: Round is the sweep index,
+	// Count the columns priced in, Gbps the worst (most negative) reduced
+	// cost seen, and Detail the master size after the appends. The final
+	// sweep of a run has Count 0 — the priced-out certificate.
+	KindPricingRound Kind = "pricing_round"
 	// KindWinner records the winning ticket of one scenario with its
 	// restored capacity and restored-capacity fraction.
 	KindWinner Kind = "winner"
@@ -130,8 +136,11 @@ type Event struct {
 	// Cert is the solution certificate of a completed solve.
 	Cert *lp.Certificate `json:"certificate,omitempty"`
 	// Count is the event's cardinality payload (KindEnumerated,
-	// KindSimSummary; settled-amplifier count for KindEmuEpisode).
+	// KindSimSummary; settled-amplifier count for KindEmuEpisode; columns
+	// priced in for KindPricingRound).
 	Count int `json:"count,omitempty"`
+	// Round is the pricing sweep index (KindPricingRound).
+	Round int `json:"round,omitempty"`
 	// Mode tags restoration-scheme-paired events: "legacy" or
 	// "noise_loading" for emulator episodes/stages and for latency-aware
 	// sim summaries replayed under that scheme's latency model.

@@ -157,6 +157,59 @@ func (m *Model) AddConstr(expr Expr, sense Sense, rhs float64, name string) Cons
 	return Constr(len(m.rows) - 1)
 }
 
+// ColumnEntry is one (constraint, coefficient) pair of a column appended
+// via AddVarToConstrs / AppendColumn.
+type ColumnEntry struct {
+	Constr Constr
+	Coef   float64
+}
+
+// AddVarToConstrs adds a variable AND splices its column into existing
+// constraints in place: each entry appends coef*v to the named row's terms.
+// Entries with zero coefficient are dropped and duplicate entries for the
+// same constraint are summed (matching AddConstr's combineTerms semantics).
+// Part of the delta API (see SetRHS): together with TruncateConstrs it lets
+// a restricted master problem grow column-wise between warm re-solves
+// without cloning or rebuilding, which is what column generation needs.
+func (m *Model) AddVarToConstrs(lb, ub, obj float64, name string, col []ColumnEntry) Var {
+	for _, e := range col {
+		if int(e.Constr) < 0 || int(e.Constr) >= len(m.rows) {
+			panic(fmt.Sprintf("lp: column %q references unknown constraint %d", name, e.Constr))
+		}
+	}
+	v := m.AddVar(lb, ub, obj, name)
+	seen := make(map[Constr]int, len(col))
+	for _, e := range col {
+		if e.Coef == 0 {
+			continue
+		}
+		r := &m.rows[e.Constr]
+		if i, ok := seen[e.Constr]; ok {
+			r.terms[i].Coef += e.Coef
+			continue
+		}
+		seen[e.Constr] = len(r.terms)
+		r.terms = append(r.terms, Term{Var: v, Coef: e.Coef})
+	}
+	return v
+}
+
+// AppendColumn is AddVarToConstrs plus warm-basis maintenance: it grows the
+// model with the new column and extends basis (when non-nil) so the new
+// variable enters NONBASIC at its natural starting bound and any rows added
+// since the basis was exported become slack-basic. The extended basis stays
+// a valid warm start for the grown model — the simplex pads exactly this
+// way on import, but extending explicitly keeps the caller's basis usable
+// for inspection and further appends. Mirrors TruncateConstrs on the
+// column side of the delta API.
+func (m *Model) AppendColumn(basis *Basis, lb, ub, obj float64, name string, col []ColumnEntry) Var {
+	v := m.AddVarToConstrs(lb, ub, obj, name, col)
+	if basis != nil {
+		basis.ExtendTo(m)
+	}
+	return v
+}
+
 // SetRHS overwrites the right-hand side of constraint c in place. Part of
 // the delta API: together with SetBounds and TruncateConstrs it lets one
 // built model skeleton be re-solved under per-scenario patches without

@@ -28,6 +28,13 @@ type Presolved struct {
 	fixed []float64
 	// colMap[j] is original var j's index in the reduced model (-1 fixed).
 	colMap []int
+	// rowMap[i] is original row i's index in the reduced model (-1 dropped).
+	rowMap []int
+	// lbRow[j]/ubRow[j] record which dropped singleton row produced original
+	// variable j's final lower/upper bound (-1 when the bound is native).
+	// RestoreDuals uses this provenance to hand the bound's dual multiplier
+	// back to the row that owns it.
+	lbRow, ubRow []int
 }
 
 // NewPresolved runs the reductions on a copy of m.
@@ -37,8 +44,11 @@ func NewPresolved(m *Model) *Presolved {
 	lb := append([]float64(nil), m.lb...)
 	ub := append([]float64(nil), m.ub...)
 	fixed := make([]float64, n)
+	p.lbRow = make([]int, n)
+	p.ubRow = make([]int, n)
 	for j := range fixed {
 		fixed[j] = math.NaN()
+		p.lbRow[j], p.ubRow[j] = -1, -1
 	}
 
 	type prow struct {
@@ -127,15 +137,27 @@ func NewPresolved(m *Model) *Presolved {
 				if math.Abs(t.Coef) < tol {
 					continue
 				}
+				// Strict-improvement updates (equivalent to Max/Min) so bound
+				// provenance only points at rows that actually tightened: a
+				// row merely matching the existing bound leaves the dual
+				// multiplier with the bound itself.
 				v := r.rhs / t.Coef
 				switch {
 				case r.sense == EQ:
-					lb[t.Var] = math.Max(lb[t.Var], v)
-					ub[t.Var] = math.Min(ub[t.Var], v)
+					if v > lb[t.Var] {
+						lb[t.Var], p.lbRow[t.Var] = v, ri
+					}
+					if v < ub[t.Var] {
+						ub[t.Var], p.ubRow[t.Var] = v, ri
+					}
 				case (r.sense == LE) == (t.Coef > 0): // x <= v
-					ub[t.Var] = math.Min(ub[t.Var], v)
+					if v < ub[t.Var] {
+						ub[t.Var], p.ubRow[t.Var] = v, ri
+					}
 				default: // x >= v
-					lb[t.Var] = math.Max(lb[t.Var], v)
+					if v > lb[t.Var] {
+						lb[t.Var], p.lbRow[t.Var] = v, ri
+					}
 				}
 				r.dead = true
 				changed = true
@@ -197,15 +219,17 @@ func NewPresolved(m *Model) *Presolved {
 		}
 		p.colMap[j] = int(red.AddVar(lb[j], ub[j], m.obj[j], m.varName[j]))
 	}
-	for _, r := range rows {
+	p.rowMap = make([]int, len(rows))
+	for ri, r := range rows {
 		if r.dead {
+			p.rowMap[ri] = -1
 			continue
 		}
 		var e Expr
 		for _, t := range r.terms {
 			e = e.Plus(t.Coef, Var(p.colMap[t.Var]))
 		}
-		red.AddConstr(e, r.sense, r.rhs, r.name)
+		p.rowMap[ri] = int(red.AddConstr(e, r.sense, r.rhs, r.name))
 	}
 	p.Reduced = red
 	p.fixed = fixed
@@ -235,20 +259,89 @@ func (p *Presolved) Restore(reducedX []float64) []float64 {
 	return out
 }
 
+// RestoreDuals maps a reduced-model solution's duals back to the original
+// constraint space. Rows surviving presolve take their dual directly; dead
+// empty rows get zero. A dropped singleton row that produced the binding
+// bound of its variable receives the variable's reduced cost divided by its
+// coefficient — moving the dual mass from the synthetic bound back to the
+// row that owns it, which preserves both dual stationarity
+// (c_j = sum_i y_i a_ij + d_j) and strong duality against the ORIGINAL
+// model. Rows whose variable ended up fixed (pinned variables admit any
+// reduced cost) keep a zero dual. Returns nil when the reduced solution
+// carries no duals.
+func (p *Presolved) RestoreDuals(red *Solution) []float64 {
+	if p.Reduced == nil || red == nil || red.Duals == nil {
+		return nil
+	}
+	m := p.Original
+	y := make([]float64, m.NumConstrs())
+	for i, ri := range p.rowMap {
+		if ri >= 0 {
+			y[i] = red.Duals[ri]
+		}
+	}
+	// Reduced costs of the original columns under the mapped duals.
+	d := append([]float64(nil), m.obj...)
+	for i := range m.rows {
+		if y[i] == 0 {
+			continue
+		}
+		for _, t := range m.rows[i].terms {
+			d[t.Var] -= y[i] * t.Coef
+		}
+	}
+	const tol = 1e-6
+	for j := 0; j < m.NumVars(); j++ {
+		rj := p.colMap[j]
+		if rj < 0 {
+			continue
+		}
+		xj := red.X[rj]
+		lb, ub := p.Reduced.Bounds(Var(rj))
+		scale := tol * (1 + math.Abs(xj))
+		row := -1
+		switch {
+		case p.lbRow[j] >= 0 && !math.IsInf(lb, -1) && math.Abs(xj-lb) <= scale:
+			row = p.lbRow[j]
+		case p.ubRow[j] >= 0 && !math.IsInf(ub, 1) && math.Abs(xj-ub) <= scale:
+			row = p.ubRow[j]
+		}
+		if row < 0 {
+			continue
+		}
+		coef := 0.0
+		for _, t := range m.rows[row].terms {
+			if int(t.Var) == j {
+				coef += t.Coef
+			}
+		}
+		if coef != 0 {
+			y[row] = d[j] / coef
+		}
+	}
+	return y
+}
+
 // SolvePresolved runs presolve, solves the reduced model, and returns the
-// solution in the original variable space. Semantics match Solve.
+// solution in the original variable space (including Duals mapped back via
+// RestoreDuals). Semantics match Solve.
 func SolvePresolved(m *Model, opts *Options) (*Solution, error) {
 	p := NewPresolved(m)
 	if p.Reduced == nil {
 		return &Solution{Status: p.Status}, nil
 	}
 	if p.Reduced.NumVars() == 0 {
-		// Everything fixed: evaluate directly.
+		// Everything fixed: evaluate directly. Every row is dead (their
+		// variables were all substituted away), so zero duals are exact:
+		// each pinned variable's bound term absorbs its full cost.
 		x := p.Restore(nil)
 		if v := m.MaxViolation(x); v > 1e-7 {
 			return &Solution{Status: StatusInfeasible}, nil
 		}
-		return &Solution{Status: StatusOptimal, X: x, Objective: m.ObjValue(x)}, nil
+		return &Solution{
+			Status: StatusOptimal, X: x, Objective: m.ObjValue(x),
+			Duals: make([]float64, m.NumConstrs()),
+		}, nil
 	}
 	sol, err := Solve(p.Reduced, opts)
 	if err != nil {
@@ -258,5 +351,8 @@ func SolvePresolved(m *Model, opts *Options) (*Solution, error) {
 		return &Solution{Status: sol.Status, Iterations: sol.Iterations}, nil
 	}
 	x := p.Restore(sol.X)
-	return &Solution{Status: StatusOptimal, X: x, Objective: m.ObjValue(x), Iterations: sol.Iterations}, nil
+	return &Solution{
+		Status: StatusOptimal, X: x, Objective: m.ObjValue(x),
+		Iterations: sol.Iterations, Duals: p.RestoreDuals(sol),
+	}, nil
 }

@@ -116,3 +116,155 @@ func TestPresolveMatchesDirectSolve(t *testing.T) {
 		}
 	}
 }
+
+// TestPresolveDualsKnown pins RestoreDuals on a model exercising every
+// reduction that moves dual mass: a fixed column substituted away, an
+// unconstrained column fixed at its objective-best bound, and a singleton
+// row whose bound tightening ends up binding (its dual must come back as
+// the variable's reduced cost over the row coefficient).
+func TestPresolveDualsKnown(t *testing.T) {
+	m := NewModel("pres-duals")
+	m.SetMaximize(true)
+	x := m.AddVar(0, 10, 3, "x")
+	y := m.AddVar(0, 10, 2, "y")
+	f := m.AddVar(2, 2, 5, "f") // fixed: substituted into r1
+	m.AddVar(0, 4, 1, "w")      // appears in no row: fixed at ub
+	r1 := m.AddConstr(Expr{}.Plus(1, x).Plus(1, y).Plus(1, f), LE, 8, "r1")
+	r2 := m.AddConstr(Expr{}.Plus(2, x), LE, 6, "r2") // singleton: x <= 3, binding
+
+	sol, err := SolvePresolved(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	// Optimum: x = 3 (r2), y = 3 (r1 binding after f's substitution), f = 2,
+	// w = 4. Objective 3*3 + 2*3 + 5*2 + 1*4 = 29.
+	if math.Abs(sol.Objective-29) > 1e-7 {
+		t.Fatalf("objective %g, want 29", sol.Objective)
+	}
+	for i, want := range []float64{3, 3, 2, 4} {
+		if math.Abs(sol.X[i]-want) > 1e-7 {
+			t.Fatalf("x[%d] = %g, want %g", i, sol.X[i], want)
+		}
+	}
+	if len(sol.Duals) != m.NumConstrs() {
+		t.Fatalf("%d duals for %d constraints", len(sol.Duals), m.NumConstrs())
+	}
+	// y is strictly interior-of-bounds basic on r1, so dual(r1) = c_y = 2.
+	// x sits on the synthetic bound r2 created; its reduced cost 3 - 2 = 1
+	// must come back on r2 scaled by the coefficient: dual(r2) = 1/2.
+	if math.Abs(sol.Duals[r1]-2) > 1e-7 {
+		t.Fatalf("dual(r1) = %g, want 2", sol.Duals[r1])
+	}
+	if math.Abs(sol.Duals[r2]-0.5) > 1e-7 {
+		t.Fatalf("dual(r2) = %g, want 0.5", sol.Duals[r2])
+	}
+	// The advertised semantics: duals are rhs sensitivities of the ORIGINAL
+	// model. Perturb each rhs and compare finite differences.
+	for ci, want := range map[Constr]float64{r1: sol.Duals[r1], r2: sol.Duals[r2]} {
+		const eps = 1e-5
+		pert := m.Clone()
+		pert.SetRHS(ci, pert.RHS(ci)+eps)
+		psol, err := Solve(pert, nil)
+		if err != nil || psol.Status != StatusOptimal {
+			t.Fatalf("perturbed %s: %v %v", m.ConstrName(ci), err, psol)
+		}
+		got := (psol.Objective - sol.Objective) / eps
+		if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+			t.Errorf("dual(%s) = %g but rhs sensitivity is %g", m.ConstrName(ci), want, got)
+		}
+	}
+}
+
+// TestPresolveDualsRoundTrip checks RestoreDuals generically: on random
+// models with fixed and removed columns, the mapped duals must satisfy
+// complementary slackness and dual stationarity against the ORIGINAL model
+// (surviving interior variables price to zero under the mapped row duals;
+// columns presolve pinned are exempt per RestoreDuals' documented contract).
+func TestPresolveDualsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	checked := 0
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(3)
+		m := NewModel("pres-duals-rand")
+		m.SetMaximize(rng.Intn(2) == 0)
+		vars := make([]Var, n)
+		for j := range vars {
+			lo := float64(rng.Intn(4) - 1)
+			hi := lo + float64(rng.Intn(6))
+			if rng.Float64() < 0.25 {
+				hi = lo // fixed column: presolve substitutes it away
+			}
+			vars[j] = m.AddVar(lo, hi, float64(rng.Intn(7)-3), "v")
+		}
+		rows := 1 + rng.Intn(3)
+		for i := 0; i < rows; i++ {
+			var e Expr
+			terms := 1 + rng.Intn(n) // include singletons
+			for k := 0; k < terms; k++ {
+				e = e.Plus(float64(rng.Intn(5)-2), vars[rng.Intn(n)])
+			}
+			m.AddConstr(e, []Sense{LE, GE}[rng.Intn(2)], float64(rng.Intn(11)-3), "r")
+		}
+		p := NewPresolved(m)
+		if p.Reduced == nil || p.Reduced.NumVars() == 0 {
+			continue
+		}
+		red, err := Solve(p.Reduced, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if red.Status != StatusOptimal || red.Duals == nil {
+			continue
+		}
+		sol := &Solution{Status: StatusOptimal, X: p.Restore(red.X), Duals: p.RestoreDuals(red)}
+		if sol.Duals == nil {
+			t.Fatalf("trial %d: RestoreDuals returned nil for an optimal reduced solve", trial)
+		}
+		checked++
+		y := sol.Duals
+		const tol = 1e-6
+		// Complementary slackness: a nonzero dual means an active row.
+		for i := 0; i < m.NumConstrs(); i++ {
+			if math.Abs(y[i]) <= tol {
+				continue
+			}
+			act := m.EvalExpr(Constr(i), sol.X) - m.RHS(Constr(i))
+			if math.Abs(act) > 1e-5 {
+				t.Fatalf("trial %d: row %d has dual %g but activity gap %g", trial, i, y[i], act)
+			}
+		}
+		// Stationarity for strictly interior variables: reduced cost zero.
+		for j := 0; j < m.NumVars(); j++ {
+			lo, hi := m.Bounds(Var(j))
+			if sol.X[j]-lo <= 1e-6 || hi-sol.X[j] <= 1e-6 {
+				continue
+			}
+			if p.colMap[j] < 0 {
+				// Presolve pinned the column (bound tightenings collapsed its
+				// range); pinned columns admit any reduced cost and their
+				// dropped rows keep a zero dual by documented contract.
+				continue
+			}
+			d := m.Obj(Var(j))
+			for i := 0; i < m.NumConstrs(); i++ {
+				for _, tm := range rowTerms(m, i) {
+					if int(tm.Var) == j {
+						d -= y[i] * tm.Coef
+					}
+				}
+			}
+			if math.Abs(d) > 1e-5 {
+				t.Fatalf("trial %d: interior var %d has reduced cost %g under restored duals", trial, j, d)
+			}
+		}
+	}
+	if checked < 30 {
+		t.Fatalf("only %d usable trials", checked)
+	}
+}
+
+// rowTerms exposes a row's terms to tests without widening the public API.
+func rowTerms(m *Model, i int) []Term { return m.rows[i].terms }

@@ -140,6 +140,7 @@ type simplex struct {
 	lu    *luFactors
 	etas  []eta
 	iters int
+	nnz   int // nonzeros across structural + slack columns of A
 
 	// scratch vectors, allocated once per simplex and reused across every
 	// FTRAN/BTRAN/pricing pass (and by duals/certificate extraction)
@@ -227,6 +228,9 @@ func newSimplex(m *Model, opts *Options) (*simplex, error) {
 	for j := range sx.posOf {
 		sx.posOf[j] = -1
 	}
+	for j := 0; j < nStr+nRow; j++ {
+		sx.nnz += len(sx.cols[j].rows)
+	}
 	return sx, nil
 }
 
@@ -264,6 +268,13 @@ func (sx *simplex) flushMetrics() {
 	}
 	r.Add("lp.solves", 1)
 	r.Add("lp.pivots", int64(sx.iters))
+	// Pivot work weights each iteration by the model size it ran against:
+	// Dantzig pricing scans every column nonzero and BTRAN/FTRAN solve
+	// against the row-dimension factors, so iterations on a small model are
+	// proportionally cheaper than the same count on a large one. This is the
+	// counter that exposes restricted-master savings when raw pivot counts
+	// come out even.
+	r.Add("lp.pivot_work", int64(sx.iters)*int64(sx.nnz+sx.nRow))
 	r.Add("lp.phase1_pivots", int64(sx.phase1Iters))
 	r.Add("lp.refactorizations", int64(sx.refactors))
 	r.Add("lp.degenerate_pivots", int64(sx.degenTotal))

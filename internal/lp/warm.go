@@ -1,6 +1,9 @@
 package lp
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // BasisStatus is the exported status of one variable (or one row's slack)
 // in a simplex basis.
@@ -43,6 +46,29 @@ func (b *Basis) Clone() *Basis {
 	return &Basis{
 		VarStatus: append([]BasisStatus(nil), b.VarStatus...),
 		RowStatus: append([]BasisStatus(nil), b.RowStatus...),
+	}
+}
+
+// ExtendTo grows the basis in place to cover every variable and row of m,
+// making the simplex's implicit growth-padding protocol explicit: variables
+// beyond the basis enter NONBASIC at their natural starting bound and rows
+// beyond it enter slack-basic. Extending never touches existing statuses,
+// so a basis exported from an optimal solve stays optimal-adjacent after
+// appending columns via Model.AppendColumn — exactly what a column
+// generation loop needs between master re-solves. ExtendTo panics if the
+// basis is LARGER than the model (use the truncation idiom for shrinking,
+// mirroring Model.TruncateConstrs).
+func (b *Basis) ExtendTo(m *Model) {
+	if len(b.VarStatus) > m.NumVars() || len(b.RowStatus) > m.NumConstrs() {
+		panic(fmt.Sprintf("lp: ExtendTo shrinking basis (%d vars, %d rows) to model (%d vars, %d rows)",
+			len(b.VarStatus), len(b.RowStatus), m.NumVars(), m.NumConstrs()))
+	}
+	for j := len(b.VarStatus); j < m.NumVars(); j++ {
+		_, st := initialValue(m.lb[j], m.ub[j])
+		b.VarStatus = append(b.VarStatus, exportStatus(st))
+	}
+	for i := len(b.RowStatus); i < m.NumConstrs(); i++ {
+		b.RowStatus = append(b.RowStatus, BasisBasic)
 	}
 }
 
@@ -155,6 +181,24 @@ func (sx *simplex) solveWarm(wb *Basis) (*Solution, error) {
 		wi.Phase1Skipped = true
 		wi.PivotsSaved = coldArts
 		return sx.phases(false)
+	}
+	// Selective repair: when every out-of-bound basic is a row slack — the
+	// signature of a model that grew by appended rows violated at the warm
+	// vertex, as in a column-generation master re-solve or a phase-2 solve
+	// warm-started from a truncated phase-1 basis — each such slack is
+	// swapped for its row's artificial and the REST of the warm basis (and
+	// the warm vertex) survives intact. Phase 1 then only has to drive out
+	// those few artificials instead of re-deriving the whole vertex from the
+	// projected point below.
+	if sx.swapInfeasibleSlacks() {
+		if err := sx.refactorize(); err != nil {
+			return nil, err
+		}
+		sol, err := sx.phases(true)
+		if coldArts > sx.startingArts {
+			wi.PivotsSaved = coldArts - sx.startingArts
+		}
+		return sol, err
 	}
 	// Reduced phase 1: bound-shift the warm basics onto the projected warm
 	// point and let artificials absorb the (small) residual. Rows the
@@ -378,6 +422,51 @@ func (sx *simplex) countColdArtificials() int {
 		}
 	}
 	return n
+}
+
+// swapInfeasibleSlacks is the in-place warm repair: every basic variable
+// outside its bounds that is a row slack is replaced in the basis by that
+// row's artificial, installed with the sign and value that absorb exactly
+// the row's residual once the slack retreats to its nearest bound. A slack
+// column and its artificial are both ± unit columns of the same row, so
+// the swap preserves basis nonsingularity and every other basic variable
+// keeps its warm value. Reports false — touching nothing — if some
+// out-of-bound basic is a structural variable, in which case the caller
+// falls back to the projection repair.
+func (sx *simplex) swapInfeasibleSlacks() bool {
+	tol := sx.opt.FeasTol * 10
+	violated := func(j int) bool {
+		return sx.x[j] < sx.lb[j]-tol || sx.x[j] > sx.ub[j]+tol
+	}
+	for _, j := range sx.basisOf {
+		if violated(j) && (j < sx.nStr || j >= sx.nStr+sx.nRow) {
+			return false
+		}
+	}
+	sx.startingArts = 0
+	for pos, j := range sx.basisOf {
+		if !violated(j) {
+			continue
+		}
+		i := j - sx.nStr // the slack's own row
+		w, st := nearestBound(sx.lb[j], sx.ub[j], sx.x[j])
+		resid := sx.x[j] - w
+		a := sx.nStr + sx.nRow + i
+		coef := 1.0
+		if resid < 0 {
+			coef = -1
+		}
+		sx.cols[a].add(i, coef)
+		sx.lb[a], sx.ub[a] = 0, Inf
+		sx.x[a] = math.Abs(resid)
+		sx.status[a] = basic
+		sx.basisOf[pos] = a
+		sx.posOf[a] = pos
+		sx.posOf[j] = -1
+		sx.x[j], sx.status[j] = w, st
+		sx.startingArts++
+	}
+	return true
 }
 
 // resetForCold rewinds a failed warm attempt so solve() starts from a

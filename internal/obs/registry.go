@@ -21,6 +21,7 @@ const SchemaVersion = 1
 var CoreCounters = []string{
 	"lp.solves",
 	"lp.pivots",
+	"lp.pivot_work",
 	"lp.phase1_pivots",
 	"lp.refactorizations",
 	"lp.degenerate_pivots",
@@ -31,6 +32,11 @@ var CoreCounters = []string{
 	"lp.warm_repairs",
 	"lp.phase1_skipped",
 	"lp.pivots_saved",
+	"lp.columns_priced",
+	"te.pricing_rounds",
+	"te.tickets_deferred",
+	"te.phase1_pivots",
+	"te.phase1_pivot_work",
 	"mip.solves",
 	"mip.nodes",
 	"mip.pruned",

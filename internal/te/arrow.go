@@ -6,6 +6,7 @@ import (
 
 	"github.com/arrow-te/arrow/internal/ledger"
 	"github.com/arrow-te/arrow/internal/lp"
+	"github.com/arrow-te/arrow/internal/obs"
 )
 
 // ArrowOptions tunes the two-phase restoration-aware TE.
@@ -25,6 +26,17 @@ type ArrowOptions struct {
 	// "whichever solve finished first"), so the switch exists only for A/B
 	// pivot-count comparison.
 	NoWarm bool
+	// NoColgen disables column generation for Phase I: the master then
+	// enumerates every ticket's rows up front (the pre-colgen formulation)
+	// instead of pricing ticket blocks in lazily. Both modes optimise the
+	// same feasible region; the switch exists for A/B comparison of pivot
+	// counts and master sizes.
+	NoColgen bool
+	// Parallelism bounds the workers of the colgen pricing fan-out
+	// (<= 0 means serial). Results are byte-identical at any worker count:
+	// pricing is index-addressed per scenario and appends happen in
+	// scenario order after each sweep.
+	Parallelism int
 }
 
 func (o *ArrowOptions) alpha() float64 {
@@ -42,6 +54,52 @@ func (o *ArrowOptions) ledger() *ledger.Ledger {
 }
 
 func (o *ArrowOptions) noWarm() bool { return o != nil && o.NoWarm }
+
+func (o *ArrowOptions) colgen() bool { return o == nil || !o.NoColgen }
+
+func (o *ArrowOptions) parallelism() int {
+	if o == nil || o.Parallelism <= 0 {
+		return 1
+	}
+	return o.Parallelism
+}
+
+func (o *ArrowOptions) recorder() obs.Recorder {
+	if o == nil || o.LP == nil {
+		return nil
+	}
+	return o.LP.Recorder
+}
+
+// phase1Recorder mirrors the LP engine's pivot counters under te.phase1_*
+// names, scoping Phase I master work out of a full run: pipeline totals are
+// dominated by Phase II (identical across colgen modes), so run-level
+// lp.pivots barely moves when only the Phase I master shrinks.
+type phase1Recorder struct{ obs.Recorder }
+
+func (p phase1Recorder) Add(name string, d int64) {
+	p.Recorder.Add(name, d)
+	switch name {
+	case "lp.pivots":
+		p.Recorder.Add("te.phase1_pivots", d)
+	case "lp.pivot_work":
+		p.Recorder.Add("te.phase1_pivot_work", d)
+	}
+}
+
+// phase1LP returns the LP options Phase I solves run under: opts.LP with
+// the recorder wrapped in phase1Recorder (pass-through when unset).
+func (o *ArrowOptions) phase1LP() *lp.Options {
+	if o == nil || o.LP == nil {
+		return nil
+	}
+	if o.LP.Recorder == nil {
+		return o.LP
+	}
+	lpo := *o.LP
+	lpo.Recorder = phase1Recorder{o.LP.Recorder}
+	return &lpo
+}
 
 // emitWarmStart records a warm-started solve's outcome on the ledger:
 // whether the starting basis let the solver skip phase 1 entirely, was
@@ -109,7 +167,7 @@ func Arrow(n *Network, scs []RestorableScenario, opts *ArrowOptions) (*Allocatio
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
-	winners, p1stats, p1basis, err := arrowPhase1WithStats(n, scs, opts)
+	winners, p1stats, p1basis, err := arrowPhase1Dispatch(n, scs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -120,9 +178,6 @@ func Arrow(n *Network, scs []RestorableScenario, opts *ArrowOptions) (*Allocatio
 	if err != nil {
 		return nil, err
 	}
-	al.Stats.Phase1Vars = p1stats.Phase1Vars
-	al.Stats.Phase1Rows = p1stats.Phase1Rows
-	al.Stats.Phase1Iters = p1stats.Phase1Iters
 	// Phase I ranks tickets against its own (slack-throttled) loads, which
 	// can mis-rank when many tickets tie near zero slack. Ticket 0 is by
 	// convention the RWA-derived candidate (the |Z|=1 / Arrow-Naive plan),
@@ -152,6 +207,11 @@ func Arrow(n *Network, scs []RestorableScenario, opts *ArrowOptions) (*Allocatio
 			al = fallback
 		}
 	}
+	// Phase I stats attach to whichever allocation survived the fallback
+	// comparison (the fallback's own Stats carry Phase II numbers only).
+	al.Stats.Phase1Vars = p1stats.Phase1Vars
+	al.Stats.Phase1Rows = p1stats.Phase1Rows
+	al.Stats.Phase1Iters = p1stats.Phase1Iters
 	if L := opts.ledger(); L != nil {
 		emitPlan(L, n, scs, al)
 	}
@@ -209,8 +269,22 @@ func ArrowNaive(n *Network, scs []RestorableScenario, opts *ArrowOptions) (*Allo
 // identical surviving+restorable tunnel sets, which collapses the common
 // case where every ticket restores some capacity on every link.
 func ArrowPhase1(n *Network, scs []RestorableScenario, opts *ArrowOptions) ([]int, error) {
-	winners, _, _, err := arrowPhase1WithStats(n, scs, opts)
+	winners, _, _, err := arrowPhase1Dispatch(n, scs, opts)
 	return winners, err
+}
+
+// arrowPhase1Dispatch routes Phase I to the column-generation restricted
+// master (the default) or the full up-front enumeration (NoColgen).
+func arrowPhase1Dispatch(n *Network, scs []RestorableScenario, opts *ArrowOptions) ([]int, SolveStats, *lp.Basis, error) {
+	for qi := range scs {
+		if len(scs[qi].Tickets) == 0 {
+			return nil, SolveStats{}, nil, fmt.Errorf("te: arrow: scenario %d has no tickets", qi)
+		}
+	}
+	if opts.colgen() {
+		return arrowPhase1Colgen(n, scs, opts)
+	}
+	return arrowPhase1WithStats(n, scs, opts)
 }
 
 // arrowPhase1WithStats is ArrowPhase1 plus model-size/iteration reporting.
@@ -219,121 +293,31 @@ func ArrowPhase1(n *Network, scs []RestorableScenario, opts *ArrowOptions) ([]in
 // disabled): both phases extend the same newBaseModel skeleton, so the
 // variable layout and the leading constraint rows coincide exactly.
 func arrowPhase1WithStats(n *Network, scs []RestorableScenario, opts *ArrowOptions) ([]int, SolveStats, *lp.Basis, error) {
-	for qi := range scs {
-		if len(scs[qi].Tickets) == 0 {
-			return nil, SolveStats{}, nil, fmt.Errorf("te: arrow: scenario %d has no tickets", qi)
-		}
-	}
 	bm := newBaseModel("arrow-phase1", n)
 	baseRows := bm.m.NumConstrs()
+	baseVars := bm.m.NumVars()
 	alpha := opts.alpha()
 
-	// refLoad[qi][link] is the ticket-INDEPENDENT reference load used to
-	// rank tickets in post-processing: the allocation carried by every
-	// tunnel that crosses the failed link (i.e. the load the link would see
-	// under full restoration). Evaluating each ticket against per-ticket
-	// restorable sets would systematically favour tickets that restore
-	// fewer links (their Y sets shrink, so their measured loads shrink);
-	// a fixed reference keeps the comparison apples-to-apples.
-	type loadKey struct{ qi, link int }
-	refLoad := map[loadKey]lp.Expr{}
+	refLoad := buildRefLoads(n, scs, bm)
 	// coverSeen[f] dedups constraint (4) rows per flow across (q,z) pairs
 	// with identical surviving+restorable tunnel sets.
-	coverSeen := make([]map[string]bool, len(n.Flows))
-	for f := range coverSeen {
-		coverSeen[f] = map[string]bool{}
-	}
+	coverSeen := newCoverSeen(n)
 
+	// Every ticket's block goes in up front, in the same delta-column form
+	// the colgen master uses (constraint (4) cover rows, then the
+	// constraints (5)+(6) aggregate row load - u <= totalR with the
+	// relaxation column u in [0, alpha*totalR]): identical formulations are
+	// what make the two modes' masters — and their peak column counts —
+	// directly comparable.
 	for qi := range scs {
 		q := &scs[qi]
-		failed := failedSet(q.FailedLinks)
-		// Residual tunnels do not depend on the ticket.
-		residual := make([][]int, len(n.Flows))
-		for f := range n.Flows {
-			residual[f] = residualTunnels(n, f, failed)
-		}
-		// Reference loads: every tunnel crossing the failed link.
-		for _, link := range q.FailedLinks {
-			var load lp.Expr
-			for f := range n.Flows {
-				for ti, t := range n.Tunnels[f] {
-					for _, le := range t.Links {
-						if le == link {
-							load = load.Plus(1, bm.a[f][ti])
-							break
-						}
-					}
-				}
-			}
-			refLoad[loadKey{qi, link}] = load
-		}
 		for z := range q.Tickets {
-			restored := func(link int) float64 { return q.TicketGbps(z, link) }
-			restorable := make([][]int, len(n.Flows))
-			for f := range n.Flows {
-				restorable[f] = restorableTunnels(n, f, failed, restored)
-			}
-
-			// Constraint (4): residual + restorable tunnels cover b_f.
-			for f := range n.Flows {
-				res, rst := residual[f], restorable[f]
-				if len(res)+len(rst) == len(n.Tunnels[f]) || len(res)+len(rst) == 0 {
-					// Nothing lost, or the flow is disconnected under this
-					// scenario+ticket (no residual or restorable tunnel):
-					// the guarantee is either implied by (1) or vacuous.
-					continue // nothing lost; implied by (1)
-				}
-				key := fmt.Sprint(res, rst)
-				if coverSeen[f][key] {
-					continue
-				}
-				coverSeen[f][key] = true
-				var e lp.Expr
-				for _, ti := range res {
-					e = e.Plus(1, bm.a[f][ti])
-				}
-				for _, ti := range rst {
-					e = e.Plus(1, bm.a[f][ti])
-				}
-				e = e.Plus(-1, bm.b[f])
-				bm.m.AddConstr(e, lp.GE, 0, fmt.Sprintf("p1cover_f%d_q%d_z%d", f, qi, z))
-			}
-
-			// Constraints (5)+(6) with free Delta: eliminating the free
-			// slack variables leaves the aggregate row
-			//   sum_e load_e^{z,q} <= sum_e r_e^{z,q} + M^{z,q},
-			// with M^{z,q} = alpha * sum_e r_e^{z,q}.
-			var totalLoad lp.Expr
-			totalR := 0.0
-			for _, link := range q.FailedLinks {
-				r := restored(link)
-				totalR += r
-				var load lp.Expr
-				for f := range n.Flows {
-					for _, ti := range restorable[f] {
-						for _, le := range n.Tunnels[f][ti].Links {
-							if le == link {
-								load = load.Plus(1, bm.a[f][ti])
-								break
-							}
-						}
-					}
-				}
-				if len(load) == 0 {
-					continue
-				}
-				totalLoad = append(totalLoad, load...)
-			}
-			if len(totalLoad) > 0 {
-				bm.m.AddConstr(totalLoad, lp.LE, (1+alpha)*totalR, fmt.Sprintf("p1slack_q%d_z%d", qi, z))
-			}
+			blk := buildTicketBlock(n, q, z, bm)
+			appendTicketBlock(bm, nil, qi, z, &blk, alpha, coverSeen)
 		}
 	}
 
-	var lpo *lp.Options
-	if opts != nil {
-		lpo = opts.LP
-	}
+	lpo := opts.phase1LP()
 	L := opts.ledger()
 	if L != nil {
 		L.Emit(ledger.Event{Kind: ledger.KindSolveStart, Scenario: -1, Solver: bm.m.Name()})
@@ -360,53 +344,31 @@ func arrowPhase1WithStats(n *Network, scs []RestorableScenario, opts *ArrowOptio
 	if sol.Status != lp.StatusOptimal {
 		return nil, SolveStats{}, nil, fmt.Errorf("te: arrow phase 1: status %v", sol.Status)
 	}
+	primaryIters := sol.Iterations
+
+	// Canonicalise the vertex before winner selection: lock the primary
+	// optimum and minimise the total reference load, so the winner ranking
+	// does not depend on which degenerate optimum the pivot path happened
+	// to reach (see setCanonicalObjective). The colgen path runs the same
+	// pass, which is what makes the two modes agree on winners.
+	setCanonicalObjective(bm, scs, refLoad, sol.Objective)
+	sol, err = solveCanonical(bm, sol.Basis, opts)
+	if err != nil {
+		return nil, SolveStats{}, nil, err
+	}
+
 	var p1basis *lp.Basis
 	if !opts.noWarm() && sol.Basis != nil {
 		p1basis = &lp.Basis{VarStatus: sol.Basis.VarStatus, RowStatus: sol.Basis.RowStatus}
+		if len(p1basis.VarStatus) > baseVars {
+			p1basis.VarStatus = p1basis.VarStatus[:baseVars]
+		}
 		if len(p1basis.RowStatus) > baseRows {
 			p1basis.RowStatus = p1basis.RowStatus[:baseRows]
 		}
 	}
-	stats := SolveStats{Phase1Vars: bm.m.NumVars(), Phase1Rows: bm.m.NumConstrs(), Phase1Iters: sol.Iterations}
-
-	// Post-processing: winner_q = argmin_z sum_e max(0, load_e - r_e^{z,q}),
-	// ties broken toward the ticket whose restored capacity is most usable
-	// by the solved loads (sum_e min(load_e, r_e)).
-	eval := func(e lp.Expr) float64 {
-		s := 0.0
-		for _, t := range e {
-			s += t.Coef * sol.X[t.Var]
-		}
-		return s
-	}
-	winners := make([]int, len(scs))
-	for qi := range scs {
-		best, bestSlack, bestUsable, bestTotal := 0, math.Inf(1), -1.0, -1.0
-		for z := range scs[qi].Tickets {
-			slack, usable := 0.0, 0.0
-			for _, link := range scs[qi].FailedLinks {
-				r := scs[qi].TicketGbps(z, link)
-				load := 0.0
-				if e, ok := refLoad[loadKey{qi, link}]; ok {
-					load = eval(e)
-				}
-				slack += math.Max(0, load-r)
-				usable += math.Min(load, r)
-			}
-			total := scs[qi].Tickets[z].TotalGbps()
-			// Ranking: minimal slack first (the paper's criterion), then
-			// maximal TOTAL restoration (more revived capacity can only
-			// help under failures), then maximal load-matched capacity.
-			better := slack < bestSlack-1e-9 ||
-				(slack < bestSlack+1e-9 && total > bestTotal+1e-9) ||
-				(slack < bestSlack+1e-9 && total > bestTotal-1e-9 && usable > bestUsable+1e-9)
-			if better {
-				best, bestSlack, bestUsable, bestTotal = z, slack, usable, total
-			}
-		}
-		winners[qi] = best
-	}
-	return winners, stats, p1basis, nil
+	stats := SolveStats{Phase1Vars: bm.m.NumVars(), Phase1Rows: bm.m.NumConstrs(), Phase1Iters: primaryIters + sol.Iterations}
+	return pickWinners(scs, refLoad, sol.X), stats, p1basis, nil
 }
 
 // ArrowPhase2 solves the Table 3 LP with the given winning ticket per

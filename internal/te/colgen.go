@@ -1,0 +1,521 @@
+package te
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/arrow-te/arrow/internal/ledger"
+	"github.com/arrow-te/arrow/internal/lp"
+	"github.com/arrow-te/arrow/internal/par"
+	"github.com/arrow-te/arrow/internal/ticket"
+)
+
+// This file implements Phase I as a restricted master problem with lazy
+// ticket pricing (column generation). The full-enumeration master keeps
+// every ticket's constraint block; here the master starts from one seed
+// block per scenario (ticket 0, the RWA-derived candidate) and each pricing
+// round appends, per scenario, the deferred ticket block whose rows are most
+// violated at the current master optimum.
+//
+// Why row violation IS the reduced cost: in the dual of the phase-I LP each
+// primal ROW owns a dual variable whose reduced cost at the current master
+// solution equals that row's primal residual. A deferred ticket block whose
+// rows are all satisfied (violation <= eps) prices out — appending satisfied
+// constraints cannot move the optimum — so termination with no violated
+// block certifies the restricted optimum equals the full-model optimum
+// exactly, not approximately. The eps threshold (ticket.DefaultPricingEps)
+// only guards against floating-point residue on satisfied rows.
+
+// loadKey addresses one (scenario, failed link) reference-load expression.
+type loadKey struct{ qi, link int }
+
+// buildRefLoads returns the ticket-INDEPENDENT reference loads used to rank
+// tickets in post-processing: for each (scenario, failed link), the
+// allocation carried by every tunnel that crosses the failed link (the load
+// the link would see under full restoration). Evaluating each ticket
+// against per-ticket restorable sets would systematically favour tickets
+// that restore fewer links (their Y sets shrink, so their measured loads
+// shrink); a fixed reference keeps the comparison apples-to-apples.
+func buildRefLoads(n *Network, scs []RestorableScenario, bm *baseModel) map[loadKey]lp.Expr {
+	refLoad := map[loadKey]lp.Expr{}
+	for qi := range scs {
+		for _, link := range scs[qi].FailedLinks {
+			var load lp.Expr
+			for f := range n.Flows {
+				for ti, t := range n.Tunnels[f] {
+					for _, le := range t.Links {
+						if le == link {
+							load = load.Plus(1, bm.a[f][ti])
+							break
+						}
+					}
+				}
+			}
+			refLoad[loadKey{qi, link}] = load
+		}
+	}
+	return refLoad
+}
+
+func newCoverSeen(n *Network) []map[string]bool {
+	seen := make([]map[string]bool, len(n.Flows))
+	for f := range seen {
+		seen[f] = map[string]bool{}
+	}
+	return seen
+}
+
+// p1Cover is one constraint (4) row of a ticket block: residual plus
+// restorable tunnels of flow f cover b_f. The key identifies the
+// surviving+restorable tunnel set for cross-block deduplication.
+type p1Cover struct {
+	f    int
+	key  string
+	expr lp.Expr
+}
+
+// p1Block is the full constraint block ticket (q, z) contributes to the
+// phase-I master: deduplicatable cover rows plus the aggregate
+// restorable-link load expression of constraints (5)+(6).
+type p1Block struct {
+	covers []p1Cover
+	load   lp.Expr
+	totalR float64
+}
+
+// buildTicketBlock computes ticket (q, z)'s constraint block against the
+// shared base-model variables. Pure (no model mutation), so blocks can be
+// precomputed in parallel and priced repeatedly without rebuilding.
+func buildTicketBlock(n *Network, q *RestorableScenario, z int, bm *baseModel) p1Block {
+	failed := failedSet(q.FailedLinks)
+	restored := func(link int) float64 { return q.TicketGbps(z, link) }
+	restorable := make([][]int, len(n.Flows))
+	for f := range n.Flows {
+		restorable[f] = restorableTunnels(n, f, failed, restored)
+	}
+
+	var blk p1Block
+	for f := range n.Flows {
+		res := residualTunnels(n, f, failed)
+		rst := restorable[f]
+		if len(res)+len(rst) == len(n.Tunnels[f]) || len(res)+len(rst) == 0 {
+			// Nothing lost, or the flow is disconnected under this
+			// scenario+ticket (no residual or restorable tunnel): the
+			// guarantee is either implied by (1) or vacuous.
+			continue
+		}
+		var e lp.Expr
+		for _, ti := range res {
+			e = e.Plus(1, bm.a[f][ti])
+		}
+		for _, ti := range rst {
+			e = e.Plus(1, bm.a[f][ti])
+		}
+		e = e.Plus(-1, bm.b[f])
+		blk.covers = append(blk.covers, p1Cover{f: f, key: fmt.Sprint(res, rst), expr: e})
+	}
+
+	for _, link := range q.FailedLinks {
+		r := restored(link)
+		blk.totalR += r
+		var load lp.Expr
+		for f := range n.Flows {
+			for _, ti := range restorable[f] {
+				for _, le := range n.Tunnels[f][ti].Links {
+					if le == link {
+						load = load.Plus(1, bm.a[f][ti])
+						break
+					}
+				}
+			}
+		}
+		blk.load = append(blk.load, load...)
+	}
+	return blk
+}
+
+func evalExprAt(e lp.Expr, x []float64) float64 {
+	s := 0.0
+	for _, t := range e {
+		s += t.Coef * x[t.Var]
+	}
+	return s
+}
+
+// pickWinners runs the shared Phase I post-processing on a solved master:
+// winner_q = argmin_z sum_e max(0, load_e - r_e^{z,q}) over ALL tickets
+// (including ones a colgen master never appended — the reference loads are
+// ticket-independent, so every ticket is rankable at any master optimum).
+// Ties break toward maximal total restoration, then maximal load-matched
+// capacity (sum_e min(load_e, r_e)); all comparisons are index-ordered and
+// worker-count independent.
+func pickWinners(scs []RestorableScenario, refLoad map[loadKey]lp.Expr, x []float64) []int {
+	winners := make([]int, len(scs))
+	for qi := range scs {
+		best, bestSlack, bestUsable, bestTotal := 0, math.Inf(1), -1.0, -1.0
+		for z := range scs[qi].Tickets {
+			slack, usable := 0.0, 0.0
+			for _, link := range scs[qi].FailedLinks {
+				r := scs[qi].TicketGbps(z, link)
+				load := 0.0
+				if e, ok := refLoad[loadKey{qi, link}]; ok {
+					load = evalExprAt(e, x)
+				}
+				slack += math.Max(0, load-r)
+				usable += math.Min(load, r)
+			}
+			total := scs[qi].Tickets[z].TotalGbps()
+			// Ranking: minimal slack first (the paper's criterion), then
+			// maximal TOTAL restoration (more revived capacity can only
+			// help under failures), then maximal load-matched capacity.
+			better := slack < bestSlack-1e-9 ||
+				(slack < bestSlack+1e-9 && total > bestTotal+1e-9) ||
+				(slack < bestSlack+1e-9 && total > bestTotal-1e-9 && usable > bestUsable+1e-9)
+			if better {
+				best, bestSlack, bestUsable, bestTotal = z, slack, usable, total
+			}
+		}
+		winners[qi] = best
+	}
+	return winners
+}
+
+// setCanonicalObjective swaps a solved phase-I master onto the canonical
+// secondary objective: a lock row pins the primary optimum (sum_f b_f >=
+// Obj*) and the objective becomes minimising the total reference load — the
+// allocation carried by tunnels that cross any potentially-failing link.
+// Phase I optima are massively degenerate in how each b_f splits across its
+// tunnels, so ranking tickets by per-link loads at an arbitrary optimal
+// vertex makes the winner an artifact of the pivot path (and of the master
+// the solve happened to use — restricted or full). Minimising reference
+// load selects, among the primary optima, the vertices that route away from
+// failure-prone links: the winner choice stabilises across solve modes and
+// tickets are evaluated where the slack criterion is most meaningful.
+func setCanonicalObjective(bm *baseModel, scs []RestorableScenario, refLoad map[loadKey]lp.Expr, primalObj float64) {
+	// Per-variable weights accumulate in deterministic (scenario, link)
+	// order; every coefficient is 1, so the sums are exact integers.
+	weight := make([]float64, bm.m.NumVars())
+	for qi := range scs {
+		for _, link := range scs[qi].FailedLinks {
+			for _, t := range refLoad[loadKey{qi, link}] {
+				weight[t.Var] += t.Coef
+			}
+		}
+	}
+	var lock lp.Expr
+	for _, b := range bm.b {
+		lock = lock.Plus(1, b)
+	}
+	bm.m.AddConstr(lock, lp.GE, primalObj, "p1lock")
+	for _, b := range bm.b {
+		bm.m.SetObj(b, 0)
+	}
+	for j, w := range weight {
+		if w != 0 {
+			bm.m.SetObj(lp.Var(j), -w) // maximise -load = minimise load
+		}
+	}
+}
+
+// solveCanonical solves the master after setCanonicalObjective, warm from
+// the primary-optimal basis when warm starts are enabled (the lock row is
+// active at the warm point, so the solver pads it slack-basic and skips its
+// LP phase 1). Solve events carry the "-canon" suffixed solver name so
+// reports and tests can tell the canonicalisation pass from primary solves.
+func solveCanonical(bm *baseModel, warm *lp.Basis, opts *ArrowOptions) (*lp.Solution, error) {
+	lpo := opts.phase1LP()
+	L := opts.ledger()
+	name := bm.m.Name() + "-canon"
+	if L != nil {
+		L.Emit(ledger.Event{Kind: ledger.KindSolveStart, Scenario: -1, Solver: name})
+	}
+	var sol *lp.Solution
+	var err error
+	if opts.noWarm() || warm == nil {
+		sol, err = lp.Solve(bm.m, lpo)
+	} else {
+		sol, err = lp.SolveWithBasis(bm.m, warm, lpo)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("te: arrow phase 1 canonical: %w", err)
+	}
+	if L != nil {
+		emitWarmStart(L, name, sol)
+		L.Emit(ledger.Event{
+			Kind: ledger.KindSolveEnd, Scenario: -1, Solver: name,
+			Status: sol.Status.String(), Cert: sol.Cert,
+		})
+	}
+	if sol.Status != lp.StatusOptimal {
+		return nil, fmt.Errorf("te: arrow phase 1 canonical: status %v", sol.Status)
+	}
+	if err := lp.CheckCertificate(sol.Cert, lp.DefaultCertTol); err != nil {
+		return nil, fmt.Errorf("te: arrow phase 1 canonical: certificate: %w", err)
+	}
+	return sol, nil
+}
+
+// appendTicketBlock splices ticket (q, z)'s block into the restricted
+// master. Cover rows dedup against coverSeen exactly as the full
+// enumeration does. The aggregate slack row is written in delta-column
+// form — totalLoad - u <= totalR with a fresh relaxation column
+// u in [0, alpha*totalR] appended via AppendColumn — which is feasibly
+// identical to the enumerated (1+alpha)*totalR row but grows the model
+// column-wise so the warm basis extends in place (new rows slack-basic, the
+// new column nonbasic at zero). Returns the number of columns appended
+// (0 or 1).
+func appendTicketBlock(bm *baseModel, basis *lp.Basis, qi, z int, blk *p1Block, alpha float64, coverSeen []map[string]bool) int {
+	for _, cv := range blk.covers {
+		if coverSeen[cv.f][cv.key] {
+			continue
+		}
+		coverSeen[cv.f][cv.key] = true
+		bm.m.AddConstr(cv.expr, lp.GE, 0, fmt.Sprintf("p1cover_f%d_q%d_z%d", cv.f, qi, z))
+	}
+	if len(blk.load) == 0 {
+		if basis != nil {
+			basis.ExtendTo(bm.m)
+		}
+		return 0
+	}
+	c := bm.m.AddConstr(blk.load, lp.LE, blk.totalR, fmt.Sprintf("p1slack_q%d_z%d", qi, z))
+	bm.m.AppendColumn(basis, 0, alpha*blk.totalR, 0,
+		fmt.Sprintf("p1relax_q%d_z%d", qi, z), []lp.ColumnEntry{{Constr: c, Coef: -1}})
+	return 1
+}
+
+// blockViolation is the pricing measure of a deferred block at the current
+// master optimum: the worst residual over the block's rows not yet present
+// in the master (deduped cover rows already in the master are satisfied
+// within solver tolerance and cannot price the block in). The deferred
+// slack row is judged against its fully-relaxed form (1+alpha)*totalR,
+// matching the feasible region its delta-column form spans once appended.
+// The block's reduced cost is the negation of this violation.
+func blockViolation(blk *p1Block, alpha float64, coverSeen []map[string]bool, x []float64) float64 {
+	worst := 0.0
+	for _, cv := range blk.covers {
+		if coverSeen[cv.f][cv.key] {
+			continue
+		}
+		if v := -evalExprAt(cv.expr, x); v > worst {
+			worst = v
+		}
+	}
+	if len(blk.load) > 0 {
+		if v := evalExprAt(blk.load, x) - (1+alpha)*blk.totalR; v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// arrowPhase1Colgen is the column-generation Phase I: seed the restricted
+// master with ticket 0 per scenario, then alternate pricing sweeps (fanned
+// over par.Map, one oracle call per scenario) with warm master re-solves
+// until every deferred block prices out. Certificates are checked on every
+// master re-solve; the converged optimum equals the full-enumeration
+// optimum exactly (see the file comment for the termination argument).
+func arrowPhase1Colgen(n *Network, scs []RestorableScenario, opts *ArrowOptions) ([]int, SolveStats, *lp.Basis, error) {
+	bm := newBaseModel("arrow-phase1", n)
+	baseRows := bm.m.NumConstrs()
+	baseVars := bm.m.NumVars()
+	alpha := opts.alpha()
+
+	refLoad := buildRefLoads(n, scs, bm)
+	coverSeen := newCoverSeen(n)
+
+	// Precompute every ticket's block once (pure reads of the instance),
+	// fanned per scenario. The blocks are then priced each round and
+	// spliced in at most once.
+	ctx := context.Background()
+	workers := opts.parallelism()
+	blocks, err := par.Map(ctx, workers, len(scs), func(_ context.Context, qi int) ([]p1Block, error) {
+		q := &scs[qi]
+		out := make([]p1Block, len(q.Tickets))
+		for z := range q.Tickets {
+			out[z] = buildTicketBlock(n, q, z, bm)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, SolveStats{}, nil, fmt.Errorf("te: arrow phase 1 colgen: %w", err)
+	}
+
+	inMaster := make([][]bool, len(scs))
+	totalTickets := 0
+	for qi := range scs {
+		inMaster[qi] = make([]bool, len(scs[qi].Tickets))
+		totalTickets += len(scs[qi].Tickets)
+	}
+
+	lpo := opts.phase1LP()
+	L := opts.ledger()
+	rec := opts.recorder()
+
+	// Seed: ticket 0 per scenario (by convention the RWA-derived candidate,
+	// the |Z|=1 plan), in scenario order. Starting from the bare base model
+	// instead was measured strictly worse: the base optimum sits far from any
+	// restorable vertex, so the first sweep prices one block per scenario and
+	// the repair of that bulk append costs more than seeding ever does.
+	for qi := range scs {
+		inMaster[qi][0] = true
+		appendTicketBlock(bm, nil, qi, 0, &blocks[qi][0], alpha, coverSeen)
+	}
+
+	solve := func(warm *lp.Basis) (*lp.Solution, error) {
+		if L != nil {
+			L.Emit(ledger.Event{Kind: ledger.KindSolveStart, Scenario: -1, Solver: bm.m.Name()})
+		}
+		var sol *lp.Solution
+		var err error
+		switch {
+		case opts.noWarm():
+			sol, err = lp.Solve(bm.m, lpo)
+		case warm == nil:
+			// Every master row (cover, slack-in-delta-form, seeds and
+			// priced-in blocks alike) is satisfied at x = 0, so the
+			// all-slack basis skips the LP's feasibility phase entirely.
+			// That beats warm-starting from the previous round's basis:
+			// freshly appended rows are VIOLATED at the previous optimum
+			// (that is why they priced in), and repairing a primal-
+			// infeasible warm basis costs close to a cold solve in the
+			// bounded simplex, while phase 2 from all-slack on the small
+			// restricted master is cheap.
+			sol, err = lp.SolveWithBasis(bm.m, lp.SlackBasis(bm.m), lpo)
+		default:
+			sol, err = lp.SolveWithBasis(bm.m, warm, lpo)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("te: arrow phase 1: %w", err)
+		}
+		if L != nil {
+			emitWarmStart(L, bm.m.Name(), sol)
+			L.Emit(ledger.Event{
+				Kind: ledger.KindSolveEnd, Scenario: -1, Solver: bm.m.Name(),
+				Status: sol.Status.String(), Cert: sol.Cert,
+			})
+		}
+		if sol.Status != lp.StatusOptimal {
+			return nil, fmt.Errorf("te: arrow phase 1: status %v", sol.Status)
+		}
+		// Certificate check on every master re-solve: a priced-in column
+		// that broke dual feasibility would silently corrupt every later
+		// pricing decision, so fail loudly here instead.
+		if err := lp.CheckCertificate(sol.Cert, lp.DefaultCertTol); err != nil {
+			return nil, fmt.Errorf("te: arrow phase 1: master certificate: %w", err)
+		}
+		return sol, nil
+	}
+
+	oracle := ticket.PricingOracle{}
+	type pick struct {
+		z  int
+		rc float64
+	}
+	rounds, priced, roundSeq := 0, 0, 0
+	totalIters := 0
+	// priceOut alternates pricing sweeps with master re-solves (via the
+	// caller-chosen resolve strategy) until every deferred block prices out
+	// at sol's optimum. Each non-final sweep appends at least one block, so
+	// the loop is bounded by the total ticket count (+1 for the priced-out
+	// sweep). It is run twice: once under the primary objective and once
+	// after setCanonicalObjective (the load-minimal vertex may violate
+	// deferred cover rows the primary optimum satisfied, so the secondary
+	// pass can price blocks back in).
+	priceOut := func(sol *lp.Solution, resolve func(*lp.Basis) (*lp.Solution, error)) (*lp.Solution, error) {
+		for round := 0; round <= totalTickets; round++ {
+			rounds++
+			x := sol.X
+			picks, err := par.Map(ctx, workers, len(scs), func(_ context.Context, qi int) (pick, error) {
+				q := &scs[qi]
+				z, rc := oracle.Price(len(q.Tickets),
+					func(z int) bool { return !inMaster[qi][z] },
+					func(z int) float64 { return -blockViolation(&blocks[qi][z], alpha, coverSeen, x) })
+				return pick{z: z, rc: rc}, nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("te: arrow phase 1 colgen: %w", err)
+			}
+			roundCols, worstRC := 0, 0.0
+			basis := sol.Basis
+			for qi, p := range picks {
+				if p.z < 0 {
+					continue
+				}
+				if p.rc < worstRC {
+					worstRC = p.rc
+				}
+				inMaster[qi][p.z] = true
+				appendTicketBlock(bm, basis, qi, p.z, &blocks[qi][p.z], alpha, coverSeen)
+				roundCols++
+			}
+			priced += roundCols
+			if L != nil {
+				L.Emit(ledger.Event{
+					Kind: ledger.KindPricingRound, Scenario: -1, Round: roundSeq,
+					Count: roundCols, Gbps: worstRC,
+					Detail: fmt.Sprintf("master %dv/%dr", bm.m.NumVars(), bm.m.NumConstrs()),
+				})
+			}
+			roundSeq++
+			if roundCols == 0 {
+				return sol, nil // every deferred block priced out: restricted optimum is exact
+			}
+			sol, err = resolve(basis)
+			if err != nil {
+				return nil, err
+			}
+			totalIters += sol.Iterations
+		}
+		return sol, nil
+	}
+
+	sol, err := solve(nil)
+	if err != nil {
+		return nil, SolveStats{}, nil, err
+	}
+	totalIters += sol.Iterations
+	if sol, err = priceOut(sol, solve); err != nil {
+		return nil, SolveStats{}, nil, err
+	}
+
+	// Canonicalise the vertex before winner selection (see
+	// setCanonicalObjective), re-entering the pricing loop in case the
+	// load-minimal vertex violates still-deferred blocks. The lock row makes
+	// x = 0 infeasible, so secondary re-solves warm from the previous
+	// canonical basis instead of the slack basis.
+	setCanonicalObjective(bm, scs, refLoad, sol.Objective)
+	if sol.Basis != nil {
+		sol.Basis.ExtendTo(bm.m)
+	}
+	if sol, err = solveCanonical(bm, sol.Basis, opts); err != nil {
+		return nil, SolveStats{}, nil, err
+	}
+	totalIters += sol.Iterations
+	if sol, err = priceOut(sol, func(b *lp.Basis) (*lp.Solution, error) { return solveCanonical(bm, b, opts) }); err != nil {
+		return nil, SolveStats{}, nil, err
+	}
+
+	if rec != nil {
+		rec.Add("lp.columns_priced", int64(priced))
+		rec.Add("te.pricing_rounds", int64(rounds))
+		rec.Add("te.tickets_deferred", int64(totalTickets-priced-len(scs)))
+	}
+
+	var p1basis *lp.Basis
+	if !opts.noWarm() && sol.Basis != nil {
+		p1basis = sol.Basis.Clone()
+		if len(p1basis.VarStatus) > baseVars {
+			p1basis.VarStatus = p1basis.VarStatus[:baseVars]
+		}
+		if len(p1basis.RowStatus) > baseRows {
+			p1basis.RowStatus = p1basis.RowStatus[:baseRows]
+		}
+	}
+	// The restricted master only ever grows, so the converged size IS the
+	// peak master size — directly comparable against the full enumeration's
+	// model dimensions.
+	stats := SolveStats{Phase1Vars: bm.m.NumVars(), Phase1Rows: bm.m.NumConstrs(), Phase1Iters: totalIters}
+	return pickWinners(scs, refLoad, sol.X), stats, p1basis, nil
+}

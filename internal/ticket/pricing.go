@@ -1,0 +1,57 @@
+package ticket
+
+// DefaultPricingEps is the reduced-cost tolerance below which a deferred
+// ticket is considered priced out. It is an absolute threshold in the units
+// of the master problem's rows (Gbps for the ARROW phase-I master): a
+// candidate enters only when its reduced cost is < -eps, and column
+// generation terminates when no candidate clears it. Matching
+// lp.DefaultCertTol keeps "priced out" and "certified optimal" consistent.
+const DefaultPricingEps = 1e-6
+
+// PricingOracle finds the most attractive deferred LotteryTicket for one
+// scenario of a restricted master problem.
+//
+// The oracle is deliberately decoupled from the TE layer: the caller
+// supplies the candidate count and two closures, so the same oracle prices
+// any master formulation that can state a per-ticket reduced cost. For the
+// ARROW phase-I master the reduced cost of a deferred ticket's column block
+// is the negated worst violation of its rows at the current master optimum
+// (a satisfied block cannot improve the optimum; a violated one must enter).
+//
+// Determinism contract: Price scans candidates in ascending index order and
+// requires strict improvement to switch, so ties break to the lowest index
+// regardless of how callers fan scenarios out over workers.
+type PricingOracle struct {
+	// Eps is the pricing tolerance; <= 0 means DefaultPricingEps.
+	Eps float64
+}
+
+func (o PricingOracle) eps() float64 {
+	if o.Eps <= 0 {
+		return DefaultPricingEps
+	}
+	return o.Eps
+}
+
+// Price scans candidates z in [0, n), skipping those for which deferred(z)
+// is false (already in the master), and returns the index with the most
+// negative reduced cost along with that cost. It returns (-1, 0) when no
+// deferred candidate's reduced cost is below -Eps — the scenario is priced
+// out.
+func (o PricingOracle) Price(n int, deferred func(z int) bool, reducedCost func(z int) float64) (int, float64) {
+	eps := o.eps()
+	best, bestRC := -1, 0.0
+	for z := 0; z < n; z++ {
+		if !deferred(z) {
+			continue
+		}
+		rc := reducedCost(z)
+		if rc < -eps && rc < bestRC {
+			best, bestRC = z, rc
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, bestRC
+}

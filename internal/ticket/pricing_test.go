@@ -1,0 +1,55 @@
+package ticket
+
+import "testing"
+
+func TestPricingOraclePicksMostNegative(t *testing.T) {
+	rc := []float64{-0.5, -3, -1, -3} // index 1 and 3 tie on value
+	z, got := PricingOracle{}.Price(len(rc),
+		func(int) bool { return true },
+		func(z int) float64 { return rc[z] })
+	if z != 1 || got != -3 {
+		t.Fatalf("Price = (%d, %g), want (1, -3): ties must break to the lowest index", z, got)
+	}
+}
+
+func TestPricingOracleSkipsNonDeferred(t *testing.T) {
+	rc := []float64{-5, -4, -3}
+	z, got := PricingOracle{}.Price(len(rc),
+		func(z int) bool { return z == 2 }, // only index 2 still deferred
+		func(z int) float64 { return rc[z] })
+	if z != 2 || got != -3 {
+		t.Fatalf("Price = (%d, %g), want (2, -3)", z, got)
+	}
+}
+
+func TestPricingOracleEpsThreshold(t *testing.T) {
+	// Reduced costs inside [-eps, 0) are floating-point residue on satisfied
+	// rows, not candidates: the scenario must report priced out.
+	z, rc := PricingOracle{}.Price(3,
+		func(int) bool { return true },
+		func(int) float64 { return -DefaultPricingEps / 2 })
+	if z != -1 || rc != 0 {
+		t.Fatalf("Price = (%d, %g), want (-1, 0) for sub-eps reduced costs", z, rc)
+	}
+	// A custom eps moves the threshold.
+	z, rc = PricingOracle{Eps: 0.1}.Price(2,
+		func(int) bool { return true },
+		func(z int) float64 { return []float64{-0.05, -0.2}[z] })
+	if z != 1 || rc != -0.2 {
+		t.Fatalf("Price = (%d, %g), want (1, -0.2) with eps 0.1", z, rc)
+	}
+}
+
+func TestPricingOraclePricedOut(t *testing.T) {
+	// No deferred candidates at all, and nonnegative reduced costs, both
+	// report priced out as (-1, 0).
+	if z, rc := (PricingOracle{}).Price(4, func(int) bool { return false }, nil); z != -1 || rc != 0 {
+		t.Fatalf("Price over empty deferred set = (%d, %g), want (-1, 0)", z, rc)
+	}
+	z, rc := PricingOracle{}.Price(3,
+		func(int) bool { return true },
+		func(z int) float64 { return float64(z) })
+	if z != -1 || rc != 0 {
+		t.Fatalf("Price = (%d, %g), want (-1, 0) when nothing is violated", z, rc)
+	}
+}
