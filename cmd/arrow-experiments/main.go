@@ -45,6 +45,7 @@ func main() {
 		warm     = flag.Bool("warm", true, "warm-start LP solves from deterministic bases (-warm=false for cold A/B comparison)")
 		colgen   = flag.Bool("colgen", true, "price ticket blocks into the TE master lazily (-colgen=false enumerates every ticket up front for A/B comparison)")
 		force    = flag.Bool("bench-force", false, "overwrite a -bench-json snapshot even when it was measured at a different GOMAXPROCS")
+		health   = flag.Int("health-every", 0, "probe every LP solve's numerical health every N pivots (0 = off; probes never change results)")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -98,7 +99,7 @@ func main() {
 		return
 	}
 
-	cfg := eval.Config{Fast: !*full, Seed: *seed, Parallelism: *parallel, Recorder: sess.Recorder(), NoWarm: !*warm, NoColgen: !*colgen}
+	cfg := eval.Config{Fast: !*full, Seed: *seed, Parallelism: *parallel, Recorder: sess.Recorder(), NoWarm: !*warm, NoColgen: !*colgen, HealthEvery: *health}
 
 	// Independent experiments are themselves scenario-independent jobs:
 	// fan them out on the shared pool and print the rendered outputs in

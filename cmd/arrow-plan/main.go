@@ -53,6 +53,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "arrow-plan: -topo and -demands are required")
 		os.Exit(2)
 	}
+	// The ledger exists before the observability session starts so a
+	// -debug-addr session can stream the planning events live over /events.
+	var led *ledger.Ledger
+	if *ledgerOut != "" || *verbose || obsFlags.DebugAddr != "" {
+		led = ledger.New()
+		if *verbose {
+			led.SetLogger(logger)
+		}
+		obsFlags.SetEventStream(obs.EventSource(func(buf int) obs.EventSub { return led.SubscribeJSON(buf) }))
+	}
 	sess, err := obsFlags.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arrow-plan:", err)
@@ -60,13 +70,6 @@ func main() {
 	}
 	if addr := sess.DebugAddr(); addr != "" {
 		logger.Info("debug listener started", "url", "http://"+addr)
-	}
-	var led *ledger.Ledger
-	if *ledgerOut != "" || *verbose {
-		led = ledger.New()
-		if *verbose {
-			led.SetLogger(logger)
-		}
 	}
 	err = run(*topoFile, *demFile, *out, *roadmDir, *tickets, *cutoff, *seed, *parallel, *naive, !*warm, !*colgen, sess.Recorder(), led)
 	if err == nil && *ledgerOut != "" {

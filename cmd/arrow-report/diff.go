@@ -103,6 +103,11 @@ type diffOptions struct {
 	// cold baseline. A key missing from the new snapshot is a regression —
 	// the run that produced it lost the counter, not the work.
 	requireDrop map[string]float64
+	// maxAnomalies is the absolute ceiling on the new snapshot's
+	// lp.health.anomalies counter (-1 disables the gate). CI runs the
+	// standard probed pipeline with the default of 0: any stall, residual
+	// drift, warm-fallback or cycling suspicion is a regression.
+	maxAnomalies int64
 }
 
 // parseKeyThresholds parses "k1=0.1,k2=0.5" into a per-key map.
@@ -323,6 +328,20 @@ func runDiff(w io.Writer, oldPath, newPath string, opts diffOptions) (int, error
 	if n := newB.counters()["lp.cert_failures"]; n > 0 {
 		fmt.Fprintf(w, "✗ lp.cert_failures = %d in new snapshot (must be 0)\n", n)
 		regressions++
+	}
+
+	// Solver-health anomalies are gated absolutely too (default ceiling 0):
+	// the standard probed pipeline is numerically clean, so any detector
+	// finding — stall, residual drift, warm-repair fallback, cycling
+	// suspicion — is a regression, not a threshold question. -max-anomalies
+	// -1 disables the gate for snapshots taken with probing off.
+	if opts.maxAnomalies >= 0 {
+		if n := newB.counters()["lp.health.anomalies"]; n > opts.maxAnomalies {
+			fmt.Fprintf(w, "✗ lp.health.anomalies = %d in new snapshot (max %d)\n", n, opts.maxAnomalies)
+			regressions++
+		} else {
+			fmt.Fprintf(w, "  lp.health.anomalies = %d (max %d)\n", n, opts.maxAnomalies)
+		}
 	}
 
 	// The restoration-latency ratio is likewise absolute: the emulated

@@ -47,6 +47,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		seed       = fs.Int64("seed", 1, "random seed for -run")
 		parallel   = fs.Int("parallelism", 0, "worker count for -run (0 = NumCPU; results are identical)")
 		noColgen   = fs.Bool("no-colgen", false, "with -run: enumerate every ticket into the TE master up front instead of pricing lazily (A/B reference for the colgen default)")
+		healthEvr  = fs.Int("health-every", 0, "with -run: probe every LP solve's numerical health every N pivots (0 = off; probes never change results)")
 		metricsOut = fs.String("metrics-out", "", "with -run: write the run's metrics snapshot JSON to this path (diffable with -diff)")
 		ledgerIn   = fs.String("ledger", "", "render an existing ledger snapshot JSON instead of running")
 		metricsIn  = fs.String("metrics", "", "metrics snapshot JSON to embed in the report (with -ledger)")
@@ -58,6 +59,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		keyThresh  = fs.String("key-threshold", "", "per-key -diff overrides, e.g. ticket.infeasible=0.1,lp.pivots=0.5 (negative = exempt)")
 		reqDrop    = fs.String("require-drop", "", "with -diff: require counters to SHRINK by at least the fraction, e.g. lp.phase1_pivots=0.4 (missing counter = regression)")
 		minRatio   = fs.Float64("min-latency-ratio", 0, "with -diff: require the new snapshot's emu.latency_ratio gauge to be at least this (0 disables; the paper measures 127x)")
+		maxAnomaly = fs.Int64("max-anomalies", 0, "with -diff: ceiling on the new snapshot's lp.health.anomalies counter (-1 disables the gate)")
 		verbose    = fs.Bool("v", false, "verbose: mirror ledger events to the structured log")
 	)
 	obsFlags := obs.RegisterFlags(fs)
@@ -82,7 +84,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "arrow-report:", err)
 			return 2
 		}
-		regressions, err := runDiff(stdout, fs.Arg(0), fs.Arg(1), diffOptions{threshold: *threshold, perKey: perKey, minLatencyRatio: *minRatio, requireDrop: drops})
+		regressions, err := runDiff(stdout, fs.Arg(0), fs.Arg(1), diffOptions{threshold: *threshold, perKey: perKey, minLatencyRatio: *minRatio, requireDrop: drops, maxAnomalies: *maxAnomaly})
 		if err != nil {
 			fmt.Fprintln(stderr, "arrow-report:", err)
 			return 2
@@ -124,9 +126,28 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		if *verbose {
 			led.SetLogger(logger)
 		}
-		reg := obs.NewRegistry()
-		logger.Info("building recorded pipeline", "seed", *seed, "parallelism", *parallel, "colgen", !*noColgen)
-		if _, _, err := eval.RunRecorded(*seed, *parallel, reg, led, *noColgen); err != nil {
+		// With -debug-addr the run shares the observability session's
+		// registry, so the live /metrics, /healthz and /timeseries endpoints
+		// see the solve as it happens, and /events streams the ledger.
+		obsFlags.SetEventStream(obs.EventSource(func(buf int) obs.EventSub { return led.SubscribeJSON(buf) }))
+		sess, err := obsFlags.Start()
+		if err != nil {
+			fmt.Fprintln(stderr, "arrow-report:", err)
+			return 1
+		}
+		defer sess.Close()
+		reg := sess.Registry()
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		if addr := sess.DebugAddr(); addr != "" {
+			logger.Info("debug server listening", "addr", addr)
+		}
+		logger.Info("building recorded pipeline", "seed", *seed, "parallelism", *parallel, "colgen", !*noColgen, "health_every", *healthEvr)
+		if _, _, err := eval.RunRecordedWith(eval.RunOptions{
+			Seed: *seed, Workers: *parallel, Recorder: reg, Ledger: led,
+			NoColgen: *noColgen, HealthEvery: *healthEvr,
+		}); err != nil {
 			fmt.Fprintln(stderr, "arrow-report:", err)
 			return 1
 		}

@@ -109,6 +109,11 @@ type RunReport struct {
 	// sweep and the reduced-cost trajectory. Absent when the run used full
 	// enumeration (-no-colgen) or the ledger predates pricing events.
 	Pricing *PricingReport `json:"pricing,omitempty"`
+	// SolverHealth is the solver-health observatory section: anomaly
+	// findings, numerical-quality percentiles and per-phase pivot-progress
+	// sparklines. Absent when the run carried no health probes
+	// (-health-every 0, the default).
+	SolverHealth *SolverHealthReport `json:"solver_health,omitempty"`
 	// Metrics embeds the metrics snapshot of the run, when available.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
@@ -192,6 +197,7 @@ func buildReport(snap *ledger.Snapshot, metrics *obs.Snapshot) *RunReport {
 		}
 	}
 	rep.Latency = buildLatency(snap)
+	rep.SolverHealth = buildSolverHealth(snap, metrics)
 	for _, sr := range rep.Scenarios {
 		if sr.HasWinner {
 			fractions = append(fractions, sr.RestoredFraction)
@@ -272,6 +278,9 @@ func renderMarkdown(w io.Writer, rep *RunReport) {
 
 	if rep.Latency != nil {
 		renderLatency(w, rep.Latency)
+	}
+	if rep.SolverHealth != nil {
+		renderSolverHealth(w, rep.SolverHealth)
 	}
 
 	fmt.Fprintf(w, "\n## Solver certificates\n\n")

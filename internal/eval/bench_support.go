@@ -51,13 +51,36 @@ func BuildPipelineInstrumented(seed int64, workers int, rec obs.Recorder, noWarm
 // solves to full ticket enumeration (arrow-report -run -no-colgen), the A/B
 // reference for the column-generation default.
 func RunRecorded(seed int64, workers int, rec obs.Recorder, led *ledger.Ledger, noColgen bool) (*Pipeline, *te.Allocation, error) {
+	return RunRecordedWith(RunOptions{
+		Seed: seed, Workers: workers, Recorder: rec, Ledger: led, NoColgen: noColgen,
+	})
+}
+
+// RunOptions parameterises RunRecordedWith. The zero value runs the
+// standard instance serially with no sinks attached.
+type RunOptions struct {
+	Seed     int64
+	Workers  int
+	Recorder obs.Recorder
+	Ledger   *ledger.Ledger
+	NoColgen bool
+	// HealthEvery probes every LP solve's numerical health at this pivot
+	// period (0 = off); see PipelineOptions.HealthEvery.
+	HealthEvery int
+}
+
+// RunRecordedWith is RunRecorded with the full option set, notably the
+// solver-health probe period behind cmd/arrow-report -run -health-every.
+func RunRecordedWith(opts RunOptions) (*Pipeline, *te.Allocation, error) {
+	seed := opts.Seed
 	tp, err := topo.B4(seed + 5)
 	if err != nil {
 		return nil, nil, err
 	}
 	pl, err := BuildPipeline(tp, PipelineOptions{
 		Cutoff: 0.001, NumTickets: 12, Seed: seed, MaxScenarios: 16,
-		Parallelism: workers, Recorder: rec, Ledger: led, NoColgen: noColgen,
+		Parallelism: opts.Workers, Recorder: opts.Recorder, Ledger: opts.Ledger,
+		NoColgen: opts.NoColgen, HealthEvery: opts.HealthEvery,
 	})
 	if err != nil {
 		return nil, nil, err

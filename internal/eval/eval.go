@@ -38,6 +38,10 @@ type Config struct {
 	// arrow-experiments -colgen=false for A/B comparison against the lazy
 	// pricing default; both modes produce identical winning tickets.
 	NoColgen bool
+	// HealthEvery probes every LP solve for numerical health at this pivot
+	// period (0 = off). Exposed as arrow-experiments -health-every; probes
+	// only read solver state and never change any result.
+	HealthEvery int
 }
 
 // Result is one regenerated table or figure.

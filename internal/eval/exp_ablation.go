@@ -91,7 +91,7 @@ func runAblationAlpha(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: 20, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm, NoColgen: cfg.NoColgen})
+	pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: 20, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm, NoColgen: cfg.NoColgen, HealthEvery: cfg.HealthEvery})
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +104,7 @@ func runAblationAlpha(cfg Config) (*Result, error) {
 	r := &Result{ID: "ablation-alpha", Title: "ARROW vs Phase I slack bound (B4, 4.2x demand)",
 		Header: []string{"alpha", "throughput", "availability"}}
 	for _, alpha := range []float64{0.2, 0.1, 0.05} {
-		al, err := te.Arrow(n, pl.Scenarios, &te.ArrowOptions{Alpha: alpha, NoWarm: cfg.NoWarm, NoColgen: cfg.NoColgen})
+		al, err := te.Arrow(n, pl.Scenarios, &te.ArrowOptions{Alpha: alpha, NoWarm: cfg.NoWarm, NoColgen: cfg.NoColgen, HealthEvery: cfg.HealthEvery})
 		if err != nil {
 			return nil, err
 		}
@@ -125,7 +125,7 @@ func runAblationStride(cfg Config) (*Result, error) {
 	r := &Result{ID: "ablation-stride", Title: "ARROW vs rounding stride (B4, 4.2x demand, |Z|=20)",
 		Header: []string{"delta", "distinct feasible tickets/scenario", "throughput"}}
 	for _, delta := range []int{1, 2, 3, 5} {
-		pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: 20, Stride: delta, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm, NoColgen: cfg.NoColgen})
+		pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: 20, Stride: delta, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm, NoColgen: cfg.NoColgen, HealthEvery: cfg.HealthEvery})
 		if err != nil {
 			return nil, err
 		}

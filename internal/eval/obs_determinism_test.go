@@ -26,12 +26,15 @@ func pipelineFingerprint(p *Pipeline) string {
 }
 
 // ledgerBag canonicalises a ledger into a multiset of events with the
-// schedule-dependent sequence numbers erased, for cross-worker-count
-// comparison.
+// schedule-dependent fields erased — sequence numbers, and the certificate
+// pointer (whose address %+v would otherwise format; certificate CONTENT
+// is validated by the solvers themselves on every solve) — for
+// cross-worker-count comparison.
 func ledgerBag(l *ledger.Ledger) map[string]int {
 	bag := map[string]int{}
 	for _, ev := range l.Events() {
 		ev.Seq = 0
+		ev.Cert = nil
 		bag[fmt.Sprintf("%+v", ev)]++
 	}
 	return bag

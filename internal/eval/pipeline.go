@@ -41,6 +41,7 @@ type Pipeline struct {
 	noWarm          bool
 	noColgen        bool
 	parallelism     int
+	healthEvery     int
 }
 
 // PipelineOptions configures pipeline construction.
@@ -89,6 +90,12 @@ type PipelineOptions struct {
 	// every Parallelism; the switch exists for A/B comparison of pivot
 	// counts and master sizes.
 	NoColgen bool
+	// HealthEvery probes every LP the pipeline issues (the per-scenario RWA
+	// assignment solves and, via SolveScheme, the TE masters) for numerical
+	// health every HealthEvery pivots (see lp.Options.HealthEvery). Zero
+	// keeps probing off. Probes only read solver state: results are
+	// byte-identical probed or not, at every Parallelism.
+	HealthEvery int
 }
 
 // solveRWA is rwa.Solve behind a seam so tests can inject failures into
@@ -142,6 +149,7 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 		Topo: tp, Set: set, baseUtilization: opts.BaseUtilization,
 		rec: opts.Recorder, led: opts.Ledger,
 		noWarm: opts.NoWarm, noColgen: opts.NoColgen, parallelism: opts.Parallelism,
+		healthEvery: opts.HealthEvery,
 	}
 
 	// Pre-build the lazily-memoised optical graph once, on this goroutine,
@@ -159,10 +167,15 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 			Net: tp.Opt, Cut: set.Scenarios[si].Cut, K: opts.K,
 			AllowTuning: true, AllowModulationChange: true,
 			Recorder: opts.Recorder, NoWarm: opts.NoWarm,
+			HealthEvery: opts.HealthEvery,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("eval: scenario %d rwa: %w", si, err)
 		}
+		// Solver-health events are tagged with the ENUMERATED scenario index
+		// (like ticket events), so the stream is a schedule-independent bag
+		// at any worker count.
+		ledger.EmitSolverHealth(opts.Ledger, si, "rwa-assign", res.Health)
 		a := &scenarioArtifacts{res: res}
 		if len(res.Failed) == 0 {
 			return a, nil // cut touches no IP link: irrelevant to the TE
@@ -294,13 +307,13 @@ func (p *Pipeline) SolveScheme(s Scheme, n *te.Network) (*te.Allocation, []map[i
 	// the options stay nil exactly as before (nil defaults to colgen on,
 	// serial pricing — same results, just an unfanned pricing sweep).
 	var arrowOpts *te.ArrowOptions
-	if p.rec != nil || p.led != nil || p.noWarm || p.noColgen || p.parallelism > 1 {
+	if p.rec != nil || p.led != nil || p.noWarm || p.noColgen || p.parallelism > 1 || p.healthEvery > 0 {
 		arrowOpts = &te.ArrowOptions{
 			Ledger: p.led, NoWarm: p.noWarm,
 			NoColgen: p.noColgen, Parallelism: p.parallelism,
 		}
-		if p.rec != nil {
-			arrowOpts.LP = &lp.Options{Recorder: p.rec}
+		if p.rec != nil || p.healthEvery > 0 {
+			arrowOpts.LP = &lp.Options{Recorder: p.rec, HealthEvery: p.healthEvery}
 		}
 	}
 	switch s {

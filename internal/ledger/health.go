@@ -1,0 +1,59 @@
+package ledger
+
+import (
+	"github.com/arrow-te/arrow/internal/lp"
+)
+
+// healthSeriesMax caps the per-phase objective trajectory carried by a
+// KindSolverHealth event. The report's sparklines render at terminal width
+// anyway, and unbounded series would bloat ledger JSON on long solves.
+const healthSeriesMax = 32
+
+// downsampleSeries thins s to at most max points, always keeping the first
+// and last. Index selection is a pure function of len(s), so identical
+// solves produce identical series regardless of worker scheduling.
+func downsampleSeries(s []float64, max int) []float64 {
+	if len(s) <= max {
+		return append([]float64(nil), s...)
+	}
+	out := make([]float64, max)
+	last := len(s) - 1
+	for i := 0; i < max; i++ {
+		out[i] = s[i*last/(max-1)]
+	}
+	return out
+}
+
+// EmitSolverHealth records one probed solve's health into the ledger: one
+// KindSolverAnomaly event per detector finding, then one KindSolverHealth
+// summary per phase that recorded probes. Nil-safe on both arguments; a
+// solve with no probes and no anomalies emits nothing.
+func EmitSolverHealth(l *Ledger, scenario int, solver string, h *lp.HealthReport) {
+	if l == nil || h == nil {
+		return
+	}
+	for _, a := range h.Anomalies {
+		l.Emit(Event{
+			Kind: KindSolverAnomaly, Scenario: scenario, Solver: solver,
+			Anomaly: string(a.Reason), Phase: a.Phase, Iter: a.Iter,
+			Value: a.Value, Detail: a.Detail,
+		})
+	}
+	for _, phase := range []int{1, 2} {
+		series := h.PhaseSeries(phase)
+		if len(series) == 0 {
+			continue
+		}
+		worst := 0.0
+		for _, s := range h.Samples {
+			if s.Phase == phase && s.ResidualInf > worst {
+				worst = s.ResidualInf
+			}
+		}
+		l.Emit(Event{
+			Kind: KindSolverHealth, Scenario: scenario, Solver: solver,
+			Phase: phase, Count: len(series), Value: worst,
+			Series: downsampleSeries(series, healthSeriesMax),
+		})
+	}
+}

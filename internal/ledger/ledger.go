@@ -80,6 +80,17 @@ const (
 	// restoration episode (failure detection, a ROADM wave, one amplifier's
 	// settling, LACP re-aggregation, TE apply) on the emulated clock.
 	KindEmuStage Kind = "emu_stage"
+	// KindSolverAnomaly records one typed numerical-health finding from an
+	// LP solve run with health probes (lp.Options.HealthEvery): Solver names
+	// the model, Anomaly carries the reason code (stall, residual_drift,
+	// warm_repair_fallback, cycling_suspect), Phase/Iter locate it in the
+	// solve, Value is the reason-specific magnitude and Detail elaborates.
+	KindSolverAnomaly Kind = "solver_anomaly"
+	// KindSolverHealth summarises one probed solve per phase: Count is the
+	// probe count, Value the worst primal residual, and Series the
+	// (downsampled) per-probe objective trajectory — the pivot-progress
+	// sparkline data of the report.
+	KindSolverHealth Kind = "solver_health"
 )
 
 // RejectReason classifies a dropped LotteryTicket.
@@ -162,6 +173,18 @@ type Event struct {
 	// RestoringH is time spent inside restoration-latency windows, in
 	// hours (KindSimSummary of a latency-aware replay).
 	RestoringH float64 `json:"restoring_h,omitempty"`
+	// Anomaly is the solver-health reason code (KindSolverAnomaly).
+	Anomaly string `json:"anomaly,omitempty"`
+	// Phase is the simplex phase of a solver-health event (1 or 2; 0 when
+	// the finding precedes phase entry).
+	Phase int `json:"phase,omitempty"`
+	// Iter is the pivot count a solver-health finding anchors to.
+	Iter int `json:"iter,omitempty"`
+	// Value is the reason-specific magnitude of a solver-health event.
+	Value float64 `json:"value,omitempty"`
+	// Series is the downsampled per-probe objective trajectory of one phase
+	// (KindSolverHealth).
+	Series []float64 `json:"series,omitempty"`
 	// Detail carries free-form context (kept short; not for hot paths).
 	Detail string `json:"detail,omitempty"`
 }
@@ -175,6 +198,7 @@ type Ledger struct {
 	seq    int64
 	events []Event
 	logger *slog.Logger
+	subs   []*Subscription
 }
 
 // New returns an empty ledger.
@@ -201,7 +225,15 @@ func (l *Ledger) Emit(ev Event) {
 	ev.Seq = l.seq
 	l.events = append(l.events, ev)
 	lg := l.logger
+	var subs []*Subscription
+	if len(l.subs) > 0 {
+		l.pruneClosedLocked()
+		subs = append(subs, l.subs...)
+	}
 	l.mu.Unlock()
+	if len(subs) > 0 {
+		l.publish(&ev, subs)
+	}
 	if lg != nil {
 		lg.LogAttrs(context.Background(), slog.LevelDebug, "ledger",
 			slog.String("kind", string(ev.Kind)),

@@ -1,0 +1,152 @@
+package ledger
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"github.com/arrow-te/arrow/internal/lp"
+)
+
+func TestSubscribeJSONDelivers(t *testing.T) {
+	l := New()
+	l.Emit(Event{Kind: KindEnumerated, Scenario: -1, Count: 3}) // pre-subscription: not replayed
+	sub := l.SubscribeJSON(8)
+	defer sub.Close()
+	l.Emit(Event{Kind: KindWinner, Scenario: 2, Gbps: 40})
+	l.Emit(Event{Kind: KindSolverAnomaly, Scenario: 1, Solver: "arrow-phase2", Anomaly: "stall", Phase: 2, Iter: 64})
+
+	var got []Event
+	for i := 0; i < 2; i++ {
+		line := <-sub.Events()
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v (%s)", i, err, line)
+		}
+		got = append(got, ev)
+	}
+	if got[0].Kind != KindWinner || got[0].Scenario != 2 {
+		t.Fatalf("first delivered event %+v", got[0])
+	}
+	if got[1].Kind != KindSolverAnomaly || got[1].Anomaly != "stall" || got[1].Phase != 2 {
+		t.Fatalf("second delivered event %+v", got[1])
+	}
+	if d := sub.Dropped(); d != 0 {
+		t.Fatalf("dropped %d on an idle subscriber", d)
+	}
+}
+
+func TestSubscribeJSONSlowClientDrops(t *testing.T) {
+	l := New()
+	sub := l.SubscribeJSON(2)
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		l.Emit(Event{Kind: KindWinner, Scenario: i})
+	}
+	// Buffer 2: the first two events queue, the other eight drop.
+	if d := sub.Dropped(); d != 8 {
+		t.Fatalf("dropped = %d, want 8", d)
+	}
+	// The queued events are still intact and in order.
+	var first Event
+	if err := json.Unmarshal(<-sub.Events(), &first); err != nil || first.Scenario != 0 {
+		t.Fatalf("first queued event %+v err %v", first, err)
+	}
+	// Ledger history is unaffected by subscriber drops.
+	if l.Len() != 10 {
+		t.Fatalf("ledger len %d", l.Len())
+	}
+}
+
+func TestSubscriptionCloseDetaches(t *testing.T) {
+	l := New()
+	sub := l.SubscribeJSON(1)
+	sub.Close()
+	sub.Close()                     // idempotent
+	l.Emit(Event{Kind: KindWinner}) // must not panic on the closed channel
+	if _, ok := <-sub.Events(); ok {
+		t.Fatal("closed subscription still delivering")
+	}
+	if d := sub.Dropped(); d != 0 {
+		t.Fatalf("dropped %d after close", d)
+	}
+}
+
+func TestSubscribeJSONNilLedger(t *testing.T) {
+	var l *Ledger
+	if sub := l.SubscribeJSON(4); sub != nil {
+		t.Fatal("nil ledger returned a subscription")
+	}
+}
+
+func TestEmitSolverHealth(t *testing.T) {
+	l := New()
+	h := &lp.HealthReport{
+		Every: 8,
+		Samples: []lp.HealthSample{
+			{Iter: 8, Phase: 1, Obj: 5, ResidualInf: 1e-10},
+			{Iter: 16, Phase: 1, Obj: 0, ResidualInf: 3e-10},
+			{Iter: 24, Phase: 2, Obj: -2, ResidualInf: 2e-10},
+		},
+		Anomalies: []lp.Anomaly{
+			{Reason: lp.AnomalyStall, Phase: 1, Iter: 16, Value: 0, Detail: "flat"},
+		},
+	}
+	EmitSolverHealth(l, 3, "arrow-phase1", h)
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events %d, want 1 anomaly + 2 phase summaries: %+v", len(evs), evs)
+	}
+	if evs[0].Kind != KindSolverAnomaly || evs[0].Anomaly != "stall" || evs[0].Scenario != 3 || evs[0].Solver != "arrow-phase1" {
+		t.Fatalf("anomaly event %+v", evs[0])
+	}
+	if evs[1].Kind != KindSolverHealth || evs[1].Phase != 1 || evs[1].Count != 2 {
+		t.Fatalf("phase-1 summary %+v", evs[1])
+	}
+	if !reflect.DeepEqual(evs[1].Series, []float64{5, 0}) {
+		t.Fatalf("phase-1 series %v", evs[1].Series)
+	}
+	if evs[1].Value != 3e-10 {
+		t.Fatalf("phase-1 worst residual %g", evs[1].Value)
+	}
+	if evs[2].Phase != 2 || !reflect.DeepEqual(evs[2].Series, []float64{-2}) {
+		t.Fatalf("phase-2 summary %+v", evs[2])
+	}
+
+	// Nil-safety and the empty report.
+	EmitSolverHealth(nil, 0, "x", h)
+	EmitSolverHealth(l, 0, "x", nil)
+	EmitSolverHealth(l, 0, "x", &lp.HealthReport{Every: 8})
+	if l.Len() != 3 {
+		t.Fatalf("nil/empty emission appended events: len %d", l.Len())
+	}
+}
+
+func TestDownsampleSeries(t *testing.T) {
+	long := make([]float64, 100)
+	for i := range long {
+		long[i] = float64(i)
+	}
+	got := downsampleSeries(long, 32)
+	if len(got) != 32 {
+		t.Fatalf("len %d", len(got))
+	}
+	if got[0] != 0 || got[31] != 99 {
+		t.Fatalf("endpoints %g %g, want 0 and 99", got[0], got[31])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("order violated at %d: %v", i, got)
+		}
+	}
+	short := []float64{1, 2, 3}
+	if s := downsampleSeries(short, 32); !reflect.DeepEqual(s, short) {
+		t.Fatalf("short series altered: %v", s)
+	}
+	// Must be a copy, not an alias.
+	s := downsampleSeries(short, 32)
+	s[0] = 9
+	if short[0] != 1 {
+		t.Fatal("downsample aliased its input")
+	}
+}

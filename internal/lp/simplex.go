@@ -53,6 +53,9 @@ type Solution struct {
 	Basis *Basis
 	// Warm reports what the warm-start machinery did; nil on cold solves.
 	Warm *WarmInfo
+	// Health is the numerical-health probe record; nil unless the solve ran
+	// with Options.HealthEvery > 0.
+	Health *HealthReport
 }
 
 // Options tunes the simplex solver. The zero value selects defaults.
@@ -66,6 +69,14 @@ type Options struct {
 	// solve and flush once at the end, so a nil Recorder costs nothing and
 	// a live one never perturbs the pivot sequence.
 	Recorder obs.Recorder
+	// HealthEvery enables numerical-health probes every HealthEvery pivots
+	// (0, the default, disables them). Each probe records objective
+	// progress, the primal residual ‖Ax−b‖∞, the degenerate-pivot ratio and
+	// eta-file depth, and feeds the stall / residual-drift / cycling
+	// detectors; results land in Solution.Health and, via Recorder, in the
+	// lp.health.* metrics. Probes only read solver state: the pivot
+	// sequence is identical with probes on or off.
+	HealthEvery int
 }
 
 // withDefaults resolves the effective solver settings. Zero values select
@@ -79,6 +90,9 @@ func (o *Options) withDefaults(rows, cols int) Options {
 		return v
 	}
 	v.Recorder = o.Recorder
+	if o.HealthEvery > 0 {
+		v.HealthEvery = o.HealthEvery
+	} // HealthEvery <= 0: probes stay off
 	if o.MaxIter > 0 {
 		v.MaxIter = o.MaxIter
 	} // MaxIter < 0: clamped to the default
@@ -163,6 +177,10 @@ type simplex struct {
 	degenTotal  int
 	maxEtaDepth int
 	cert        *Certificate
+
+	// health is the probe machinery (see health.go); nil unless
+	// Options.HealthEvery > 0.
+	health *healthState
 }
 
 type eta struct {
@@ -231,6 +249,9 @@ func newSimplex(m *Model, opts *Options) (*simplex, error) {
 	for j := 0; j < nStr+nRow; j++ {
 		sx.nnz += len(sx.cols[j].rows)
 	}
+	if sx.opt.HealthEvery > 0 {
+		sx.health = newHealthState(sx.opt.HealthEvery, nRow)
+	}
 	return sx, nil
 }
 
@@ -254,6 +275,7 @@ func initialValue(lb, ub float64) (float64, int8) {
 func (sx *simplex) run() (*Solution, error) {
 	sol, err := sx.solve()
 	if err == nil {
+		sx.attachHealth(sol)
 		sx.flushMetrics()
 	}
 	return sol, err
@@ -302,6 +324,7 @@ func (sx *simplex) flushMetrics() {
 			r.Add("lp.cert_failures", 1)
 		}
 	}
+	sx.flushHealthMetrics(r)
 }
 
 func (sx *simplex) solve() (*Solution, error) {
@@ -573,6 +596,9 @@ func (sx *simplex) iterate(cost []float64, phase1 bool) (Status, error) {
 		sx.btran(cb, sx.y)
 
 		useBland := sx.degenerate > 3*(sx.nRow+10)
+		if useBland && sx.health != nil {
+			sx.healthNoteCycling(phase1)
+		}
 		enter, dir := sx.price(cost, sx.y, useBland)
 		if enter < 0 {
 			return StatusOptimal, nil
@@ -601,6 +627,9 @@ func (sx *simplex) iterate(cost []float64, phase1 bool) (Status, error) {
 			}
 		}
 		sx.iters++
+		if sx.health != nil && sx.iters%sx.health.every == 0 {
+			sx.healthProbe(cost, phase1)
+		}
 		if len(sx.etas) >= sx.opt.Refactor {
 			if err := sx.refactorize(); err != nil {
 				return 0, err

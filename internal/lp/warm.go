@@ -159,6 +159,7 @@ func SolveWithBasis(m *Model, basis *Basis, opts *Options) (*Solution, error) {
 	}
 	sol, err := sx.solveWarm(basis)
 	if err == nil {
+		sx.attachHealth(sol)
 		sx.flushMetrics()
 	}
 	return sol, err
@@ -172,8 +173,7 @@ func (sx *simplex) solveWarm(wb *Basis) (*Solution, error) {
 	sx.warm = wi
 	coldArts := sx.countColdArtificials()
 	if !sx.installWarmBasis(wb, wi) || !sx.warmFactorize(wi) {
-		sx.resetForCold()
-		return sx.solve()
+		return sx.warmFallbackCold(wi)
 	}
 	wi.Accepted = true
 	if sx.maxBasicViolation() <= sx.opt.FeasTol*10 {
@@ -467,6 +467,17 @@ func (sx *simplex) swapInfeasibleSlacks() bool {
 		sx.startingArts++
 	}
 	return true
+}
+
+// warmFallbackCold abandons an unrepairable warm basis and restarts cold,
+// recording the warm_repair_fallback health anomaly when probes are on.
+func (sx *simplex) warmFallbackCold(wi *WarmInfo) (*Solution, error) {
+	if sx.health != nil {
+		sx.health.note(AnomalyWarmRepairFallback, 0, 0, float64(wi.Repairs),
+			"warm basis unrepairable; solve fell back to a cold start")
+	}
+	sx.resetForCold()
+	return sx.solve()
 }
 
 // resetForCold rewinds a failed warm attempt so solve() starts from a

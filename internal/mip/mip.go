@@ -166,13 +166,14 @@ func Solve(m *lp.Model, opts *Options) (*Solution, error) {
 	open := []*node{{lb: map[lp.Var]float64{}, ub: map[lp.Var]float64{}, bound: math.Inf(-1)}}
 	nodes := 0
 	sawIterLimit := false
-	pruned, incumbents := 0, 0
+	pruned, incumbents, unhealthy := 0, 0, 0
 	defer func() {
 		if r := opt.Recorder; r != nil {
 			r.Add("mip.solves", 1)
 			r.Add("mip.nodes", int64(nodes))
 			r.Add("mip.pruned", int64(pruned))
 			r.Add("mip.incumbents", int64(incumbents))
+			r.Add("mip.unhealthy_nodes", int64(unhealthy))
 			r.Observe("mip.nodes_per_solve", float64(nodes))
 		}
 	}()
@@ -221,6 +222,12 @@ func Solve(m *lp.Model, opts *Options) (*Solution, error) {
 		}
 		if err != nil {
 			return nil, err
+		}
+		if rel.Health != nil && len(rel.Health.Anomalies) > 0 {
+			// Per-node tally on top of the lp.health.* counters the LP layer
+			// already flushed: "how many B&B nodes had an unhealthy
+			// relaxation" localises the search region that misbehaved.
+			unhealthy++
 		}
 		switch rel.Status {
 		case lp.StatusInfeasible:

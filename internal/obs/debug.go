@@ -7,10 +7,11 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
 
-// DebugServer is a running diagnostics listener (see Serve).
+// DebugServer is a running diagnostics listener (see Serve / ServeWith).
 type DebugServer struct {
 	srv  *http.Server
 	addr string
@@ -28,19 +29,53 @@ func (d *DebugServer) Close() { d.srv.Close() }
 // closes.
 func (d *DebugServer) Done() <-chan struct{} { return d.done }
 
-// Serve starts the diagnostics HTTP listener on addr:
+// ServeOpts selects the export surfaces of a debug listener. Every field
+// is optional; zero fields disable their endpoints (404).
+type ServeOpts struct {
+	// Registry backs /metrics (JSON and Prometheus text) and /healthz.
+	Registry *Registry
+	// Events backs the /events SSE stream (wire a ledger with a one-line
+	// adapter; see EventSource).
+	Events EventSource
+	// Sampler backs /timeseries with its ring-buffer window. The caller
+	// owns the sampler's Start/Stop lifecycle.
+	Sampler *Sampler
+}
+
+// wantProm reports whether the request negotiated the Prometheus text
+// exposition: either ?format=prom (explicit, scrape-config friendly) or an
+// Accept header preferring text/plain (the Prometheus scraper sends
+// "text/plain;version=0.0.4" variants) or OpenMetrics.
+func wantProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
+// ServeWith starts the diagnostics HTTP listener on addr:
 //
 //	/debug/pprof/...  net/http/pprof (profile, heap, goroutine, trace, ...)
 //	/debug/vars       expvar (memstats, cmdline)
-//	/metrics          live JSON snapshot of reg (404 when reg is nil)
+//	/metrics          live snapshot of the registry: JSON by default,
+//	                  Prometheus text exposition with ?format=prom or an
+//	                  Accept header preferring text/plain
+//	/healthz          aggregated solver anomaly state (200 healthy / 503)
+//	/events           SSE stream of ledger events (slow clients drop)
+//	/timeseries       sampler ring-buffer window as JSON
 //
 // Binding failures are reported immediately rather than from the serving
 // goroutine.
-func Serve(addr string, reg *Registry) (*DebugServer, error) {
+func ServeWith(addr string, opts ServeOpts) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listener: %w", err)
 	}
+	reg := opts.Registry
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -48,13 +83,32 @@ func Serve(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if reg == nil {
 			http.Error(w, "metrics registry disabled", http.StatusNotFound)
 			return
 		}
+		if wantProm(r) {
+			w.Header().Set("Content-Type", PromContentType)
+			if err := WritePromText(w, reg.Snapshot()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", healthzHandler(reg))
+	mux.HandleFunc("/events", sseHandler(opts.Events, reg))
+	mux.HandleFunc("/timeseries", func(w http.ResponseWriter, _ *http.Request) {
+		if opts.Sampler == nil {
+			http.Error(w, "sampler disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := opts.Sampler.WriteJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -63,11 +117,24 @@ func Serve(addr string, reg *Registry) (*DebugServer, error) {
 	return &DebugServer{srv: srv, addr: ln.Addr().String(), done: make(chan struct{})}, nil
 }
 
-// ServeContext starts the diagnostics listener like Serve and additionally
-// shuts it down gracefully (in-flight requests drain, bounded by a 5 s
-// deadline) when ctx is cancelled. Done() closes once shutdown completes.
+// Serve starts the diagnostics listener with only the registry surfaces
+// enabled (the original debug-server shape; see ServeWith for the full
+// export plane).
+func Serve(addr string, reg *Registry) (*DebugServer, error) {
+	return ServeWith(addr, ServeOpts{Registry: reg})
+}
+
+// ServeContext starts the diagnostics listener like ServeWith and
+// additionally shuts it down gracefully (in-flight requests drain, bounded
+// by a 5 s deadline) when ctx is cancelled. Done() closes once shutdown
+// completes.
 func ServeContext(ctx context.Context, addr string, reg *Registry) (*DebugServer, error) {
-	d, err := Serve(addr, reg)
+	return ServeContextWith(ctx, addr, ServeOpts{Registry: reg})
+}
+
+// ServeContextWith is ServeWith plus graceful context-driven shutdown.
+func ServeContextWith(ctx context.Context, addr string, opts ServeOpts) (*DebugServer, error) {
+	d, err := ServeWith(addr, opts)
 	if err != nil {
 		return nil, err
 	}

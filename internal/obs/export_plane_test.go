@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeSub is a test EventSub backed by a plain channel.
+type fakeSub struct {
+	ch      chan []byte
+	dropped atomic.Int64
+	closed  atomic.Bool
+}
+
+func (f *fakeSub) Events() <-chan []byte { return f.ch }
+func (f *fakeSub) Dropped() int64        { return f.dropped.Load() }
+func (f *fakeSub) Close() {
+	if f.closed.CompareAndSwap(false, true) {
+		close(f.ch)
+	}
+}
+
+// TestMetricsContentNegotiation covers the /metrics dual exposition: JSON
+// by default, Prometheus text via ?format=prom or an Accept header, and
+// ?format=json forcing JSON even against a prom Accept header.
+func TestMetricsContentNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add("lp.pivots", 11)
+	srv, err := ServeWith("127.0.0.1:0", ServeOpts{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Default: JSON snapshot.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("default /metrics not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if snap.Counters["lp.pivots"] != 11 {
+		t.Errorf("JSON snapshot lp.pivots = %d", snap.Counters["lp.pivots"])
+	}
+
+	// ?format=prom: text exposition, correct content type, scraper-parseable.
+	resp, err = http.Get(base + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != PromContentType {
+		t.Errorf("prom content type %q", ct)
+	}
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	resp.Body.Close()
+	samples := parsePromText(t, sb.String())
+	if samples["arrow_lp_pivots_total"] != 11 {
+		t.Errorf("prom exposition lp.pivots = %g", samples["arrow_lp_pivots_total"])
+	}
+
+	// Accept header negotiation, the way a Prometheus scraper asks.
+	req, _ := http.NewRequest("GET", base+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain;version=0.0.4;q=0.5,*/*;q=0.1")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != PromContentType {
+		t.Errorf("Accept-negotiated content type %q, want prom text", ct)
+	}
+
+	// Explicit ?format=json wins over the Accept header.
+	req, _ = http.NewRequest("GET", base+"/metrics?format=json", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("format=json content type %q", ct)
+	}
+}
+
+// TestHealthzFlips covers the aggregated anomaly endpoint: 200 while the
+// gate counters are zero, 503 with a violation breakdown once an anomaly
+// lands.
+func TestHealthzFlips(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := ServeWith("127.0.0.1:0", ServeOpts{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthy /healthz status %d: %s", code, body)
+	}
+	var st HealthStatus
+	if err := json.Unmarshal(body, &st); err != nil || !st.Healthy {
+		t.Fatalf("healthy payload %s (err %v)", body, err)
+	}
+
+	reg.Add("lp.health.anomalies", 2)
+	reg.Add("lp.health.anomaly.stall", 2)
+	code, body = get(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("anomalous /healthz status %d, want 503", code)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Healthy || st.Violations["lp.health.anomalies"] != 2 || st.Anomalies["stall"] != 2 {
+		t.Errorf("anomalous payload %s", body)
+	}
+
+	// Nil registry: always healthy (nothing instrumented).
+	if h := Health(nil); !h.Healthy {
+		t.Error("nil registry reported unhealthy")
+	}
+}
+
+// TestSSEStreamDelivery covers the /events live stream: frames arrive as
+// `data: <json>` SSE records, and the subscription is closed (with its
+// drop count folded into obs.sse.dropped_events) when the client goes
+// away.
+func TestSSEStreamDelivery(t *testing.T) {
+	reg := NewRegistry()
+	sub := &fakeSub{ch: make(chan []byte, 4)}
+	src := EventSource(func(buf int) EventSub { return sub })
+	srv, err := ServeWith("127.0.0.1:0", ServeOpts{Registry: reg, Events: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sub.ch <- []byte(`{"kind":"solver_anomaly","anomaly":"stall"}`)
+	sub.dropped.Store(5)
+
+	resp, err := http.Get("http://" + srv.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var gotRetry, gotData bool
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "retry:") {
+			gotRetry = true
+		}
+		if line == `data: {"kind":"solver_anomaly","anomaly":"stall"}` {
+			gotData = true
+			break
+		}
+	}
+	if !gotRetry || !gotData {
+		t.Fatalf("SSE frames missing: retry=%v data=%v", gotRetry, gotData)
+	}
+	resp.Body.Close() // client disconnects
+
+	// The handler's deferred cleanup closes the sub and accounts drops.
+	deadline := time.After(5 * time.Second)
+	for !sub.closed.Load() {
+		select {
+		case <-deadline:
+			t.Fatal("subscription not closed after client disconnect")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	for reg.Counter("obs.sse.dropped_events") != 5 {
+		select {
+		case <-deadline:
+			t.Fatalf("obs.sse.dropped_events = %d, want 5",
+				reg.Counter("obs.sse.dropped_events"))
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestSSEDisabled pins /events and /timeseries behaviour when their
+// backends are absent: 404, not a hang or crash.
+func TestSSEDisabled(t *testing.T) {
+	srv, err := ServeWith("127.0.0.1:0", ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	if code, _ := get(t, base+"/events"); code != http.StatusNotFound {
+		t.Errorf("/events without source: status %d, want 404", code)
+	}
+	if code, _ := get(t, base+"/timeseries"); code != http.StatusNotFound {
+		t.Errorf("/timeseries without sampler: status %d, want 404", code)
+	}
+
+	// A source whose subscription is nil (e.g. nil ledger) is also a 404.
+	nilSrc := EventSource(func(buf int) EventSub { return nil })
+	srv2, err := ServeWith("127.0.0.1:0", ServeOpts{Events: nilSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if code, _ := get(t, "http://"+srv2.Addr()+"/events"); code != http.StatusNotFound {
+		t.Errorf("/events with nil subscription: status %d, want 404", code)
+	}
+}
+
+// TestTimeseriesEndpoint covers /timeseries: the sampler's ring window as
+// JSON.
+func TestTimeseriesEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add("lp.solves", 3)
+	s := NewSampler(reg, 2*time.Second, 8)
+	s.Sample(time.UnixMilli(7_000))
+	srv, err := ServeWith("127.0.0.1:0", ServeOpts{Registry: reg, Sampler: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := get(t, "http://"+srv.Addr()+"/timeseries")
+	if code != http.StatusOK {
+		t.Fatalf("/timeseries status %d", code)
+	}
+	var doc struct {
+		IntervalMs int64                    `json:"interval_ms"`
+		Series     map[string][]SeriesPoint `json:"series"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/timeseries JSON: %v\n%s", err, body)
+	}
+	if doc.IntervalMs != 2000 {
+		t.Errorf("interval_ms %d", doc.IntervalMs)
+	}
+	if pts := doc.Series["counter:lp.solves"]; len(pts) != 1 || pts[0].V != 3 {
+		t.Errorf("series %v", doc.Series["counter:lp.solves"])
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// healthGateCounters are the registry counters that must be zero for the
+// process to report healthy: solver-health anomalies (stalls, residual
+// drift, warm-fallback storms, cycling) and failed optimality
+// certificates. Everything under lp.health.anomaly.* is folded into the
+// lp.health.anomalies aggregate already, so gating on the aggregate plus
+// cert failures covers the whole detector family.
+var healthGateCounters = []string{
+	"lp.health.anomalies",
+	"lp.cert_failures",
+}
+
+// HealthStatus is the /healthz payload: live anomaly state aggregated from
+// the registry.
+type HealthStatus struct {
+	Healthy bool `json:"healthy"`
+	// Violations maps each non-zero gate counter to its value.
+	Violations map[string]int64 `json:"violations,omitempty"`
+	// Anomalies breaks lp.health.anomalies down by reason code.
+	Anomalies map[string]int64 `json:"anomalies,omitempty"`
+}
+
+// Health aggregates the registry's live anomaly state. A nil registry is
+// healthy (nothing is instrumented, so nothing is known to be wrong).
+func Health(reg *Registry) HealthStatus {
+	st := HealthStatus{Healthy: true}
+	if reg == nil {
+		return st
+	}
+	for _, name := range healthGateCounters {
+		if v := reg.Counter(name); v != 0 {
+			st.Healthy = false
+			if st.Violations == nil {
+				st.Violations = map[string]int64{}
+			}
+			st.Violations[name] = v
+		}
+	}
+	snap := reg.Snapshot()
+	keys := make([]string, 0, len(snap.Counters))
+	for k := range snap.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if v := snap.Counters[k]; v != 0 && strings.HasPrefix(k, "lp.health.anomaly.") {
+			if st.Anomalies == nil {
+				st.Anomalies = map[string]int64{}
+			}
+			st.Anomalies[strings.TrimPrefix(k, "lp.health.anomaly.")] = v
+		}
+	}
+	return st
+}
+
+// healthzHandler serves the aggregated anomaly state: HTTP 200 with a JSON
+// body while healthy, 503 once any gate counter is non-zero.
+func healthzHandler(reg *Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		st := Health(reg)
+		w.Header().Set("Content-Type", "application/json")
+		if !st.Healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(st) //nolint:errcheck // best-effort response body
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 )
 
 // Flags is the shared observability flag set of the CLIs. Register it on
@@ -22,12 +23,26 @@ type Flags struct {
 	TraceOut string
 	// MetricsJSON writes the metrics snapshot at Close ("-" = stdout).
 	MetricsJSON string
-	// DebugAddr serves net/http/pprof, expvar and live /metrics.
+	// DebugAddr serves net/http/pprof, expvar, live /metrics (JSON and
+	// Prometheus text), /healthz, /timeseries and — when an event stream is
+	// wired via SetEventStream — the /events SSE feed.
 	DebugAddr string
+	// SampleInterval is the /timeseries sampling period (0 keeps the 1s
+	// default). Only meaningful with DebugAddr.
+	SampleInterval time.Duration
 	// LogJSON switches structured logging to the slog JSON handler
 	// (machine-parseable one-line-per-event); off, the text handler is used.
 	LogJSON bool
+
+	// events feeds the debug server's /events SSE stream; set it with
+	// SetEventStream before Start.
+	events EventSource
 }
+
+// SetEventStream wires a live event source (normally a ledger adapter)
+// into the debug server's /events endpoint. Must be called before Start to
+// take effect; a nil source leaves /events disabled.
+func (f *Flags) SetEventStream(src EventSource) { f.events = src }
 
 // RegisterFlags declares the observability flags on fs (normally
 // flag.CommandLine) and returns the struct they parse into.
@@ -37,7 +52,8 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
 	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome trace_event span timeline JSON to this file on exit")
 	fs.StringVar(&f.MetricsJSON, "metrics-json", "", "write the metrics snapshot JSON to this file on exit (- = stdout)")
-	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve net/http/pprof, expvar and /metrics on this address (e.g. localhost:6060)")
+	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve net/http/pprof, expvar, /metrics (JSON or Prometheus text), /healthz, /events and /timeseries on this address (e.g. localhost:6060)")
+	fs.DurationVar(&f.SampleInterval, "sample-interval", 0, "debug-server /timeseries sampling period (default 1s)")
 	fs.BoolVar(&f.LogJSON, "log-json", false, "emit structured logs as JSON (log/slog) instead of text")
 	return f
 }
@@ -65,6 +81,7 @@ type Session struct {
 	reg     *Registry
 	cpuFile *os.File
 	debug   *DebugServer
+	sampler *Sampler
 }
 
 // Start opens the requested sinks. It returns a non-nil Session even when
@@ -90,7 +107,15 @@ func (f *Flags) Start() (*Session, error) {
 		s.cpuFile = fd
 	}
 	if f.DebugAddr != "" {
-		srv, err := Serve(f.DebugAddr, s.reg)
+		if s.reg != nil {
+			s.sampler = NewSampler(s.reg, f.SampleInterval, 0)
+			s.sampler.Start()
+		}
+		srv, err := ServeWith(f.DebugAddr, ServeOpts{
+			Registry: s.reg,
+			Events:   f.events,
+			Sampler:  s.sampler,
+		})
 		if err != nil {
 			s.Close()
 			return nil, err
@@ -162,6 +187,10 @@ func (s *Session) Close() error {
 	if s.debug != nil {
 		s.debug.Close()
 		s.debug = nil
+	}
+	if s.sampler != nil {
+		s.sampler.Stop()
+		s.sampler = nil
 	}
 	return first
 }

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for a registry
+// snapshot. Metric names are the snapshot keys under an `arrow_` prefix
+// with non-identifier characters folded to underscores: the counter
+// "lp.health.anomalies" exports as `arrow_lp_health_anomalies_total`.
+// Counters get a `_total` suffix, histograms the cumulative
+// `_bucket{le="..."}` / `_sum` / `_count` triple, and span aggregates
+// export as summaries in seconds. Output is sorted by metric name, so the
+// exposition of a given snapshot is byte-deterministic (golden-testable).
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitises a snapshot key into a Prometheus metric name.
+func promName(key string) string {
+	var b strings.Builder
+	b.Grow(len(key) + 6)
+	b.WriteString("arrow_")
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a sample value; Prometheus accepts Go's shortest
+// round-trip formatting plus the special +Inf/-Inf/NaN spellings.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePromText writes the snapshot in Prometheus text exposition format.
+func WritePromText(w io.Writer, s *Snapshot) error {
+	var b strings.Builder
+
+	keys := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		name := promName(k) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[k])
+	}
+
+	keys = keys[:0]
+	for k := range s.Gauges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		name := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(s.Gauges[k]))
+	}
+
+	keys = keys[:0]
+	for k := range s.Histograms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := s.Histograms[k]
+		name := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", name, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
+	}
+
+	keys = keys[:0]
+	for k := range s.Spans {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sp := s.Spans[k]
+		name := promName(k) + "_seconds"
+		fmt.Fprintf(&b, "# TYPE %s summary\n", name)
+		fmt.Fprintf(&b, "%s_sum %s\n", name, promFloat(sp.TotalSeconds))
+		fmt.Fprintf(&b, "%s_count %d\n", name, sp.Count)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -60,6 +60,19 @@ var CoreCounters = []string{
 	"emu.amp_loops",
 	"emu.roadm_reconfigs",
 	"emu.lightpaths_restored",
+	// Solver-health observatory (lp.Options.HealthEvery probes). The
+	// per-reason anomaly keys mirror lp.AnomalyReasons(); a conformance test
+	// in internal/lp keeps the two lists aligned.
+	"lp.health.probes",
+	"lp.health.anomalies",
+	"lp.health.anomaly.stall",
+	"lp.health.anomaly.residual_drift",
+	"lp.health.anomaly.warm_repair_fallback",
+	"lp.health.anomaly.cycling_suspect",
+	"mip.unhealthy_nodes",
+	// Observability plane self-accounting.
+	"obs.late_hist_registrations",
+	"obs.sse.dropped_events",
 }
 
 // defBuckets are the default histogram bucket upper bounds: powers of four
@@ -118,34 +131,62 @@ type spanStat struct {
 	maxNS   int64
 }
 
-// Registry is the standard Recorder: a mutex-guarded metrics store with
-// JSON snapshot export and an optional trace_event timeline. The zero
-// value is not usable; call NewRegistry.
+// counterShards stripes the counter maps so concurrent Add calls from
+// parallel pipeline workers contend per-shard instead of on one registry
+// lock. 16 shards comfortably cover the worker counts the pipeline runs
+// at (Parallelism <= NumCPU) while keeping Snapshot's merge cheap.
+const counterShards = 16
+
+// counterShard is one stripe of the counter space. Padding keeps adjacent
+// shards' locks off the same cache line.
+type counterShard struct {
+	mu sync.Mutex
+	m  map[string]int64
+	_  [40]byte
+}
+
+// shardIndex maps a counter name to its stripe (FNV-1a).
+func shardIndex(name string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return int(h % counterShards)
+}
+
+// Registry is the standard Recorder: a metrics store with JSON snapshot
+// export and an optional trace_event timeline. Counters live in striped
+// per-shard maps (the Add path is the hottest call in an instrumented
+// pipeline); gauges, histograms and spans share the registry lock. The
+// zero value is not usable; call NewRegistry.
 type Registry struct {
-	mu       sync.Mutex
-	start    time.Time
-	counters map[string]int64
-	gauges   map[string]float64
-	hists    map[string]*histogram
-	bounds   map[string][]float64
-	spans    map[string]*spanStat
-	tracing  bool
-	trace    []TraceEvent
+	mu      sync.Mutex
+	start   time.Time
+	shards  [counterShards]counterShard
+	gauges  map[string]float64
+	hists   map[string]*histogram
+	bounds  map[string][]float64
+	spans   map[string]*spanStat
+	tracing bool
+	trace   []TraceEvent
 }
 
 // NewRegistry returns an empty registry pre-seeded with the CoreCounters
 // schema keys.
 func NewRegistry() *Registry {
 	r := &Registry{
-		start:    time.Now(),
-		counters: make(map[string]int64, len(CoreCounters)),
-		gauges:   map[string]float64{},
-		hists:    map[string]*histogram{},
-		bounds:   map[string][]float64{},
-		spans:    map[string]*spanStat{},
+		start:  time.Now(),
+		gauges: map[string]float64{},
+		hists:  map[string]*histogram{},
+		bounds: map[string][]float64{},
+		spans:  map[string]*spanStat{},
+	}
+	for i := range r.shards {
+		r.shards[i].m = map[string]int64{}
 	}
 	for _, name := range CoreCounters {
-		r.counters[name] = 0
+		r.shards[shardIndex(name)].m[name] = 0
 	}
 	return r
 }
@@ -160,21 +201,37 @@ func (r *Registry) EnableTrace() {
 
 // RegisterHistogram fixes the bucket upper bounds the named histogram will
 // use (bounds must be sorted ascending). Must be called before the first
-// Observe of that name; otherwise the default buckets apply.
+// Observe of that name: a histogram that has already observed samples
+// keeps its existing buckets (rebucketing recorded counts is impossible),
+// and the late registration is surfaced in the
+// obs.late_hist_registrations counter instead of being silently ignored.
 func (r *Registry) RegisterHistogram(name string, bounds []float64) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.hists[name]; ok {
-		return
+	_, live := r.hists[name]
+	if !live {
+		r.bounds[name] = append([]float64(nil), bounds...)
 	}
-	r.bounds[name] = append([]float64(nil), bounds...)
+	r.mu.Unlock()
+	if live {
+		r.Add("obs.late_hist_registrations", 1)
+	}
 }
 
 // Add implements Recorder.
 func (r *Registry) Add(name string, delta int64) {
-	r.mu.Lock()
-	r.counters[name] += delta
-	r.mu.Unlock()
+	s := &r.shards[shardIndex(name)]
+	s.mu.Lock()
+	s.m[name] += delta
+	s.mu.Unlock()
+}
+
+// Counter returns the current value of one counter (0 if never written).
+func (r *Registry) Counter(name string) int64 {
+	s := &r.shards[shardIndex(name)]
+	s.mu.Lock()
+	v := s.m[name]
+	s.mu.Unlock()
+	return v
 }
 
 // Gauge implements Recorder.
@@ -238,6 +295,44 @@ type HistogramSnapshot struct {
 	Max    float64   `json:"max"`
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the recorded samples
+// by linear interpolation inside the containing bucket, clamped to the
+// exact Min/Max the histogram tracked. Returns 0 on an empty histogram.
+func (h *HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	target := q * float64(h.Count)
+	cum := int64(0)
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) < target {
+			cum += c
+			continue
+		}
+		lo := h.Min
+		if i > 0 {
+			lo = math.Max(lo, h.Bounds[i-1])
+		}
+		hi := h.Max
+		if i < len(h.Bounds) {
+			hi = math.Min(hi, h.Bounds[i])
+		}
+		frac := (target - float64(cum)) / float64(c)
+		v := lo + frac*(hi-lo)
+		return math.Min(math.Max(v, h.Min), h.Max)
+	}
+	return h.Max
+}
+
 // SpanSnapshot is one span name's aggregate duration stats.
 type SpanSnapshot struct {
 	Count        int64   `json:"count"`
@@ -256,19 +351,28 @@ type Snapshot struct {
 	Spans         map[string]SpanSnapshot      `json:"spans"`
 }
 
-// Snapshot exports a consistent copy of the registry.
+// Snapshot exports a copy of the registry. Counters are merged from the
+// shards; each shard is internally consistent, and a snapshot taken while
+// writers are live is a valid point-in-time-per-shard view (counters only
+// grow, so no merged value can exceed the true total at return time).
 func (r *Registry) Snapshot() *Snapshot {
+	counters := map[string]int64{}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.m {
+			counters[k] += v
+		}
+		sh.mu.Unlock()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := &Snapshot{
 		SchemaVersion: SchemaVersion,
-		Counters:      make(map[string]int64, len(r.counters)),
+		Counters:      counters,
 		Gauges:        make(map[string]float64, len(r.gauges)),
 		Histograms:    make(map[string]HistogramSnapshot, len(r.hists)),
 		Spans:         make(map[string]SpanSnapshot, len(r.spans)),
-	}
-	for k, v := range r.counters {
-		s.Counters[k] = v
 	}
 	for k, v := range r.gauges {
 		s.Gauges[k] = v

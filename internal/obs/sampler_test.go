@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSamplerRingWindow(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSampler(reg, time.Hour, 3) // driven manually; ticker never fires
+	base := time.UnixMilli(1_000_000)
+
+	for i := 0; i < 5; i++ {
+		reg.Add("lp.pivots", 10)
+		reg.Gauge("load", float64(i))
+		s.Sample(base.Add(time.Duration(i) * time.Second))
+	}
+	series := s.Series()
+	pts := series["counter:lp.pivots"]
+	if len(pts) != 3 {
+		t.Fatalf("ring kept %d points, want capacity 3", len(pts))
+	}
+	// Oldest-first window over the last three samples: 30, 40, 50.
+	for i, want := range []float64{30, 40, 50} {
+		if pts[i].V != want {
+			t.Fatalf("window %v, want values 30,40,50", pts)
+		}
+	}
+	if pts[0].UnixMs >= pts[2].UnixMs {
+		t.Fatalf("timestamps not ascending: %v", pts)
+	}
+	g := series["gauge:load"]
+	if len(g) != 3 || g[2].V != 4 {
+		t.Fatalf("gauge window %v", g)
+	}
+}
+
+func TestSamplerStartStop(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSampler(reg, time.Millisecond, 10)
+	s.Start()
+	s.Start() // idempotent
+	deadline := time.After(2 * time.Second)
+	for {
+		if pts := s.Series()["counter:lp.pivots"]; len(pts) > 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("background sampler never sampled")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	n := len(s.Series()["counter:lp.pivots"])
+	time.Sleep(20 * time.Millisecond)
+	if got := len(s.Series()["counter:lp.pivots"]); got != n {
+		t.Fatalf("sampler still sampling after Stop: %d -> %d", n, got)
+	}
+
+	// Stop without Start must not hang, nil must not panic.
+	NewSampler(reg, time.Second, 1).Stop()
+	var nilSampler *Sampler
+	nilSampler.Start()
+	nilSampler.Stop()
+}
+
+func TestSamplerWriteJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add("lp.solves", 2)
+	s := NewSampler(reg, 5*time.Second, 4)
+	s.Sample(time.UnixMilli(42_000))
+	var b strings.Builder
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		IntervalMs int64                    `json:"interval_ms"`
+		Series     map[string][]SeriesPoint `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("timeseries JSON: %v\n%s", err, b.String())
+	}
+	if doc.IntervalMs != 5000 {
+		t.Errorf("interval_ms %d", doc.IntervalMs)
+	}
+	pts := doc.Series["counter:lp.solves"]
+	if len(pts) != 1 || pts[0].V != 2 || pts[0].UnixMs != 42_000 {
+		t.Errorf("series %v", pts)
+	}
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// EventSub is one live, non-blocking subscription to an event stream:
+// marshalled JSON events arrive on Events(), events the subscriber was too
+// slow to take are counted by Dropped(), and Close detaches. The ledger's
+// Subscription satisfies this interface; obs deliberately doesn't import
+// the ledger package (the ledger records lp types, and lp records into
+// obs), so the debug server is wired with an EventSource adapter instead.
+type EventSub interface {
+	Events() <-chan []byte
+	Dropped() int64
+	Close()
+}
+
+// EventSource creates live subscriptions with the given channel buffer.
+// Adapting a ledger is one line at the call site:
+//
+//	obs.EventSource(func(buf int) obs.EventSub { return led.SubscribeJSON(buf) })
+type EventSource func(buf int) EventSub
+
+// sseBuffer is the per-client event buffer. A client that falls this many
+// events behind starts losing them (drops are accounted, never blocking).
+const sseBuffer = 256
+
+// sseHandler streams events from src as Server-Sent Events: one
+// `data: <json>` frame per ledger event. Slow clients drop events rather
+// than stalling the producer; on disconnect the client's drop count is
+// added to the obs.sse.dropped_events counter of reg (when non-nil),
+// which is the durable record of lossy deliveries.
+func sseHandler(src EventSource, reg *Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if src == nil {
+			http.Error(w, "event stream disabled", http.StatusNotFound)
+			return
+		}
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		sub := src(sseBuffer)
+		if sub == nil {
+			http.Error(w, "event stream disabled", http.StatusNotFound)
+			return
+		}
+		defer func() {
+			sub.Close()
+			if reg != nil {
+				if d := sub.Dropped(); d > 0 {
+					reg.Add("obs.sse.dropped_events", d)
+				}
+			}
+		}()
+		h := w.Header()
+		h.Set("Content-Type", "text/event-stream")
+		h.Set("Cache-Control", "no-cache")
+		h.Set("Connection", "keep-alive")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, "retry: 1000\n\n")
+		fl.Flush()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case line, ok := <-sub.Events():
+				if !ok {
+					return
+				}
+				fmt.Fprintf(w, "data: %s\n\n", line)
+				fl.Flush()
+			}
+		}
+	}
+}

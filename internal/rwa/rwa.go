@@ -46,6 +46,11 @@ type Request struct {
 	// with nonnegative rhs), so the warm start deterministically skips
 	// phase 1; NoWarm exists for A/B comparison, not correctness.
 	NoWarm bool
+
+	// HealthEvery forwards the LP engine's numerical-health probe period
+	// into the assignment LP (see lp.Options.HealthEvery). Zero keeps
+	// probing off; the probes never change the solve.
+	HealthEvery int
 }
 
 func (r *Request) k() int {
@@ -86,6 +91,9 @@ type Result struct {
 	Options [][]PathOption
 	// Objective is the LP's total restorable wavelength count.
 	Objective float64
+	// Health is the assignment LP's numerical-health report, present only
+	// when Request.HealthEvery > 0 and the LP actually ran.
+	Health *lp.HealthReport
 }
 
 // RestorableGbps returns the (fractional) restorable bandwidth of failed
@@ -304,8 +312,8 @@ func solveAssignmentLP(req *Request, spectra []*spectrum.Bitmap, res *Result) er
 		return nil // nothing restorable
 	}
 	var lpo *lp.Options
-	if req.Recorder != nil {
-		lpo = &lp.Options{Recorder: req.Recorder}
+	if req.Recorder != nil || req.HealthEvery > 0 {
+		lpo = &lp.Options{Recorder: req.Recorder, HealthEvery: req.HealthEvery}
 	}
 	var sol *lp.Solution
 	var err error
@@ -322,6 +330,7 @@ func solveAssignmentLP(req *Request, spectra []*spectrum.Bitmap, res *Result) er
 	if sol.Status != lp.StatusOptimal {
 		return fmt.Errorf("rwa assignment LP: status %v", sol.Status)
 	}
+	res.Health = sol.Health
 	for li := range res.Failed {
 		total := 0.0
 		for pi, opt := range res.Options[li] {

@@ -37,6 +37,11 @@ type ArrowOptions struct {
 	// pricing is index-addressed per scenario and appends happen in
 	// scenario order after each sweep.
 	Parallelism int
+	// HealthEvery probes both phases' LP solves for numerical health at
+	// this pivot period (see lp.Options.HealthEvery). It overlays the LP
+	// options (a non-zero LP.HealthEvery wins); probes only read solver
+	// state and never change the allocation.
+	HealthEvery int
 }
 
 func (o *ArrowOptions) alpha() float64 {
@@ -71,6 +76,23 @@ func (o *ArrowOptions) recorder() obs.Recorder {
 	return o.LP.Recorder
 }
 
+// lpOpts resolves the LP options both phases solve under: o.LP with the
+// option-level HealthEvery overlaid (an explicit LP.HealthEvery wins).
+func (o *ArrowOptions) lpOpts() *lp.Options {
+	if o == nil {
+		return nil
+	}
+	if o.HealthEvery <= 0 || (o.LP != nil && o.LP.HealthEvery > 0) {
+		return o.LP
+	}
+	var v lp.Options
+	if o.LP != nil {
+		v = *o.LP
+	}
+	v.HealthEvery = o.HealthEvery
+	return &v
+}
+
 // phase1Recorder mirrors the LP engine's pivot counters under te.phase1_*
 // names, scoping Phase I master work out of a full run: pipeline totals are
 // dominated by Phase II (identical across colgen modes), so run-level
@@ -87,17 +109,16 @@ func (p phase1Recorder) Add(name string, d int64) {
 	}
 }
 
-// phase1LP returns the LP options Phase I solves run under: opts.LP with
-// the recorder wrapped in phase1Recorder (pass-through when unset).
+// phase1LP returns the LP options Phase I solves run under: the resolved
+// options (see lpOpts) with the recorder wrapped in phase1Recorder
+// (pass-through when unset).
 func (o *ArrowOptions) phase1LP() *lp.Options {
-	if o == nil || o.LP == nil {
-		return nil
+	base := o.lpOpts()
+	if base == nil || base.Recorder == nil {
+		return base
 	}
-	if o.LP.Recorder == nil {
-		return o.LP
-	}
-	lpo := *o.LP
-	lpo.Recorder = phase1Recorder{o.LP.Recorder}
+	lpo := *base
+	lpo.Recorder = phase1Recorder{base.Recorder}
 	return &lpo
 }
 
@@ -340,6 +361,7 @@ func arrowPhase1WithStats(n *Network, scs []RestorableScenario, opts *ArrowOptio
 			Kind: ledger.KindSolveEnd, Scenario: -1, Solver: bm.m.Name(),
 			Status: sol.Status.String(), Cert: sol.Cert,
 		})
+		ledger.EmitSolverHealth(L, -1, bm.m.Name(), sol.Health)
 	}
 	if sol.Status != lp.StatusOptimal {
 		return nil, SolveStats{}, nil, fmt.Errorf("te: arrow phase 1: status %v", sol.Status)
@@ -435,10 +457,7 @@ func arrowPhase2WithBasis(n *Network, scs []RestorableScenario, winners []int, o
 		}
 	}
 
-	var lpo *lp.Options
-	if opts != nil {
-		lpo = opts.LP
-	}
+	lpo := opts.lpOpts()
 	L := opts.ledger()
 	if L != nil {
 		L.Emit(ledger.Event{Kind: ledger.KindSolveStart, Scenario: -1, Solver: bm.m.Name()})
@@ -465,6 +484,9 @@ func arrowPhase2WithBasis(n *Network, scs []RestorableScenario, winners []int, o
 			Kind: ledger.KindSolveEnd, Scenario: -1, Solver: bm.m.Name(),
 			Status: status, Cert: cert,
 		})
+		if sol != nil {
+			ledger.EmitSolverHealth(L, -1, bm.m.Name(), sol.Health)
+		}
 	}
 	if err != nil {
 		return nil, err

@@ -246,6 +246,7 @@ func solveCanonical(bm *baseModel, warm *lp.Basis, opts *ArrowOptions) (*lp.Solu
 			Kind: ledger.KindSolveEnd, Scenario: -1, Solver: name,
 			Status: sol.Status.String(), Cert: sol.Cert,
 		})
+		ledger.EmitSolverHealth(L, -1, name, sol.Health)
 	}
 	if sol.Status != lp.StatusOptimal {
 		return nil, fmt.Errorf("te: arrow phase 1 canonical: status %v", sol.Status)
@@ -395,6 +396,7 @@ func arrowPhase1Colgen(n *Network, scs []RestorableScenario, opts *ArrowOptions)
 				Kind: ledger.KindSolveEnd, Scenario: -1, Solver: bm.m.Name(),
 				Status: sol.Status.String(), Cert: sol.Cert,
 			})
+			ledger.EmitSolverHealth(L, -1, bm.m.Name(), sol.Health)
 		}
 		if sol.Status != lp.StatusOptimal {
 			return nil, fmt.Errorf("te: arrow phase 1: status %v", sol.Status)
