@@ -1,3 +1,5 @@
+//go:generate go run ./cmd/arrow-bench -write-metrics-md METRICS.md
+
 // Package arrow is a restoration-aware traffic-engineering library: a Go
 // implementation of ARROW (Zhong et al., SIGCOMM 2021).
 //

@@ -1,0 +1,220 @@
+// Command arrow-bench is the continuous performance observatory's harness:
+// it runs the registered benchmark workloads (pipeline build, availability
+// sweep, timeline sim, warm-vs-cold solve, colgen A/B) with repeat/median/
+// MAD-robust statistics and a machine fingerprint, appends entries to the
+// committed BENCH_history.jsonl, and gates CI against that history with
+// MAD-based regression thresholds.
+//
+// Usage:
+//
+//	arrow-bench -list
+//	arrow-bench [-workloads a,b] [-seed 1] [-repeats 5] [-benchtime 30s]
+//	            [-profile-dir artifacts/profiles] [-json out.json]
+//	            [-append] [-history BENCH_history.jsonl] [-note "..."]
+//	arrow-bench -check [-entry run.json] [-history BENCH_history.jsonl]
+//	arrow-bench -write-metrics-md METRICS.md
+//
+// Without -entry, -check measures first and gates the fresh run. Machines
+// with fewer than two effective CPUs record parallel-speedup ratios as
+// invalid; -check skips those gates instead of comparing garbage, and a
+// GOMAXPROCS mismatch against the whole history skips (passes) rather than
+// gating one machine class against another.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/arrow-te/arrow/internal/bench"
+	"github.com/arrow-te/arrow/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("arrow-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list       = fs.Bool("list", false, "list registered workloads")
+		workloads  = fs.String("workloads", "", "comma-separated workload names to run (default: all)")
+		seed       = fs.Int64("seed", 1, "random seed for all workloads")
+		parallel   = fs.Int("parallelism", 0, "worker count where workloads fan out (0 = GOMAXPROCS)")
+		repeats    = fs.Int("repeats", 5, "measured iterations per workload")
+		minRepeats = fs.Int("min-repeats", 3, "iteration floor the -benchtime budget cannot cut below")
+		benchtime  = fs.Duration("benchtime", 0, "soft wall-time budget per workload (0 = no cap); CI smoke runs use this")
+		profileDir = fs.String("profile-dir", "", "capture flamegraph-ready CPU+alloc pprof profiles per workload under this directory")
+		history    = fs.String("history", "BENCH_history.jsonl", "JSONL benchmark history path")
+		appendHist = fs.Bool("append", false, "append this run to -history")
+		jsonOut    = fs.String("json", "", "write this run's entry as standalone JSON (- = stdout)")
+		check      = fs.Bool("check", false, "gate against -history with MAD-robust thresholds; exit 1 on regression")
+		entryPath  = fs.String("entry", "", "with -check: gate this saved entry JSON instead of measuring")
+		madK       = fs.Float64("mad-k", 5, "regression threshold width in MADs")
+		minSlack   = fs.Float64("min-slack", 0.30, "relative slack floor even on a zero-MAD history")
+		note       = fs.String("note", "", "free-text note recorded in the history entry")
+		metricsMD  = fs.String("write-metrics-md", "", "write the generated metric-namespace reference to this path and exit")
+	)
+	obsFlags := obs.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *metricsMD != "" {
+		if err := os.WriteFile(*metricsMD, []byte(obs.MetricsDoc()), 0o644); err != nil {
+			fmt.Fprintln(stderr, "arrow-bench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *metricsMD)
+		return 0
+	}
+
+	if *list {
+		for _, w := range bench.Workloads() {
+			fmt.Fprintf(stdout, "%-20s %s\n", w.Name, w.Desc)
+		}
+		return 0
+	}
+
+	selected, err := selectWorkloads(*workloads)
+	if err != nil {
+		fmt.Fprintln(stderr, "arrow-bench:", err)
+		return 2
+	}
+
+	// -check -entry gates a saved run without measuring (the CI shape:
+	// measure once into an artifact, gate separately).
+	if *check && *entryPath != "" {
+		cur, err := bench.ReadEntry(*entryPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "arrow-bench:", err)
+			return 1
+		}
+		return gate(stdout, stderr, *history, cur, *madK, *minSlack)
+	}
+
+	// The debug server's /bench endpoint serves the in-progress entry,
+	// refreshed after every completed workload. The handler reads from its
+	// own goroutine, so each refresh stores an immutable snapshot.
+	var latest atomic.Pointer[bench.Entry]
+	obsFlags.SetBenchSource(func() any {
+		if e := latest.Load(); e != nil {
+			return e
+		}
+		return nil
+	})
+	sess, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintln(stderr, "arrow-bench:", err)
+		return 1
+	}
+	defer sess.Close()
+
+	cfg := bench.RunConfig{
+		Seed: *seed, Workers: *parallel,
+		Repeats: *repeats, MinRepeats: *minRepeats,
+		Budget: *benchtime, ProfileDir: *profileDir,
+		Recorder: sess.Recorder(),
+	}
+	if !bench.RatiosUsable() {
+		fmt.Fprintln(stderr, "arrow-bench: <2 effective CPUs: parallel-speedup ratios will be recorded as invalid")
+	}
+	// Run workloads one at a time so /bench can serve partial progress
+	// during long runs instead of 404ing until the final workload lands.
+	var entry *bench.Entry
+	var results []bench.Result
+	for _, w := range selected {
+		part, err := bench.Run([]bench.Workload{w}, cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "arrow-bench:", err)
+			return 1
+		}
+		results = append(results, part.Results...)
+		snap := *part
+		snap.Results = append([]bench.Result(nil), results...)
+		snap.Timestamp = time.Now().UTC().Format(time.RFC3339)
+		snap.Note = *note
+		latest.Store(&snap)
+		entry = &snap
+	}
+
+	for _, res := range entry.Results {
+		fmt.Fprintf(stdout, "%-20s median %.4fs  mad %.4fs  n=%d", res.Workload, res.MedianSeconds, res.MADSeconds, res.Repeats)
+		for k, v := range res.Extras {
+			fmt.Fprintf(stdout, "  %s=%.4g", k, v)
+		}
+		if len(res.InvalidRatios) > 0 {
+			fmt.Fprintf(stdout, "  [invalid: %s]", strings.Join(res.InvalidRatios, ","))
+		}
+		fmt.Fprintln(stdout)
+	}
+
+	if *jsonOut == "-" {
+		if err := bench.WriteEntry("/dev/stdout", entry); err != nil {
+			fmt.Fprintln(stderr, "arrow-bench:", err)
+			return 1
+		}
+	} else if *jsonOut != "" {
+		if err := bench.WriteEntry(*jsonOut, entry); err != nil {
+			fmt.Fprintln(stderr, "arrow-bench:", err)
+			return 1
+		}
+	}
+
+	code := 0
+	if *check {
+		code = gate(stdout, stderr, *history, entry, *madK, *minSlack)
+	}
+	if *appendHist {
+		if err := bench.AppendEntry(*history, entry); err != nil {
+			fmt.Fprintln(stderr, "arrow-bench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "appended to %s\n", *history)
+	}
+	return code
+}
+
+func selectWorkloads(csv string) ([]bench.Workload, error) {
+	if csv == "" {
+		return bench.Workloads(), nil
+	}
+	var out []bench.Workload
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		w, ok := bench.WorkloadByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q (see -list)", name)
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no workloads selected")
+	}
+	return out, nil
+}
+
+func gate(stdout, stderr *os.File, historyPath string, cur *bench.Entry, madK, minSlack float64) int {
+	hist, err := bench.ReadHistory(historyPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "arrow-bench:", err)
+		return 1
+	}
+	findings, ok := bench.Check(hist, cur, bench.CheckOptions{MADK: madK, MinSlack: minSlack})
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if !ok {
+		fmt.Fprintln(stderr, "arrow-bench: regression detected (see FAIL lines above)")
+		return 1
+	}
+	fmt.Fprintf(stdout, "check ok: %d gates against %d history entries (%s)\n", len(findings), len(hist), historyPath)
+	return 0
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/arrow-te/arrow/internal/bench"
+	"github.com/arrow-te/arrow/internal/obs"
+)
+
+// capture runs the CLI with stdout/stderr redirected to temp files and
+// returns the exit code plus both streams.
+func capture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	mk := func(name string) *os.File {
+		fd, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fd
+	}
+	stdout, stderr := mk("stdout"), mk("stderr")
+	code := run(args, stdout, stderr)
+	stdout.Close()
+	stderr.Close()
+	read := func(name string) string {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+	return code, read("stdout"), read("stderr")
+}
+
+func TestListWorkloads(t *testing.T) {
+	code, out, _ := capture(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"pipeline-build", "availability-sweep", "timeline-sim", "warm-vs-cold", "colgen-ab"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownWorkloadRejected(t *testing.T) {
+	code, _, errOut := capture(t, "-workloads", "nope")
+	if code != 2 || !strings.Contains(errOut, "unknown workload") {
+		t.Errorf("exit %d, stderr %q", code, errOut)
+	}
+}
+
+func TestWriteMetricsMD(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "METRICS.md")
+	code, _, errOut := capture(t, "-write-metrics-md", path)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != obs.MetricsDoc() {
+		t.Error("-write-metrics-md output differs from obs.MetricsDoc()")
+	}
+}
+
+// TestCheckEntryGate covers the CI shape end to end with synthetic files:
+// a saved entry within the history's noise passes, an injected regression
+// exits nonzero, and a machine mismatch skips (passes).
+func TestCheckEntryGate(t *testing.T) {
+	dir := t.TempDir()
+	histPath := filepath.Join(dir, "hist.jsonl")
+	mk := func(procs int, median float64) *bench.Entry {
+		return &bench.Entry{
+			SchemaVersion: bench.EntrySchemaVersion, GoMaxProcs: procs,
+			Results: []bench.Result{{Workload: "w", MedianSeconds: median}},
+		}
+	}
+	for _, m := range []float64{1.0, 1.02, 0.98} {
+		if err := bench.AppendEntry(histPath, mk(1, m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	okEntry := filepath.Join(dir, "ok.json")
+	if err := bench.WriteEntry(okEntry, mk(1, 1.05)); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := capture(t, "-check", "-entry", okEntry, "-history", histPath)
+	if code != 0 || !strings.Contains(out, "check ok") {
+		t.Errorf("in-noise entry: exit %d\n%s", code, out)
+	}
+
+	badEntry := filepath.Join(dir, "bad.json")
+	if err := bench.WriteEntry(badEntry, mk(1, 2.5)); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := capture(t, "-check", "-entry", badEntry, "-history", histPath)
+	if code != 1 {
+		t.Errorf("injected regression: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL w/median_seconds") || !strings.Contains(errOut, "regression detected") {
+		t.Errorf("regression output:\n%s\n%s", out, errOut)
+	}
+
+	otherMachine := filepath.Join(dir, "other.json")
+	if err := bench.WriteEntry(otherMachine, mk(8, 50.0)); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = capture(t, "-check", "-entry", otherMachine, "-history", histPath)
+	if code != 0 || !strings.Contains(out, "SKIP") {
+		t.Errorf("machine mismatch should skip: exit %d\n%s", code, out)
+	}
+}
+
+// TestRunTimelineSimEndToEnd measures the cheapest real workload through
+// the full CLI path: JSON entry out, appended history, and a -check gate
+// that sees its own fresh history.
+func TestRunTimelineSimEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real workload")
+	}
+	dir := t.TempDir()
+	histPath := filepath.Join(dir, "hist.jsonl")
+	entryPath := filepath.Join(dir, "entry.json")
+	code, out, errOut := capture(t,
+		"-workloads", "timeline-sim", "-repeats", "2", "-min-repeats", "2",
+		"-seed", "3", "-json", entryPath, "-append", "-history", histPath)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s\n%s", code, out, errOut)
+	}
+	entry, err := bench.ReadEntry(entryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entry.Results) != 1 || entry.Results[0].Workload != "timeline-sim" {
+		t.Fatalf("entry %+v", entry)
+	}
+	if entry.Timestamp == "" || entry.GoVersion == "" {
+		t.Errorf("fingerprint incomplete: %+v", entry)
+	}
+	hist, err := bench.ReadHistory(histPath)
+	if err != nil || len(hist) != 1 {
+		t.Fatalf("history %v, %v", hist, err)
+	}
+	// Gate the same entry against its own run: identical numbers pass.
+	code, out, _ = capture(t, "-check", "-entry", entryPath, "-history", histPath)
+	if code != 0 {
+		t.Errorf("self-check failed: exit %d\n%s", code, out)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"io"
 	"os"
 
+	"github.com/arrow-te/arrow/internal/bench"
 	"github.com/arrow-te/arrow/internal/eval"
 	"github.com/arrow-te/arrow/internal/ledger"
 	"github.com/arrow-te/arrow/internal/obs"
@@ -49,6 +50,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		noColgen   = fs.Bool("no-colgen", false, "with -run: enumerate every ticket into the TE master up front instead of pricing lazily (A/B reference for the colgen default)")
 		healthEvr  = fs.Int("health-every", 0, "with -run: probe every LP solve's numerical health every N pivots (0 = off; probes never change results)")
 		metricsOut = fs.String("metrics-out", "", "with -run: write the run's metrics snapshot JSON to this path (diffable with -diff)")
+		benchHist  = fs.String("bench-history", "", "with -run: render trend sparklines from this arrow-bench JSONL history in the Performance section")
 		ledgerIn   = fs.String("ledger", "", "render an existing ledger snapshot JSON instead of running")
 		metricsIn  = fs.String("metrics", "", "metrics snapshot JSON to embed in the report (with -ledger)")
 		out        = fs.String("out", "-", "markdown report output path (- = stdout)")
@@ -144,18 +146,22 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			logger.Info("debug server listening", "addr", addr)
 		}
 		logger.Info("building recorded pipeline", "seed", *seed, "parallelism", *parallel, "colgen", !*noColgen, "health_every", *healthEvr)
+		prof := obs.NewStageProfiler()
+		endTotal := prof.Total()
 		if _, _, err := eval.RunRecordedWith(eval.RunOptions{
 			Seed: *seed, Workers: *parallel, Recorder: reg, Ledger: led,
-			NoColgen: *noColgen, HealthEvery: *healthEvr,
+			NoColgen: *noColgen, HealthEvery: *healthEvr, Profiler: prof,
 		}); err != nil {
 			fmt.Fprintln(stderr, "arrow-report:", err)
 			return 1
 		}
-		tb, err := eval.RunTestbedRecorded(*seed, reg, led)
+		tb, err := eval.RunTestbedProfiled(*seed, reg, led, prof)
+		endTotal()
 		if err != nil {
 			fmt.Fprintln(stderr, "arrow-report:", err)
 			return 1
 		}
+		prof.PublishGauges(reg)
 		logger.Info("testbed observatory recorded", "latency_ratio", tb.LatencyRatio)
 		if *ledgerOut != "" {
 			fd, err := os.Create(*ledgerOut)
@@ -182,6 +188,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			}
 		}
 		rep := buildReport(led.Snapshot(), reg.Snapshot())
+		var hist []bench.Entry
+		if *benchHist != "" {
+			if hist, err = bench.ReadHistory(*benchHist); err != nil {
+				fmt.Fprintln(stderr, "arrow-report:", err)
+				return 1
+			}
+		}
+		rep.Performance = buildPerf(prof.Snapshot(), hist)
 		logger.Info("run recorded", "events", led.Len(), "scenarios", len(rep.Scenarios), "cert_failures", rep.Certificates.Failures)
 		code := emitReport(rep, *out, *jsonOut, stdout, stderr)
 		if code == 0 && !rep.Certificates.AllPassing {

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/arrow-te/arrow/internal/bench"
 	"github.com/arrow-te/arrow/internal/ledger"
 	"github.com/arrow-te/arrow/internal/lp"
 )
@@ -286,5 +287,79 @@ func TestRunUsageErrors(t *testing.T) {
 	}
 	if code := run([]string{"-diff", "-key-threshold", "garbage", "a.json", "b.json"}, &out, &errb); code != 2 {
 		t.Errorf("bad key-threshold exit %d, want 2", code)
+	}
+}
+
+// TestRunPerformanceAttribution is the observatory's acceptance gate: the
+// Performance table of a recorded run must attribute at least 90% of the
+// total pipeline wall time to named top-level stages, and the markdown must
+// render the table plus trend sparklines from a benchmark history.
+func TestRunPerformanceAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full recorded pipeline")
+	}
+	dir := t.TempDir()
+	histPath := filepath.Join(dir, "hist.jsonl")
+	for _, m := range []float64{0.51, 0.49, 0.50} {
+		e := &bench.Entry{SchemaVersion: bench.EntrySchemaVersion, GoMaxProcs: 1,
+			Results: []bench.Result{{Workload: "timeline-sim", MedianSeconds: m}}}
+		if err := bench.AppendEntry(histPath, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jsonPath := filepath.Join(dir, "report.json")
+	mdPath := filepath.Join(dir, "report.md")
+	var out, errb bytes.Buffer
+	code := run([]string{"-run", "-parallelism", "2", "-out", mdPath,
+		"-json", jsonPath, "-bench-history", histPath}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, errb.String())
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep RunReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	p := rep.Performance
+	if p == nil {
+		t.Fatal("report has no Performance section")
+	}
+	if p.TotalSeconds <= 0 {
+		t.Fatalf("total %v", p.TotalSeconds)
+	}
+	if p.Coverage < 0.9 {
+		t.Errorf("stage attribution covers %.1f%% of the run, want >= 90%%; stages: %+v",
+			100*p.Coverage, p.Stages)
+	}
+	stages := map[string]StageRow{}
+	var pctSum float64
+	for _, st := range p.Stages {
+		stages[st.Name] = st
+		pctSum += st.Percent
+	}
+	for _, name := range []string{"pipeline.offline", "te.phase1", "testbed.emulate", "sim.replay"} {
+		if stages[name].Count == 0 {
+			t.Errorf("stage %q missing from the table", name)
+		}
+	}
+	if pctSum < 90 || pctSum > 100.5 {
+		t.Errorf("percent column sums to %.1f", pctSum)
+	}
+	if len(p.Trends) != 1 || p.Trends[0].Workload != "timeline-sim" || p.Trends[0].Spark == "" {
+		t.Errorf("trends %+v", p.Trends)
+	}
+
+	md, err := os.ReadFile(mdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"## Performance", "% of total", "pipeline.offline", "timeline-sim", "Benchmark history"} {
+		if !strings.Contains(string(md), want) {
+			t.Errorf("markdown missing %q", want)
+		}
 	}
 }

@@ -114,6 +114,11 @@ type RunReport struct {
 	// sparklines. Absent when the run carried no health probes
 	// (-health-every 0, the default).
 	SolverHealth *SolverHealthReport `json:"solver_health,omitempty"`
+	// Performance is the stage-level resource-attribution section: per-stage
+	// wall time, allocation and GC-pause deltas of this run (coverage-gated
+	// at 90% of the total bracket), plus trend sparklines from the committed
+	// benchmark history. Absent when the run was not profiled (-ledger mode).
+	Performance *PerfReport `json:"performance,omitempty"`
 	// Metrics embeds the metrics snapshot of the run, when available.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
@@ -281,6 +286,9 @@ func renderMarkdown(w io.Writer, rep *RunReport) {
 	}
 	if rep.SolverHealth != nil {
 		renderSolverHealth(w, rep.SolverHealth)
+	}
+	if rep.Performance != nil {
+		renderPerf(w, rep.Performance)
 	}
 
 	fmt.Fprintf(w, "\n## Solver certificates\n\n")

@@ -1,0 +1,258 @@
+// Package bench is the performance observatory's measurement harness: a
+// registry of named, seeded workloads (pipeline build, availability sweep,
+// timeline sim, warm-vs-cold solve, colgen A/B — all reusing the
+// internal/eval entry points), measured with repeat/median/MAD-robust
+// statistics plus a machine fingerprint, appended to BENCH_history.jsonl so
+// the repo's perf trajectory is a queryable time series instead of a
+// one-shot JSON. cmd/arrow-bench exposes the registry on the command line
+// and gates CI with Check's MAD-based regression thresholds.
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"time"
+
+	"github.com/arrow-te/arrow/internal/obs"
+	"github.com/arrow-te/arrow/internal/stats"
+)
+
+// EntrySchemaVersion identifies the history-entry JSON layout.
+const EntrySchemaVersion = 1
+
+// Iteration runs one measured repetition of a workload and returns its
+// extra metrics (ratios, counters). The harness times the call itself; the
+// extras carry anything the wall clock alone cannot (speedups, pivot
+// ratios).
+type Iteration func() (map[string]float64, error)
+
+// Workload is one named, seeded benchmark.
+type Workload struct {
+	Name string
+	Desc string
+	// RatioExtras names the extras that are parallel-speedup ratios:
+	// meaningless with fewer than two effective CPUs, they are recorded but
+	// flagged invalid (Entry.RatiosValid=false) so Check skips their gates
+	// instead of comparing garbage.
+	RatioExtras []string
+	// Prepare builds the workload's shared state (topologies, pipelines,
+	// timelines) outside the measured region and returns the iteration.
+	Prepare func(cfg RunConfig) (Iteration, error)
+}
+
+// RunConfig parameterises a harness run.
+type RunConfig struct {
+	Seed    int64
+	Workers int // parallel worker count where a workload fans out (0 = GOMAXPROCS)
+	// Repeats caps measured iterations per workload (default 5);
+	// MinRepeats is the floor the Budget cannot cut below (default 3).
+	Repeats    int
+	MinRepeats int
+	// Budget soft-caps each workload's measured time (the CI smoke job's
+	// -benchtime): once exceeded, no further iteration starts beyond
+	// MinRepeats. Zero = no cap.
+	Budget time.Duration
+	// ProfileDir, when set, captures flamegraph-ready pprof profiles (CPU +
+	// allocs) of one extra unmeasured iteration per workload and records
+	// the file paths in the Result.
+	ProfileDir string
+	// Recorder receives bench.* gauges and counters (nil = off).
+	Recorder obs.Recorder
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 5
+	}
+	if c.MinRepeats <= 0 {
+		c.MinRepeats = 3
+	}
+	if c.MinRepeats > c.Repeats {
+		c.MinRepeats = c.Repeats
+	}
+	return c
+}
+
+// Result is one workload's measured outcome.
+type Result struct {
+	Workload string    `json:"workload"`
+	Repeats  int       `json:"repeats"`
+	Seconds  []float64 `json:"seconds"`
+	// MedianSeconds / MADSeconds are the robust center and spread of the
+	// per-iteration wall times (internal/stats.Median / MAD).
+	MedianSeconds float64 `json:"median_seconds"`
+	MADSeconds    float64 `json:"mad_seconds"`
+	// Extras are the workload's additional metrics, medians across
+	// iterations (speedup ratios, pivot-work ratios, ...).
+	Extras map[string]float64 `json:"extras,omitempty"`
+	// InvalidRatios lists the extras recorded on a machine that cannot
+	// support them (<2 effective CPUs); Check skips their gates.
+	InvalidRatios []string `json:"invalid_ratios,omitempty"`
+	// CPUProfile / AllocProfile are the pprof file paths captured under
+	// RunConfig.ProfileDir ("" when profiling was off), so a regression in
+	// the history links straight to a flamegraph.
+	CPUProfile   string `json:"cpu_profile,omitempty"`
+	AllocProfile string `json:"alloc_profile,omitempty"`
+}
+
+// Entry is one recorded harness run: machine fingerprint plus per-workload
+// results. The JSONL history (BENCH_history.jsonl) is a sequence of these.
+type Entry struct {
+	SchemaVersion int    `json:"schema_version"`
+	Timestamp     string `json:"timestamp,omitempty"` // RFC3339, caller-stamped
+	GoVersion     string `json:"go_version"`
+	NumCPU        int    `json:"num_cpu"`
+	GoMaxProcs    int    `json:"go_max_procs"`
+	Seed          int64  `json:"seed"`
+	Workers       int    `json:"workers"`
+	// RatiosValid is false on machines with <2 effective CPUs, where
+	// parallel-speedup ratios are meaningless; Check compares ratio extras
+	// only between valid entries.
+	RatiosValid bool     `json:"ratios_valid"`
+	Note        string   `json:"note,omitempty"`
+	Results     []Result `json:"results"`
+}
+
+// RatiosUsable reports whether this machine can measure parallel-speedup
+// ratios honestly: at least two CPUs actually schedulable.
+func RatiosUsable() bool {
+	return runtime.NumCPU() >= 2 && runtime.GOMAXPROCS(0) >= 2
+}
+
+// Fingerprint returns an Entry skeleton carrying the machine fingerprint
+// for cfg (no results yet).
+func Fingerprint(cfg RunConfig) *Entry {
+	cfg = cfg.withDefaults()
+	return &Entry{
+		SchemaVersion: EntrySchemaVersion,
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Seed:          cfg.Seed,
+		Workers:       cfg.Workers,
+		RatiosValid:   RatiosUsable(),
+	}
+}
+
+// Run measures each workload under cfg and returns the recorded entry.
+func Run(workloads []Workload, cfg RunConfig) (*Entry, error) {
+	cfg = cfg.withDefaults()
+	entry := Fingerprint(cfg)
+	for _, w := range workloads {
+		res, err := runOne(w, cfg, entry.RatiosValid)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", w.Name, err)
+		}
+		entry.Results = append(entry.Results, *res)
+		if rec := cfg.Recorder; rec != nil {
+			rec.Add("bench.workloads", 1)
+			rec.Add("bench.iterations", int64(res.Repeats))
+			rec.Gauge("bench."+w.Name+".median_seconds", res.MedianSeconds)
+			rec.Gauge("bench."+w.Name+".mad_seconds", res.MADSeconds)
+			for k, v := range res.Extras {
+				rec.Gauge("bench."+w.Name+"."+k, v)
+			}
+		}
+	}
+	return entry, nil
+}
+
+func runOne(w Workload, cfg RunConfig, ratiosValid bool) (*Result, error) {
+	iter, err := w.Prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Workload: w.Name}
+	extras := map[string][]float64{}
+	budgetStart := time.Now()
+	for n := 0; n < cfg.Repeats; n++ {
+		if n >= cfg.MinRepeats && cfg.Budget > 0 && time.Since(budgetStart) > cfg.Budget {
+			break
+		}
+		start := time.Now()
+		ex, err := iter()
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			return nil, err
+		}
+		res.Seconds = append(res.Seconds, elapsed)
+		for k, v := range ex {
+			extras[k] = append(extras[k], v)
+		}
+		res.Repeats++
+	}
+	res.MedianSeconds = stats.Median(res.Seconds)
+	res.MADSeconds = stats.MAD(res.Seconds)
+	if len(extras) > 0 {
+		res.Extras = map[string]float64{}
+		keys := make([]string, 0, len(extras))
+		for k := range extras {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			res.Extras[k] = stats.Median(extras[k])
+		}
+	}
+	if !ratiosValid {
+		for _, k := range w.RatioExtras {
+			if _, ok := res.Extras[k]; ok {
+				res.InvalidRatios = append(res.InvalidRatios, k)
+			}
+		}
+	}
+	if cfg.ProfileDir != "" {
+		if err := captureProfiles(w.Name, cfg.ProfileDir, iter, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// captureProfiles runs one extra, unmeasured iteration under the CPU
+// profiler, then snapshots the allocation profile, writing both under dir.
+func captureProfiles(name, dir string, iter Iteration, res *Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cpuPath := filepath.Join(dir, name+".cpu.pprof")
+	fd, err := os.Create(cpuPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(fd); err != nil {
+		fd.Close()
+		return fmt.Errorf("cpu profile: %w (another CPU profile already running?)", err)
+	}
+	_, iterErr := iter()
+	pprof.StopCPUProfile()
+	if cerr := fd.Close(); cerr != nil && iterErr == nil {
+		iterErr = cerr
+	}
+	if iterErr != nil {
+		return iterErr
+	}
+	res.CPUProfile = cpuPath
+
+	allocPath := filepath.Join(dir, name+".allocs.pprof")
+	fd, err = os.Create(allocPath)
+	if err != nil {
+		return err
+	}
+	perr := pprof.Lookup("allocs").WriteTo(fd, 0)
+	if cerr := fd.Close(); cerr != nil && perr == nil {
+		perr = cerr
+	}
+	if perr != nil {
+		return perr
+	}
+	res.AllocProfile = allocPath
+	return nil
+}

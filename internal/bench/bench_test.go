@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/arrow-te/arrow/internal/obs"
+)
+
+func fakeWorkload(name string, extras map[string]float64, ratioExtras ...string) Workload {
+	return Workload{
+		Name:        name,
+		RatioExtras: ratioExtras,
+		Prepare: func(cfg RunConfig) (Iteration, error) {
+			return func() (map[string]float64, error) {
+				time.Sleep(time.Millisecond)
+				return extras, nil
+			}, nil
+		},
+	}
+}
+
+func TestRunHarness(t *testing.T) {
+	reg := obs.NewRegistry()
+	entry, err := Run([]Workload{
+		fakeWorkload("alpha", map[string]float64{"speedup": 2.5}, "speedup"),
+		fakeWorkload("beta", nil),
+	}, RunConfig{Seed: 7, Repeats: 4, MinRepeats: 2, Recorder: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.SchemaVersion != EntrySchemaVersion {
+		t.Errorf("schema version %d", entry.SchemaVersion)
+	}
+	if entry.GoVersion == "" || entry.NumCPU < 1 || entry.GoMaxProcs < 1 {
+		t.Errorf("fingerprint incomplete: %+v", entry)
+	}
+	if len(entry.Results) != 2 {
+		t.Fatalf("got %d results", len(entry.Results))
+	}
+	a := entry.Results[0]
+	if a.Repeats != 4 || len(a.Seconds) != 4 {
+		t.Errorf("alpha repeats=%d seconds=%v", a.Repeats, a.Seconds)
+	}
+	if a.MedianSeconds <= 0 {
+		t.Errorf("alpha median %v", a.MedianSeconds)
+	}
+	if a.Extras["speedup"] != 2.5 {
+		t.Errorf("alpha extras %v", a.Extras)
+	}
+	if entry.RatiosValid != RatiosUsable() {
+		t.Errorf("RatiosValid=%v, RatiosUsable=%v", entry.RatiosValid, RatiosUsable())
+	}
+	// The invalid-speedup trap: on a machine that cannot measure parallel
+	// speedups the ratio extras must be flagged, not silently recorded.
+	if !entry.RatiosValid {
+		if len(a.InvalidRatios) != 1 || a.InvalidRatios[0] != "speedup" {
+			t.Errorf("invalid ratios not flagged: %v", a.InvalidRatios)
+		}
+	} else if len(a.InvalidRatios) != 0 {
+		t.Errorf("valid machine flagged ratios: %v", a.InvalidRatios)
+	}
+	if got := reg.Counter("bench.workloads"); got != 2 {
+		t.Errorf("bench.workloads = %d", got)
+	}
+	if got := reg.Counter("bench.iterations"); got != 8 {
+		t.Errorf("bench.iterations = %d", got)
+	}
+}
+
+func TestRunBudgetStopsAtMinRepeats(t *testing.T) {
+	slow := Workload{
+		Name: "slow",
+		Prepare: func(cfg RunConfig) (Iteration, error) {
+			return func() (map[string]float64, error) {
+				time.Sleep(20 * time.Millisecond)
+				return nil, nil
+			}, nil
+		},
+	}
+	entry, err := Run([]Workload{slow}, RunConfig{
+		Repeats: 50, MinRepeats: 2, Budget: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := entry.Results[0].Repeats; got != 2 {
+		t.Errorf("budget-capped repeats = %d, want MinRepeats floor 2", got)
+	}
+}
+
+func TestRunCapturesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	entry, err := Run([]Workload{fakeWorkload("prof", nil)}, RunConfig{
+		Repeats: 1, MinRepeats: 1, ProfileDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := entry.Results[0]
+	if res.CPUProfile != filepath.Join(dir, "prof.cpu.pprof") {
+		t.Errorf("cpu profile path %q", res.CPUProfile)
+	}
+	if res.AllocProfile != filepath.Join(dir, "prof.allocs.pprof") {
+		t.Errorf("alloc profile path %q", res.AllocProfile)
+	}
+	for _, p := range []string{res.CPUProfile, res.AllocProfile} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	if got, err := ReadHistory(path); err != nil || got != nil {
+		t.Fatalf("missing history: %v, %v", got, err)
+	}
+	e1 := &Entry{SchemaVersion: 1, GoMaxProcs: 1, Note: "first",
+		Results: []Result{{Workload: "w", MedianSeconds: 0.5}}}
+	e2 := &Entry{SchemaVersion: 1, GoMaxProcs: 1, Note: "second",
+		Results: []Result{{Workload: "w", MedianSeconds: 0.6}}}
+	if err := AppendEntry(path, e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendEntry(path, e2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Note != "first" || got[1].Note != "second" {
+		t.Fatalf("history %+v", got)
+	}
+	if got[1].Results[0].MedianSeconds != 0.6 {
+		t.Errorf("result lost: %+v", got[1].Results)
+	}
+
+	single := filepath.Join(t.TempDir(), "entry.json")
+	if err := WriteEntry(single, e1); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEntry(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Note != "first" || len(back.Results) != 1 {
+		t.Errorf("entry round trip: %+v", back)
+	}
+}
+
+func TestWorkloadRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, w := range Workloads() {
+		if w.Name == "" || w.Desc == "" || w.Prepare == nil {
+			t.Errorf("incomplete workload %+v", w)
+		}
+		if names[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		names[w.Name] = true
+	}
+	for _, want := range []string{"pipeline-build", "availability-sweep", "timeline-sim", "warm-vs-cold", "colgen-ab"} {
+		if !names[want] {
+			t.Errorf("workload %q missing from registry", want)
+		}
+	}
+	if _, ok := WorkloadByName("timeline-sim"); !ok {
+		t.Error("WorkloadByName failed")
+	}
+	if _, ok := WorkloadByName("nope"); ok {
+		t.Error("WorkloadByName found a ghost")
+	}
+}
+
+// TestTimelineSimWorkload runs the cheapest real workload end to end: the
+// registry entries must actually measure, not just typecheck.
+func TestTimelineSimWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a 90-day timeline")
+	}
+	w, _ := WorkloadByName("timeline-sim")
+	entry, err := Run([]Workload{w}, RunConfig{Seed: 3, Workers: 1, Repeats: 2, MinRepeats: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := entry.Results[0]
+	if res.MedianSeconds <= 0 {
+		t.Errorf("median %v", res.MedianSeconds)
+	}
+	if d := res.Extras["delivered"]; d <= 0 || d > 1 {
+		t.Errorf("delivered %v", d)
+	}
+}

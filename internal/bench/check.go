@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/arrow-te/arrow/internal/stats"
+)
+
+// CheckOptions tunes the regression gate.
+type CheckOptions struct {
+	// MADK is the robust threshold width: a metric regresses when it lands
+	// beyond baseline ± MADK·MAD (default 5). The MAD is taken across the
+	// comparable history, so noisy workloads earn wide gates automatically.
+	MADK float64
+	// MinSlack is the floor on relative slack (default 0.30): even a
+	// perfectly quiet history tolerates a 30% excursion before failing, so
+	// a short history of near-identical runs does not gate on scheduler
+	// jitter.
+	MinSlack float64
+}
+
+func (o CheckOptions) withDefaults() CheckOptions {
+	if o.MADK <= 0 {
+		o.MADK = 5
+	}
+	if o.MinSlack <= 0 {
+		o.MinSlack = 0.30
+	}
+	return o
+}
+
+// Finding is one metric's verdict from Check.
+type Finding struct {
+	Workload string  `json:"workload"`
+	Metric   string  `json:"metric"`
+	Baseline float64 `json:"baseline,omitempty"`
+	MAD      float64 `json:"mad,omitempty"`
+	Limit    float64 `json:"limit,omitempty"`
+	Current  float64 `json:"current,omitempty"`
+	// Regression is true when Current lands on the wrong side of Limit
+	// (above it for seconds, below it for benefit ratios).
+	Regression bool `json:"regression,omitempty"`
+	// Skipped marks gates that could not run (no comparable history,
+	// invalid ratios); Reason says why. A skipped gate passes.
+	Skipped bool   `json:"skipped,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+func (f Finding) String() string {
+	switch {
+	case f.Skipped:
+		return fmt.Sprintf("SKIP %s/%s: %s", f.Workload, f.Metric, f.Reason)
+	case f.Regression:
+		return fmt.Sprintf("FAIL %s/%s: current %.4g vs baseline %.4g (MAD %.4g, limit %.4g)",
+			f.Workload, f.Metric, f.Current, f.Baseline, f.MAD, f.Limit)
+	default:
+		return fmt.Sprintf("ok   %s/%s: current %.4g within limit %.4g (baseline %.4g)",
+			f.Workload, f.Metric, f.Current, f.Limit, f.Baseline)
+	}
+}
+
+// Check gates cur against the history with MAD-robust thresholds.
+//
+// Comparability: only entries with the same GoMaxProcs as cur form the
+// baseline — comparing a 1-CPU run against an 8-CPU history (or vice versa)
+// would gate on the machine, not the code. With no comparable entries every
+// gate is skipped (which passes): on a new machine class the run seeds the
+// history instead of failing it.
+//
+// Gates: each workload's median_seconds must not exceed
+// max(baseline·(1+MinSlack), baseline + MADK·MAD) where baseline is the
+// median of the comparable historical medians. Extras gate downward the same
+// way (they are benefit metrics — speedups, pivot-work savings — so falling
+// is the regression), except *_seconds extras, which are wall times and gate
+// upward. Ratio extras listed in the workload's InvalidRatios are skipped.
+func Check(history []Entry, cur *Entry, opts CheckOptions) ([]Finding, bool) {
+	opts = opts.withDefaults()
+	var findings []Finding
+	failed := false
+
+	comparable := make([]Entry, 0, len(history))
+	for _, h := range history {
+		if h.GoMaxProcs == cur.GoMaxProcs {
+			comparable = append(comparable, h)
+		}
+	}
+
+	for _, res := range cur.Results {
+		invalid := map[string]bool{}
+		for _, k := range res.InvalidRatios {
+			invalid[k] = true
+		}
+
+		findings = append(findings, checkMetric(comparable, cur, res.Workload,
+			"median_seconds", res.MedianSeconds, false, invalid, opts))
+
+		extras := make([]string, 0, len(res.Extras))
+		for k := range res.Extras {
+			extras = append(extras, k)
+		}
+		sort.Strings(extras)
+		for _, k := range extras {
+			// Extras are benefit metrics (speedups, pivot-work savings,
+			// delivered fractions) that regress by FALLING — except *_seconds
+			// extras, which are wall times and regress by rising.
+			lowerIsBad := !strings.HasSuffix(k, "_seconds")
+			findings = append(findings, checkMetric(comparable, cur, res.Workload,
+				k, res.Extras[k], lowerIsBad, invalid, opts))
+		}
+	}
+	for _, f := range findings {
+		if f.Regression {
+			failed = true
+		}
+	}
+	return findings, !failed
+}
+
+// checkMetric gates one metric. lowerIsBad selects the gate direction:
+// false for wall times (regression = slower), true for benefit ratios
+// (regression = less benefit).
+func checkMetric(history []Entry, cur *Entry, workload, metric string, current float64, lowerIsBad bool, invalid map[string]bool, opts CheckOptions) Finding {
+	f := Finding{Workload: workload, Metric: metric, Current: current}
+	if invalid[metric] {
+		f.Skipped = true
+		f.Reason = "ratio metric invalid on this machine (<2 effective CPUs)"
+		return f
+	}
+	var hist []float64
+	for _, h := range history {
+		if metric != "median_seconds" && !ratiosComparable(h, cur, metric) {
+			continue
+		}
+		for _, r := range h.Results {
+			if r.Workload != workload {
+				continue
+			}
+			if metric == "median_seconds" {
+				hist = append(hist, r.MedianSeconds)
+			} else if v, ok := r.Extras[metric]; ok && !invalidIn(r, metric) {
+				hist = append(hist, v)
+			}
+		}
+	}
+	if len(hist) == 0 {
+		f.Skipped = true
+		f.Reason = fmt.Sprintf("no comparable history (GOMAXPROCS=%d)", cur.GoMaxProcs)
+		return f
+	}
+	baseline := stats.Median(hist)
+	mad := stats.MAD(hist)
+	f.Baseline, f.MAD = baseline, mad
+	slack := baseline * opts.MinSlack
+	if slack < 0 {
+		slack = -slack
+	}
+	widened := opts.MADK * mad
+	if widened < slack {
+		widened = slack
+	}
+	if lowerIsBad {
+		f.Limit = baseline - widened
+		f.Regression = current < f.Limit
+	} else {
+		f.Limit = baseline + widened
+		f.Regression = current > f.Limit
+	}
+	return f
+}
+
+// ratiosComparable reports whether a historical entry's ratio metrics can
+// be compared against cur's: both sides must have been measured where
+// ratios are valid. Non-ratio extras (deterministic pivot-work ratios,
+// cold_seconds) are always comparable; only metrics flagged invalid in
+// either entry are not.
+func ratiosComparable(h Entry, cur *Entry, metric string) bool {
+	for _, r := range h.Results {
+		if invalidIn(r, metric) {
+			return false
+		}
+	}
+	for _, r := range cur.Results {
+		if invalidIn(r, metric) {
+			return false
+		}
+	}
+	return true
+}
+
+func invalidIn(r Result, metric string) bool {
+	for _, k := range r.InvalidRatios {
+		if k == metric {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func histEntry(procs int, medians ...float64) Entry {
+	e := Entry{SchemaVersion: 1, GoMaxProcs: procs, RatiosValid: procs >= 2}
+	for _, m := range medians {
+		e.Results = append(e.Results, Result{Workload: "w", MedianSeconds: m})
+	}
+	return e
+}
+
+func findFinding(t *testing.T, fs []Finding, workload, metric string) Finding {
+	t.Helper()
+	for _, f := range fs {
+		if f.Workload == workload && f.Metric == metric {
+			return f
+		}
+	}
+	t.Fatalf("no finding for %s/%s in %+v", workload, metric, fs)
+	return Finding{}
+}
+
+func TestCheckPassesWithinNoise(t *testing.T) {
+	history := []Entry{histEntry(1, 1.00), histEntry(1, 1.02), histEntry(1, 0.98)}
+	cur := histEntry(1, 1.05)
+	findings, ok := Check(history, &cur, CheckOptions{})
+	if !ok {
+		t.Fatalf("in-noise run failed: %+v", findings)
+	}
+	f := findFinding(t, findings, "w", "median_seconds")
+	if f.Skipped || f.Regression {
+		t.Errorf("finding %+v", f)
+	}
+	if f.Baseline != 1.00 {
+		t.Errorf("baseline %v", f.Baseline)
+	}
+}
+
+// TestCheckFailsOnInjectedRegression is the acceptance gate: a run that is
+// genuinely slower than the history's MAD envelope must fail -check.
+func TestCheckFailsOnInjectedRegression(t *testing.T) {
+	history := []Entry{histEntry(1, 1.00), histEntry(1, 1.02), histEntry(1, 0.98)}
+	cur := histEntry(1, 2.0) // 2x: past both the 30% slack and 5*MAD
+	findings, ok := Check(history, &cur, CheckOptions{})
+	if ok {
+		t.Fatal("injected 2x regression passed the gate")
+	}
+	f := findFinding(t, findings, "w", "median_seconds")
+	if !f.Regression {
+		t.Errorf("finding not a regression: %+v", f)
+	}
+	if !strings.HasPrefix(f.String(), "FAIL") {
+		t.Errorf("String() = %q", f.String())
+	}
+}
+
+func TestCheckMinSlackAbsorbsQuietHistory(t *testing.T) {
+	// Identical history → MAD 0; only MinSlack keeps the gate sane.
+	history := []Entry{histEntry(1, 1.0), histEntry(1, 1.0), histEntry(1, 1.0)}
+	within := histEntry(1, 1.25)
+	if _, ok := Check(history, &within, CheckOptions{}); !ok {
+		t.Error("25% excursion failed despite 30% MinSlack")
+	}
+	beyond := histEntry(1, 1.35)
+	if _, ok := Check(history, &beyond, CheckOptions{}); ok {
+		t.Error("35% excursion passed a zero-MAD history")
+	}
+}
+
+func TestCheckSkipsOnGoMaxProcsMismatch(t *testing.T) {
+	history := []Entry{histEntry(1, 1.0), histEntry(1, 1.0)}
+	cur := histEntry(8, 50.0) // would fail badly if compared
+	findings, ok := Check(history, &cur, CheckOptions{})
+	if !ok {
+		t.Fatalf("mismatched-machine run failed: %+v", findings)
+	}
+	f := findFinding(t, findings, "w", "median_seconds")
+	if !f.Skipped || !strings.Contains(f.Reason, "no comparable history") {
+		t.Errorf("finding %+v", f)
+	}
+	if !strings.HasPrefix(f.String(), "SKIP") {
+		t.Errorf("String() = %q", f.String())
+	}
+}
+
+// TestCheckSkipsInvalidRatios is the invalid-speedup trap end to end: ratio
+// extras measured on a <2-CPU machine are flagged InvalidRatios and the
+// gate must skip them — even when the recorded value would otherwise fail.
+func TestCheckSkipsInvalidRatios(t *testing.T) {
+	good := Entry{SchemaVersion: 1, GoMaxProcs: 2, RatiosValid: true, Results: []Result{{
+		Workload: "w", MedianSeconds: 1.0, Extras: map[string]float64{"speedup": 3.0},
+	}}}
+	history := []Entry{good, good, good}
+	cur := Entry{SchemaVersion: 1, GoMaxProcs: 2, RatiosValid: false, Results: []Result{{
+		Workload: "w", MedianSeconds: 1.0,
+		Extras:        map[string]float64{"speedup": 1.0}, // collapse: would fail a real gate
+		InvalidRatios: []string{"speedup"},
+	}}}
+	findings, ok := Check(history, &cur, CheckOptions{})
+	if !ok {
+		t.Fatalf("invalid-ratio run failed: %+v", findings)
+	}
+	f := findFinding(t, findings, "w", "speedup")
+	if !f.Skipped || !strings.Contains(f.Reason, "invalid") {
+		t.Errorf("finding %+v", f)
+	}
+}
+
+// TestCheckGatesRatioExtrasDownward: benefit ratios regress by falling, not
+// rising. A colgen pivot-work ratio collapsing from 4x to 1x must fail.
+func TestCheckGatesRatioExtrasDownward(t *testing.T) {
+	mk := func(ratio float64) Entry {
+		return Entry{SchemaVersion: 1, GoMaxProcs: 1, RatiosValid: false, Results: []Result{{
+			Workload: "w", MedianSeconds: 1.0,
+			Extras: map[string]float64{"phase1_work_ratio": ratio},
+		}}}
+	}
+	history := []Entry{mk(4.0), mk(4.1), mk(3.9)}
+	ok1 := mk(3.8)
+	if _, ok := Check(history, &ok1, CheckOptions{}); !ok {
+		t.Error("healthy ratio failed")
+	}
+	collapsed := mk(1.0)
+	findings, ok := Check(history, &collapsed, CheckOptions{})
+	if ok {
+		t.Fatal("collapsed benefit ratio passed")
+	}
+	f := findFinding(t, findings, "w", "phase1_work_ratio")
+	if !f.Regression || f.Current != 1.0 {
+		t.Errorf("finding %+v", f)
+	}
+	// And a higher-than-history ratio is an improvement, not a failure.
+	better := mk(6.0)
+	if _, ok := Check(history, &better, CheckOptions{}); !ok {
+		t.Error("improved ratio failed the downward gate")
+	}
+}
+
+func TestCheckEmptyHistorySeedsCleanly(t *testing.T) {
+	cur := histEntry(1, 1.0)
+	findings, ok := Check(nil, &cur, CheckOptions{})
+	if !ok {
+		t.Fatalf("first-ever run failed: %+v", findings)
+	}
+	for _, f := range findings {
+		if !f.Skipped {
+			t.Errorf("expected skip, got %+v", f)
+		}
+	}
+}
+
+// TestCheckSecondsExtrasGateUpward: a *_seconds extra is a wall time, so it
+// regresses by rising — a faster cold solve must pass, a slower one fail.
+func TestCheckSecondsExtrasGateUpward(t *testing.T) {
+	mk := func(coldSec float64) Entry {
+		return Entry{SchemaVersion: 1, GoMaxProcs: 1, Results: []Result{{
+			Workload: "w", MedianSeconds: 1.0,
+			Extras: map[string]float64{"cold_seconds": coldSec},
+		}}}
+	}
+	history := []Entry{mk(0.20), mk(0.21), mk(0.19)}
+	faster := mk(0.05)
+	if _, ok := Check(history, &faster, CheckOptions{}); !ok {
+		t.Error("faster cold solve failed the gate")
+	}
+	slower := mk(0.50)
+	findings, ok := Check(history, &slower, CheckOptions{})
+	if ok {
+		t.Error("2.5x slower cold solve passed")
+	}
+	f := findFinding(t, findings, "w", "cold_seconds")
+	if !f.Regression {
+		t.Errorf("finding %+v", f)
+	}
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ReadHistory parses a JSONL benchmark history (BENCH_history.jsonl): one
+// Entry per line, oldest first. A missing file is an empty history, not an
+// error, so first runs bootstrap cleanly.
+func ReadHistory(path string) ([]Entry, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer fd.Close()
+	var entries []Entry
+	sc := bufio.NewScanner(fd)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// AppendEntry appends one entry to the JSONL history, creating the file if
+// needed.
+func AppendEntry(path string, e *Entry) error {
+	raw, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	fd, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := fd.Write(append(raw, '\n'))
+	if cerr := fd.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// WriteEntry writes one entry as a standalone JSON file (the CI smoke job
+// saves its run this way, then gates with arrow-bench -check -entry).
+func WriteEntry(path string, e *Entry) error {
+	raw, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// ReadEntry reads a standalone entry JSON file written by WriteEntry.
+func ReadEntry(path string) (*Entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var e Entry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &e, nil
+}

@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/arrow-te/arrow/internal/eval"
+	"github.com/arrow-te/arrow/internal/lp"
+	"github.com/arrow-te/arrow/internal/obs"
+	"github.com/arrow-te/arrow/internal/sim"
+	"github.com/arrow-te/arrow/internal/te"
+	"github.com/arrow-te/arrow/internal/topo"
+	"github.com/arrow-te/arrow/internal/traffic"
+)
+
+// Workloads returns the standard registry, in execution order. Each is
+// seeded from RunConfig.Seed and reuses the internal/eval entry points, so
+// a number in the history is the same computation cmd/arrow-experiments and
+// the tests run.
+func Workloads() []Workload {
+	return []Workload{
+		{
+			Name:        "pipeline-build",
+			Desc:        "standard B4 offline pipeline build (enumerate, RWA, tickets) at the configured worker count",
+			RatioExtras: []string{"speedup"},
+			Prepare:     preparePipelineBuild,
+		},
+		{
+			Name:    "availability-sweep",
+			Desc:    "fig13 availability sweep (fast scale), sweep cache reset each iteration",
+			Prepare: prepareAvailabilitySweep,
+		},
+		{
+			Name:    "timeline-sim",
+			Desc:    "90-day failure-timeline replay against a solved allocation",
+			Prepare: prepareTimelineSim,
+		},
+		{
+			Name:    "warm-vs-cold",
+			Desc:    "two-phase ARROW solve with warm starts; cold-start comparison in extras",
+			Prepare: prepareWarmVsCold,
+		},
+		{
+			Name:    "colgen-ab",
+			Desc:    "two-phase ARROW solve with ticket column generation; full-enumeration comparison in extras",
+			Prepare: prepareColgenAB,
+		},
+	}
+}
+
+// WorkloadByName resolves one registry entry.
+func WorkloadByName(name string) (Workload, bool) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// preparePipelineBuild measures the offline pipeline build. The parallel
+// speedup extra is timed once in Prepare (serial vs configured workers) so
+// the measured iterations stay a single clean build; it is a RatioExtra —
+// invalid and gate-skipped on <2 effective CPUs.
+func preparePipelineBuild(cfg RunConfig) (Iteration, error) {
+	timeBuild := func(workers int) (float64, error) {
+		start := time.Now()
+		err := eval.BuildPipelineBench(cfg.Seed, workers, false, false)
+		return time.Since(start).Seconds(), err
+	}
+	serial, err := timeBuild(1)
+	if err != nil {
+		return nil, err
+	}
+	speedup := 1.0
+	if cfg.Workers > 1 {
+		par, err := timeBuild(cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		if par > 0 {
+			speedup = serial / par
+		}
+	}
+	extras := map[string]float64{"speedup": speedup}
+	return func() (map[string]float64, error) {
+		return extras, eval.BuildPipelineBench(cfg.Seed, cfg.Workers, false, false)
+	}, nil
+}
+
+func prepareAvailabilitySweep(cfg RunConfig) (Iteration, error) {
+	exp, ok := eval.ByID("fig13")
+	if !ok {
+		return nil, fmt.Errorf("experiment fig13 not registered")
+	}
+	ecfg := eval.Config{Fast: true, Seed: cfg.Seed, Parallelism: cfg.Workers}
+	return func() (map[string]float64, error) {
+		eval.ResetSweepCache() // measure the sweep, not the memo
+		_, err := exp.Run(ecfg)
+		return nil, err
+	}, nil
+}
+
+// prepareTimelineSim replays a dense 90-day failure timeline on a small
+// restorable network, the hot loop behind the availability simulations.
+func prepareTimelineSim(cfg RunConfig) (Iteration, error) {
+	n := &te.Network{
+		LinkCap: []float64{100, 100},
+		Flows:   []te.Flow{{Src: 0, Dst: 1, Demand: 150}},
+		Tunnels: [][]te.Tunnel{{{Links: []int{0}}, {Links: []int{1}}}},
+	}
+	alloc := &te.Allocation{B: []float64{150}, A: [][]float64{{75, 75}}}
+	project := func(cut []int) []int { return append([]int(nil), cut...) }
+	scenarios := []te.FailureScenario{{FailedLinks: []int{0}}, {FailedLinks: []int{1}}}
+	restored := []map[int]float64{{0: 100}, {1: 100}}
+	const durationH = 90 * 24
+	events := sim.GenerateTimeline(2, sim.TimelineOptions{
+		DurationH: durationH, CutsPerMonth: 60, Seed: cfg.Seed,
+	})
+	return func() (map[string]float64, error) {
+		r := sim.NewRunner(n, alloc, project, scenarios, restored)
+		r.Parallelism = cfg.Workers
+		r.Latency = sim.ConstLatency{Sec: 30}
+		r.LatencySeed = cfg.Seed
+		rep := r.Run(events, durationH)
+		return map[string]float64{"delivered": rep.Delivered}, nil
+	}, nil
+}
+
+// standardInstance builds the standard B4 pipeline + scaled traffic network
+// that RunRecorded solves, handing back the raw te.Arrow inputs so the
+// solve-only workloads can re-run the TE phase with their own options.
+func standardInstance(cfg RunConfig) (*te.Network, []te.RestorableScenario, error) {
+	tp, err := topo.B4(cfg.Seed + 5)
+	if err != nil {
+		return nil, nil, err
+	}
+	pl, err := eval.BuildPipeline(tp, eval.PipelineOptions{
+		Cutoff: 0.001, NumTickets: 12, Seed: cfg.Seed, MaxScenarios: 16,
+		Parallelism: cfg.Workers,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	m := traffic.Generate(traffic.Options{
+		Sites: tp.NumRouters(), Count: 1, MaxFlows: 40, TotalGbps: 1, Seed: cfg.Seed + 7,
+	})[0]
+	base, err := pl.BaseNetwork(m, 8)
+	if err != nil {
+		return nil, nil, err
+	}
+	return base.Scaled(3), pl.Scenarios, nil
+}
+
+// solvePivotWork runs one ARROW solve with a fresh registry and returns the
+// te.phase1_pivot_work counter (deterministic, so the extras it feeds gate
+// reliably even on one CPU).
+func solvePivotWork(n *te.Network, scs []te.RestorableScenario, opts te.ArrowOptions) (pivots float64, seconds float64, err error) {
+	reg := obs.NewRegistry()
+	opts.LP = &lp.Options{Recorder: reg}
+	start := time.Now()
+	_, err = te.Arrow(n, scs, &opts)
+	seconds = time.Since(start).Seconds()
+	if err != nil {
+		return 0, 0, err
+	}
+	return float64(reg.Counter("te.phase1_pivot_work")), seconds, nil
+}
+
+func prepareWarmVsCold(cfg RunConfig) (Iteration, error) {
+	n, scs, err := standardInstance(cfg)
+	if err != nil {
+		return nil, err
+	}
+	warmPivots, _, err := solvePivotWork(n, scs, te.ArrowOptions{Parallelism: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	coldPivots, coldSec, err := solvePivotWork(n, scs, te.ArrowOptions{NoWarm: true, Parallelism: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	extras := map[string]float64{"cold_seconds": coldSec}
+	if warmPivots > 0 {
+		// Pivot counts are deterministic, so this benefit ratio is a sound
+		// regression gate even where wall-clock speedups are not.
+		extras["cold_over_warm_pivots"] = coldPivots / warmPivots
+	}
+	opts := &te.ArrowOptions{Parallelism: cfg.Workers}
+	return func() (map[string]float64, error) {
+		_, err := te.Arrow(n, scs, opts)
+		return extras, err
+	}, nil
+}
+
+func prepareColgenAB(cfg RunConfig) (Iteration, error) {
+	n, scs, err := standardInstance(cfg)
+	if err != nil {
+		return nil, err
+	}
+	colgenPivots, _, err := solvePivotWork(n, scs, te.ArrowOptions{Parallelism: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	fullPivots, _, err := solvePivotWork(n, scs, te.ArrowOptions{NoColgen: true, Parallelism: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	extras := map[string]float64{}
+	if colgenPivots > 0 {
+		extras["phase1_work_ratio"] = fullPivots / colgenPivots
+	}
+	opts := &te.ArrowOptions{Parallelism: cfg.Workers}
+	return func() (map[string]float64, error) {
+		_, err := te.Arrow(n, scs, opts)
+		return extras, err
+	}, nil
+}

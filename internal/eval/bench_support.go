@@ -67,13 +67,19 @@ type RunOptions struct {
 	// HealthEvery probes every LP solve's numerical health at this pivot
 	// period (0 = off); see PipelineOptions.HealthEvery.
 	HealthEvery int
+	// Profiler attributes the run's wall time and allocations to stages
+	// (eval.topo, pipeline.*, eval.prepare, te.*); see
+	// PipelineOptions.Profiler. Nil-safe and result-neutral like Recorder.
+	Profiler *obs.StageProfiler
 }
 
 // RunRecordedWith is RunRecorded with the full option set, notably the
 // solver-health probe period behind cmd/arrow-report -run -health-every.
 func RunRecordedWith(opts RunOptions) (*Pipeline, *te.Allocation, error) {
 	seed := opts.Seed
+	endTopo := opts.Profiler.Stage("eval.topo")
 	tp, err := topo.B4(seed + 5)
+	endTopo()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -81,14 +87,17 @@ func RunRecordedWith(opts RunOptions) (*Pipeline, *te.Allocation, error) {
 		Cutoff: 0.001, NumTickets: 12, Seed: seed, MaxScenarios: 16,
 		Parallelism: opts.Workers, Recorder: opts.Recorder, Ledger: opts.Ledger,
 		NoColgen: opts.NoColgen, HealthEvery: opts.HealthEvery,
+		Profiler: opts.Profiler,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
+	endPrep := opts.Profiler.Stage("eval.prepare")
 	m := traffic.Generate(traffic.Options{
 		Sites: tp.NumRouters(), Count: 1, MaxFlows: 40, TotalGbps: 1, Seed: seed + 7,
 	})[0]
 	base, err := pl.BaseNetwork(m, 8)
+	endPrep()
 	if err != nil {
 		return nil, nil, err
 	}

@@ -42,6 +42,7 @@ type Pipeline struct {
 	noColgen        bool
 	parallelism     int
 	healthEvery     int
+	prof            *obs.StageProfiler
 }
 
 // PipelineOptions configures pipeline construction.
@@ -96,6 +97,14 @@ type PipelineOptions struct {
 	// keeps probing off. Probes only read solver state: results are
 	// byte-identical probed or not, at every Parallelism.
 	HealthEvery int
+	// Profiler attributes the build's resources to stages: the top-level
+	// pipeline.graph / pipeline.enumerate / pipeline.offline wall stages
+	// plus the rwa.solve / ticket.generate aggregates summed across
+	// workers. It is threaded into the TE solves issued later via
+	// SolveScheme (te.phase1, te.phase2, te.pricing). Same contract as
+	// Recorder: nil costs a nil check and the pipeline is byte-identical
+	// profiled or not, at every Parallelism.
+	Profiler *obs.StageProfiler
 }
 
 // solveRWA is rwa.Solve behind a seam so tests can inject failures into
@@ -138,8 +147,10 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 	defer endBuild()
 
 	endEnum := obs.Span(ctx, "pipeline.enumerate")
+	endEnumStage := opts.Profiler.Stage("pipeline.enumerate")
 	probs := scenario.FailureProbabilities(len(tp.Opt.Fibers), scenario.DefaultShape, scenario.DefaultScale, opts.Seed)
 	set := scenario.Enumerate(probs, opts.Cutoff)
+	endEnumStage()
 	endEnum()
 	obs.Add(opts.Recorder, "pipeline.scenarios_enumerated", int64(len(set.Scenarios)))
 	if opts.Ledger != nil {
@@ -149,13 +160,15 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 		Topo: tp, Set: set, baseUtilization: opts.BaseUtilization,
 		rec: opts.Recorder, led: opts.Ledger,
 		noWarm: opts.NoWarm, noColgen: opts.NoColgen, parallelism: opts.Parallelism,
-		healthEvery: opts.HealthEvery,
+		healthEvery: opts.HealthEvery, prof: opts.Profiler,
 	}
 
 	// Pre-build the lazily-memoised optical graph once, on this goroutine,
 	// before fanning out (the memoisation itself is also mutex-guarded; this
 	// just avoids serialising the first wave of workers on that lock).
+	endGraph := opts.Profiler.Stage("pipeline.graph")
 	tp.Opt.Graph()
+	endGraph()
 
 	// buildOne runs the offline stage for enumerated scenario si. It only
 	// reads shared state (topology, scenario set), derives its RNG from the
@@ -163,12 +176,14 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 	// scenarios before it were relevant — and returns fresh artifacts, so
 	// scenarios parallelise freely and results cannot depend on schedule.
 	buildOne := func(_ context.Context, si int) (*scenarioArtifacts, error) {
+		endRWA := opts.Profiler.StageAgg("rwa.solve")
 		res, err := solveRWA(&rwa.Request{
 			Net: tp.Opt, Cut: set.Scenarios[si].Cut, K: opts.K,
 			AllowTuning: true, AllowModulationChange: true,
 			Recorder: opts.Recorder, NoWarm: opts.NoWarm,
 			HealthEvery: opts.HealthEvery,
 		})
+		endRWA()
 		if err != nil {
 			return nil, fmt.Errorf("eval: scenario %d rwa: %w", si, err)
 		}
@@ -197,6 +212,8 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 		}
 		a.tickets = []ticket.Ticket{a.naive}
 		if opts.NumTickets > 1 {
+			endTickets := opts.Profiler.StageAgg("ticket.generate")
+			defer endTickets()
 			rolled := ticket.Generate(res, ticket.Options{
 				Count:            opts.NumTickets - 1,
 				Stride:           opts.Stride,
@@ -227,6 +244,7 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 	}
 	endOffline := obs.Span(ctx, "pipeline.offline")
 	defer endOffline()
+	defer opts.Profiler.Stage("pipeline.offline")()
 	kept := 0
 	for lo := 0; lo < len(set.Scenarios) && kept < budget; {
 		hi := lo + (budget - kept)
@@ -307,10 +325,11 @@ func (p *Pipeline) SolveScheme(s Scheme, n *te.Network) (*te.Allocation, []map[i
 	// the options stay nil exactly as before (nil defaults to colgen on,
 	// serial pricing — same results, just an unfanned pricing sweep).
 	var arrowOpts *te.ArrowOptions
-	if p.rec != nil || p.led != nil || p.noWarm || p.noColgen || p.parallelism > 1 || p.healthEvery > 0 {
+	if p.rec != nil || p.led != nil || p.noWarm || p.noColgen || p.parallelism > 1 || p.healthEvery > 0 || p.prof != nil {
 		arrowOpts = &te.ArrowOptions{
 			Ledger: p.led, NoWarm: p.noWarm,
 			NoColgen: p.noColgen, Parallelism: p.parallelism,
+			Profiler: p.prof,
 		}
 		if p.rec != nil || p.healthEvery > 0 {
 			arrowOpts.LP = &lp.Options{Recorder: p.rec, HealthEvery: p.healthEvery}

@@ -54,6 +54,14 @@ func latencySimNet() (*te.Network, sim.Projector, []te.FailureScenario, []map[in
 // sim_summary events feed cmd/arrow-report's latency section and the -diff
 // latency-ratio gate.
 func RunTestbedRecorded(seed int64, rec obs.Recorder, led *ledger.Ledger) (*TestbedOutcome, error) {
+	return RunTestbedProfiled(seed, rec, led, nil)
+}
+
+// RunTestbedProfiled is RunTestbedRecorded with stage attribution: the
+// emulated episodes land in testbed.emulate, the empirical latency-sample
+// episodes in testbed.latency_samples, and the replays in sim.replay. A nil
+// profiler reproduces RunTestbedRecorded exactly (byte-identical outcome).
+func RunTestbedProfiled(seed int64, rec obs.Recorder, led *ledger.Ledger, prof *obs.StageProfiler) (*TestbedOutcome, error) {
 	ctx := ledger.WithLedger(obs.WithRecorder(context.Background(), rec), led)
 	episode := func(noiseLoading bool) (*emu.Trial, error) {
 		net, err := emu.Testbed()
@@ -62,11 +70,14 @@ func RunTestbedRecorded(seed int64, rec obs.Recorder, led *ledger.Ledger) (*Test
 		}
 		return emu.RunRestorationCtx(ctx, net, []int{emu.FiberDC}, emu.Config{NoiseLoading: noiseLoading, Seed: seed})
 	}
+	endEmu := prof.Stage("testbed.emulate")
 	legacy, err := episode(false)
 	if err != nil {
+		endEmu()
 		return nil, err
 	}
 	arrow, err := episode(true)
+	endEmu()
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +88,9 @@ func RunTestbedRecorded(seed int64, rec obs.Recorder, led *ledger.Ledger) (*Test
 	// seed — only the (emu-measured) latency distribution differs.
 	events := sim.GenerateTimeline(2, sim.TimelineOptions{DurationH: 90 * 24, CutsPerMonth: 40, Seed: seed})
 	replay := func(label string, noiseLoading bool) (*sim.Report, error) {
+		endSamples := prof.Stage("testbed.latency_samples")
 		samples, err := emu.LatencySamples(noiseLoading, 4, seed+100)
+		endSamples()
 		if err != nil {
 			return nil, err
 		}
@@ -88,6 +101,7 @@ func RunTestbedRecorded(seed int64, rec obs.Recorder, led *ledger.Ledger) (*Test
 		r.Label = label
 		r.Recorder = rec
 		r.Ledger = led
+		r.Profiler = prof
 		return r.Run(events, 90*24), nil
 	}
 	if out.LegacySim, err = replay("legacy", false); err != nil {

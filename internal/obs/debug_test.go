@@ -115,3 +115,100 @@ func TestServeContextGracefulShutdown(t *testing.T) {
 		t.Error("listener still accepting after context cancel")
 	}
 }
+
+// TestDebugServerBenchEndpoint covers /bench in all three states: no
+// source wired (404), a source with no run yet (404), and a recorded run
+// (JSON round trip).
+func TestDebugServerBenchEndpoint(t *testing.T) {
+	off, err := ServeWith("127.0.0.1:0", ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	if code, _ := get(t, "http://"+off.Addr()+"/bench"); code != http.StatusNotFound {
+		t.Errorf("/bench without a source: status %d, want 404", code)
+	}
+
+	var state any // what a CLI would publish after each harness run
+	srv, err := ServeWith("127.0.0.1:0", ServeOpts{Bench: func() any { return state }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	if code, _ := get(t, base+"/bench"); code != http.StatusNotFound {
+		t.Errorf("/bench before any run: status %d, want 404", code)
+	}
+	state = map[string]any{"go_max_procs": 4, "results": []any{map[string]any{"workload": "pipeline-build"}}}
+	code, body := get(t, base+"/bench")
+	if code != http.StatusOK {
+		t.Fatalf("/bench status %d: %s", code, body)
+	}
+	var got struct {
+		GoMaxProcs int `json:"go_max_procs"`
+		Results    []struct {
+			Workload string `json:"workload"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("/bench not JSON: %v\n%s", err, body)
+	}
+	if got.GoMaxProcs != 4 || len(got.Results) != 1 || got.Results[0].Workload != "pipeline-build" {
+		t.Errorf("/bench round trip: %+v", got)
+	}
+}
+
+// TestTimeseriesUnderLoad scrapes /timeseries repeatedly while the sampler
+// and registry churn at full speed: responses must stay valid JSON with
+// in-capacity, time-ordered windows throughout (run under -race in CI).
+func TestTimeseriesUnderLoad(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSampler(reg, 200*time.Microsecond, 16)
+	s.Start()
+	defer s.Stop()
+	srv, err := ServeWith("127.0.0.1:0", ServeOpts{Registry: reg, Sampler: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				reg.Add("lp.pivots", 3)
+				reg.Gauge("load", float64(i%100))
+			}
+		}
+	}()
+	defer close(stop)
+
+	url := "http://" + srv.Addr() + "/timeseries"
+	for i := 0; i < 25; i++ {
+		code, body := get(t, url)
+		if code != http.StatusOK {
+			t.Fatalf("scrape %d: status %d", i, code)
+		}
+		var doc struct {
+			IntervalMs int64                    `json:"interval_ms"`
+			Series     map[string][]SeriesPoint `json:"series"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatalf("scrape %d: invalid JSON: %v\n%s", i, err, body)
+		}
+		for key, pts := range doc.Series {
+			if len(pts) > 16 {
+				t.Fatalf("scrape %d: %s has %d points, capacity 16", i, key, len(pts))
+			}
+			for j := 1; j < len(pts); j++ {
+				if pts[j].UnixMs < pts[j-1].UnixMs {
+					t.Fatalf("scrape %d: %s timestamps not monotone: %v", i, key, pts)
+				}
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

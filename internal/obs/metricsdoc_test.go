@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestCounterHelpCoversSchema keeps counterHelp and CoreCounters exactly
+// aligned: every counter documented, no stale docs for removed counters.
+func TestCounterHelpCoversSchema(t *testing.T) {
+	seen := map[string]bool{}
+	for _, name := range CoreCounters {
+		if counterHelp[name] == "" {
+			t.Errorf("counter %q has no help text", name)
+		}
+		seen[name] = true
+	}
+	for name := range counterHelp {
+		if !seen[name] {
+			t.Errorf("counterHelp documents %q, which is not in CoreCounters", name)
+		}
+	}
+}
+
+func TestMetricsDocContent(t *testing.T) {
+	doc := MetricsDoc()
+	for _, want := range []string{
+		"# Metric namespace",
+		"## Counters", "## Gauges", "## Histograms",
+		"`lp.pivots`", "`bench.workloads`", "`emu.latency_ratio`",
+		"`bench.stage_coverage`", "`lp.pivots_per_solve`",
+		"`testbed.restore_seconds`",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("MetricsDoc missing %q", want)
+		}
+	}
+	for _, d := range append(append(CounterDocs(), CoreGauges...), CoreHistograms...) {
+		if d.Help == "" {
+			t.Errorf("metric %q (%s) has no help text", d.Name, d.Kind)
+		}
+	}
+}
+
+// TestMetricsMDFresh is the go:generate freshness gate: the committed
+// METRICS.md must match what MetricsDoc renders. Regenerate with
+// `go run ./cmd/arrow-bench -write-metrics-md METRICS.md`.
+func TestMetricsMDFresh(t *testing.T) {
+	raw, err := os.ReadFile("../../METRICS.md")
+	if err != nil {
+		t.Fatalf("METRICS.md unreadable (regenerate with arrow-bench -write-metrics-md): %v", err)
+	}
+	if string(raw) != MetricsDoc() {
+		t.Error("METRICS.md is stale; regenerate: go run ./cmd/arrow-bench -write-metrics-md METRICS.md")
+	}
+}

@@ -37,12 +37,21 @@ type Flags struct {
 	// events feeds the debug server's /events SSE stream; set it with
 	// SetEventStream before Start.
 	events EventSource
+	// bench feeds the debug server's /bench endpoint; set it with
+	// SetBenchSource before Start.
+	bench func() any
 }
 
 // SetEventStream wires a live event source (normally a ledger adapter)
 // into the debug server's /events endpoint. Must be called before Start to
 // take effect; a nil source leaves /events disabled.
 func (f *Flags) SetEventStream(src EventSource) { f.events = src }
+
+// SetBenchSource wires a benchmark-state provider (normally a closure over
+// cmd/arrow-bench's latest *bench.Entry) into the debug server's /bench
+// endpoint. Must be called before Start to take effect; a nil source leaves
+// /bench disabled.
+func (f *Flags) SetBenchSource(src func() any) { f.bench = src }
 
 // RegisterFlags declares the observability flags on fs (normally
 // flag.CommandLine) and returns the struct they parse into.
@@ -115,6 +124,7 @@ func (f *Flags) Start() (*Session, error) {
 			Registry: s.reg,
 			Events:   f.events,
 			Sampler:  s.sampler,
+			Bench:    f.bench,
 		})
 		if err != nil {
 			s.Close()

@@ -73,6 +73,9 @@ var CoreCounters = []string{
 	// Observability plane self-accounting.
 	"obs.late_hist_registrations",
 	"obs.sse.dropped_events",
+	// Performance observatory (internal/bench harness).
+	"bench.workloads",
+	"bench.iterations",
 }
 
 // defBuckets are the default histogram bucket upper bounds: powers of four

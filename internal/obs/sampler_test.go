@@ -2,7 +2,9 @@ package obs
 
 import (
 	"encoding/json"
+	"io"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -91,4 +93,86 @@ func TestSamplerWriteJSON(t *testing.T) {
 	if len(pts) != 1 || pts[0].V != 2 || pts[0].UnixMs != 42_000 {
 		t.Errorf("series %v", pts)
 	}
+}
+
+// TestRingWraparound drives the raw ring through several full laps and
+// checks the window stays exactly the last-capacity points, oldest first,
+// at every step — including the step where head wraps back to zero.
+func TestRingWraparound(t *testing.T) {
+	const capacity = 4
+	r := &ring{buf: make([]SeriesPoint, capacity)}
+	for i := 1; i <= 3*capacity+1; i++ {
+		r.push(SeriesPoint{UnixMs: int64(i), V: float64(i)})
+		pts := r.points()
+		want := i
+		if want > capacity {
+			want = capacity
+		}
+		if len(pts) != want {
+			t.Fatalf("after %d pushes: %d points, want %d", i, len(pts), want)
+		}
+		for j, p := range pts {
+			if exp := float64(i - want + 1 + j); p.V != exp {
+				t.Fatalf("after %d pushes: window %v, point %d = %v, want %v", i, pts, j, p.V, exp)
+			}
+		}
+	}
+}
+
+// TestSamplerConcurrentReadWrite hammers Sample, Series and WriteJSON from
+// concurrent goroutines while the instrumented registry keeps counting.
+// Run under -race (CI does) this pins the ring buffer's locking; the window
+// invariants are asserted on every read.
+func TestSamplerConcurrentReadWrite(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSampler(reg, time.Hour, 8) // driven manually
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() { // writer: registry churn + explicit samples
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			reg.Add("lp.pivots", 1)
+			reg.Gauge("load", float64(i))
+			s.Sample(time.UnixMilli(int64(i)))
+		}
+	}()
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() { // readers: Series and WriteJSON under churn
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for key, pts := range s.Series() {
+					if len(pts) > 8 {
+						t.Errorf("%s window %d points, capacity 8", key, len(pts))
+						return
+					}
+					for i := 1; i < len(pts); i++ {
+						if pts[i].UnixMs < pts[i-1].UnixMs {
+							t.Errorf("%s timestamps not monotone: %v", key, pts)
+							return
+						}
+					}
+				}
+				if err := s.WriteJSON(io.Discard); err != nil {
+					t.Errorf("WriteJSON: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
 }

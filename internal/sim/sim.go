@@ -118,6 +118,10 @@ type Runner struct {
 	// the interval count and the time-weighted delivered fraction. Same
 	// contract as Recorder: nil costs nothing and never changes the Report.
 	Ledger *ledger.Ledger
+	// Profiler attributes the replay's wall time and allocations to the
+	// sim.replay stage. Nil costs a nil check; reports are byte-identical
+	// profiled or not.
+	Profiler *obs.StageProfiler
 	// Latency, when non-nil, makes the replay restoration-latency-aware:
 	// each cut that fails IP links draws a restoration latency and the
 	// precomputed plan only takes effect once that window elapses — before
@@ -266,6 +270,7 @@ type intervalEval struct {
 // read-only, and the integration happens afterwards in time order), so the
 // report is identical for every worker count.
 func (r *Runner) Run(events []Event, durationH float64) *Report {
+	defer r.Profiler.Stage("sim.replay")()
 	ev := &availability.Evaluator{Net: r.Net, Alloc: r.Alloc, ECMPRebalance: r.ECMPRebalance}
 	ivs, draws := r.intervals(events, durationH)
 

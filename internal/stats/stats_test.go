@@ -183,3 +183,92 @@ func TestMeanSum(t *testing.T) {
 		t.Fatal("mean/sum wrong")
 	}
 }
+
+func TestMedian(t *testing.T) {
+	nan := math.NaN()
+	for _, tc := range []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, nan},
+		{"all-nan", []float64{nan, nan}, nan},
+		{"single", []float64{7}, 7},
+		{"odd", []float64{3, 1, 2}, 2},
+		{"even", []float64{4, 1, 3, 2}, 2.5},
+		{"nan-dropped", []float64{1, nan, 3}, 2},
+		{"negative", []float64{-5, -1, -3}, -3},
+	} {
+		got := Median(tc.in)
+		if math.IsNaN(tc.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: Median = %v, want NaN", tc.name, got)
+			}
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: Median = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// The input must not be reordered.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	nan := math.NaN()
+	for _, tc := range []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, nan},
+		{"constant", []float64{5, 5, 5}, 0},
+		{"odd", []float64{1, 2, 3, 4, 100}, 1},   // median 3, |dev| = {2,1,0,1,97} -> 1
+		{"symmetric", []float64{1, 3, 5}, 2},     // median 3, |dev| = {2,0,2}
+		{"nan-dropped", []float64{1, nan, 3}, 1}, // median 2, |dev| = {1,1}
+	} {
+		got := MAD(tc.in)
+		if math.IsNaN(tc.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: MAD = %v, want NaN", tc.name, got)
+			}
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: MAD = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestTrimOutliers(t *testing.T) {
+	nan := math.NaN()
+	for _, tc := range []struct {
+		name string
+		in   []float64
+		k    float64
+		want []float64
+	}{
+		{"empty", nil, 3, nil},
+		{"no-outliers", []float64{1, 2, 3}, 3, []float64{1, 2, 3}},
+		{"one-wild", []float64{1, 2, 3, 4, 1000}, 3, []float64{1, 2, 3, 4}},
+		{"default-k", []float64{1, 2, 3, 4, 1000}, 0, []float64{1, 2, 3, 4}},
+		{"zero-mad-keeps-ties", []float64{5, 5, 5, 9}, 3, []float64{5, 5, 5}},
+		{"nan-dropped", []float64{1, nan, 2}, 3, []float64{1, 2}},
+	} {
+		got := TrimOutliers(tc.in, tc.k)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: TrimOutliers = %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: TrimOutliers = %v, want %v", tc.name, got, tc.want)
+				break
+			}
+		}
+	}
+}

@@ -42,6 +42,11 @@ type ArrowOptions struct {
 	// options (a non-zero LP.HealthEvery wins); probes only read solver
 	// state and never change the allocation.
 	HealthEvery int
+	// Profiler attributes the solve's wall time and allocations to stages
+	// (te.phase1, te.phase2, plus the te.pricing aggregate for the colgen
+	// sweeps). Same contract as the recorder: nil costs a nil check and the
+	// allocation is byte-identical profiled or not.
+	Profiler *obs.StageProfiler
 }
 
 func (o *ArrowOptions) alpha() float64 {
@@ -67,6 +72,13 @@ func (o *ArrowOptions) parallelism() int {
 		return 1
 	}
 	return o.Parallelism
+}
+
+func (o *ArrowOptions) profiler() *obs.StageProfiler {
+	if o == nil {
+		return nil
+	}
+	return o.Profiler
 }
 
 func (o *ArrowOptions) recorder() obs.Recorder {
@@ -188,7 +200,9 @@ func Arrow(n *Network, scs []RestorableScenario, opts *ArrowOptions) (*Allocatio
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
+	endP1 := opts.profiler().Stage("te.phase1")
 	winners, p1stats, p1basis, err := arrowPhase1Dispatch(n, scs, opts)
+	endP1()
 	if err != nil {
 		return nil, err
 	}
@@ -408,6 +422,7 @@ func arrowPhase2WithBasis(n *Network, scs []RestorableScenario, winners []int, o
 	if len(winners) != len(scs) {
 		return nil, fmt.Errorf("te: arrow phase 2: %d winners for %d scenarios", len(winners), len(scs))
 	}
+	defer opts.profiler().Stage("te.phase2")()
 	bm := newBaseModel("arrow-phase2", n)
 	for qi := range scs {
 		q := &scs[qi]

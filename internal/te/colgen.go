@@ -429,6 +429,9 @@ func arrowPhase1Colgen(n *Network, scs []RestorableScenario, opts *ArrowOptions)
 		for round := 0; round <= totalTickets; round++ {
 			rounds++
 			x := sol.X
+			// te.pricing is an aggregate stage (te.phase1 already brackets the
+			// whole dispatch as the top-level wall stage).
+			endPricing := opts.profiler().StageAgg("te.pricing")
 			picks, err := par.Map(ctx, workers, len(scs), func(_ context.Context, qi int) (pick, error) {
 				q := &scs[qi]
 				z, rc := oracle.Price(len(q.Tickets),
@@ -436,6 +439,7 @@ func arrowPhase1Colgen(n *Network, scs []RestorableScenario, opts *ArrowOptions)
 					func(z int) float64 { return -blockViolation(&blocks[qi][z], alpha, coverSeen, x) })
 				return pick{z: z, rc: rc}, nil
 			})
+			endPricing()
 			if err != nil {
 				return nil, fmt.Errorf("te: arrow phase 1 colgen: %w", err)
 			}
