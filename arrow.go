@@ -199,22 +199,28 @@ type PlanOptions struct {
 	// in lazily. Both modes produce identical winning tickets; the switch
 	// exists for A/B comparison of solver effort.
 	NoColgen bool
+	// HealthEvery probes the numerical health of every LP solve this
+	// planner issues (offline RWA, TE phases, reaction re-solves) at this
+	// pivot period; see lp.Options.HealthEvery. 0 disables probing; probes
+	// never change results (arrow-plan -health-every).
+	HealthEvery int
 }
 
 // Planner holds the offline artifacts: failure scenarios, RWA solutions and
 // LotteryTickets, plus the IP-layer tunnel catalogue.
 type Planner struct {
-	net       *Network
-	scenarios []te.RestorableScenario
-	naive     []te.RestorableScenario
-	probs     []float64
-	tunnels   int
-	set       *scenario.Set
-	rec       obs.Recorder
-	led       *ledger.Ledger
-	noWarm    bool
-	noColgen  bool
-	workers   int
+	net         *Network
+	scenarios   []te.RestorableScenario
+	naive       []te.RestorableScenario
+	probs       []float64
+	tunnels     int
+	set         *scenario.Set
+	rec         obs.Recorder
+	led         *ledger.Ledger
+	noWarm      bool
+	noColgen    bool
+	workers     int
+	healthEvery int
 }
 
 // Plan runs ARROW's offline stage: enumerate probable fiber-cut scenarios,
@@ -251,7 +257,7 @@ func (n *Network) PlanContext(ctx context.Context, opts PlanOptions) (*Planner, 
 		return nil, fmt.Errorf("arrow: %d failure probabilities for %d fibers", len(probs), len(n.opt.Fibers))
 	}
 	set := scenario.Enumerate(probs, opts.Cutoff)
-	p := &Planner{net: n, probs: probs, tunnels: opts.TunnelsPerFlow, set: set, rec: obs.FromContext(ctx), led: ledger.FromContext(ctx), noWarm: opts.NoWarm, noColgen: opts.NoColgen, workers: opts.Parallelism}
+	p := &Planner{net: n, probs: probs, tunnels: opts.TunnelsPerFlow, set: set, rec: obs.FromContext(ctx), led: ledger.FromContext(ctx), noWarm: opts.NoWarm, noColgen: opts.NoColgen, workers: opts.Parallelism, healthEvery: opts.HealthEvery}
 	if p.led != nil {
 		p.led.Emit(ledger.Event{Kind: ledger.KindEnumerated, Scenario: -1, Count: len(set.Scenarios)})
 	}
@@ -273,7 +279,7 @@ func (n *Network) PlanContext(ctx context.Context, opts PlanOptions) (*Planner, 
 		res, err := rwa.Solve(&rwa.Request{
 			Net: n.opt, Cut: set.Scenarios[si].Cut, K: opts.SurrogatePaths,
 			AllowTuning: true, AllowModulationChange: true,
-			Recorder: rec, NoWarm: opts.NoWarm,
+			Recorder: rec, NoWarm: opts.NoWarm, HealthEvery: opts.HealthEvery,
 		})
 		if err != nil {
 			return nil, err
@@ -377,8 +383,8 @@ func (p *Planner) Solve(demands []Demand, opts SolveOptions) (*TrafficPlan, erro
 		return nil, err
 	}
 	teOpts := &te.ArrowOptions{Alpha: opts.Alpha, Ledger: p.led, NoWarm: p.noWarm, NoColgen: p.noColgen, Parallelism: p.workers}
-	if p.rec != nil {
-		teOpts.LP = &lp.Options{Recorder: p.rec}
+	if p.rec != nil || p.healthEvery > 0 {
+		teOpts.LP = &lp.Options{Recorder: p.rec, HealthEvery: p.healthEvery}
 	}
 	var alloc *te.Allocation
 	if opts.NaiveOnly {
@@ -597,7 +603,7 @@ func (tp *TrafficPlan) OnFiberCut(fibers ...FiberID) (*Reaction, error) {
 		}
 	}
 	// Rebuild the optical-side plan for the winning ticket.
-	res, err := rwa.Solve(&rwa.Request{Net: tp.planner.net.opt, Cut: cut, K: 3, AllowTuning: true, AllowModulationChange: true, NoWarm: tp.planner.noWarm})
+	res, err := rwa.Solve(&rwa.Request{Net: tp.planner.net.opt, Cut: cut, K: 3, AllowTuning: true, AllowModulationChange: true, NoWarm: tp.planner.noWarm, HealthEvery: tp.planner.healthEvery})
 	if err != nil {
 		return nil, err
 	}

@@ -45,6 +45,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "mirror flight-recorder events to the structured log")
 		warm      = flag.Bool("warm", true, "warm-start LP solves from deterministic bases (-warm=false for cold A/B comparison)")
 		colgen    = flag.Bool("colgen", true, "price ticket blocks into the TE master lazily (-colgen=false enumerates every ticket up front for A/B comparison)")
+		healthEvr = flag.Int("health-every", 0, "probe every LP solve's numerical health every N pivots (0 = off; probes never change results)")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -71,7 +72,7 @@ func main() {
 	if addr := sess.DebugAddr(); addr != "" {
 		logger.Info("debug listener started", "url", "http://"+addr)
 	}
-	err = run(*topoFile, *demFile, *out, *roadmDir, *tickets, *cutoff, *seed, *parallel, *naive, !*warm, !*colgen, sess.Recorder(), led)
+	err = run(*topoFile, *demFile, *out, *roadmDir, *tickets, *cutoff, *seed, *parallel, *healthEvr, *naive, !*warm, !*colgen, sess.Recorder(), led)
 	if err == nil && *ledgerOut != "" {
 		err = writeLedger(*ledgerOut, led)
 	}
@@ -97,7 +98,7 @@ func writeLedger(path string, led *ledger.Ledger) error {
 	return fd.Close()
 }
 
-func run(topoFile, demFile, out, roadmDir string, tickets int, cutoff float64, seed int64, parallelism int, naive, noWarm, noColgen bool, rec obs.Recorder, led *ledger.Ledger) error {
+func run(topoFile, demFile, out, roadmDir string, tickets int, cutoff float64, seed int64, parallelism, healthEvery int, naive, noWarm, noColgen bool, rec obs.Recorder, led *ledger.Ledger) error {
 	net, err := loadNetwork(topoFile)
 	if err != nil {
 		return err
@@ -115,7 +116,7 @@ func run(topoFile, demFile, out, roadmDir string, tickets int, cutoff float64, s
 	if led != nil {
 		ctx = ledger.WithLedger(ctx, led)
 	}
-	planner, err := net.PlanContext(ctx, arrow.PlanOptions{Tickets: tickets, Cutoff: cutoff, Seed: seed, Parallelism: parallelism, NoWarm: noWarm, NoColgen: noColgen})
+	planner, err := net.PlanContext(ctx, arrow.PlanOptions{Tickets: tickets, Cutoff: cutoff, Seed: seed, Parallelism: parallelism, NoWarm: noWarm, NoColgen: noColgen, HealthEvery: healthEvery})
 	if err != nil {
 		return err
 	}

@@ -83,6 +83,65 @@ var timingCounters = map[string]bool{
 	"par.idle_ns": true,
 }
 
+// machineDependentGauge reports gauges excluded from the -diff gate by
+// default: the bench.*_seconds family measures wall-clock on whatever
+// machine took the snapshot, so comparing it across hosts (CI runner vs
+// the laptop that committed the baseline) gates on hardware, not code.
+func machineDependentGauge(key string) bool {
+	return strings.HasPrefix(key, "bench.") && strings.HasSuffix(key, "_seconds")
+}
+
+// gaugeFinding is one compared gauge.
+type gaugeFinding struct {
+	Key        string
+	Old, New   float64
+	Growth     float64 // (new-old)/max(|old|,1)
+	Threshold  float64
+	Regression bool
+	Excluded   bool // machine-dependent timing gauge, reported but never gated
+}
+
+// diffGauges compares the gauges present in BOTH snapshots with the same
+// growth semantics as diffCounters. Machine-dependent timing gauges
+// (bench.*_seconds) are excluded from gating by default; a per-key
+// threshold override re-enables them explicitly.
+func diffGauges(oldG, newG map[string]float64, opts diffOptions) []gaugeFinding {
+	keys := make([]string, 0, len(newG))
+	for k := range newG {
+		if _, ok := oldG[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var out []gaugeFinding
+	for _, k := range keys {
+		o, n := oldG[k], newG[k]
+		thr, overridden := opts.perKey[k]
+		if !overridden {
+			thr = opts.threshold
+		}
+		if thr < 0 {
+			continue // exempted
+		}
+		den := o
+		if den < 0 {
+			den = -den
+		}
+		if den < 1 {
+			den = 1
+		}
+		growth := (n - o) / den
+		f := gaugeFinding{Key: k, Old: o, New: n, Growth: growth, Threshold: thr}
+		if machineDependentGauge(k) && !overridden {
+			f.Excluded = true
+		} else {
+			f.Regression = growth > thr
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
 // diffOptions tunes the regression gate.
 type diffOptions struct {
 	// threshold is the default allowed relative growth per counter (0.20 =
@@ -323,10 +382,44 @@ func runDiff(w io.Writer, oldPath, newPath string, opts diffOptions) (int, error
 		}
 	}
 
+	// Gauges gate with the same growth semantics, except machine-dependent
+	// timing gauges (bench.*_seconds), which are reported but never gated —
+	// wall-clock across hosts is hardware, not code. A per-key override
+	// opts a timing gauge back in.
+	for _, f := range diffGauges(oldB.gauges(), newB.gauges(), opts) {
+		mark := "  "
+		switch {
+		case f.Excluded:
+			mark = "- "
+		case f.Regression:
+			mark = "✗ "
+			regressions++
+		case f.Growth != 0:
+			mark = "~ "
+		}
+		if f.Growth != 0 || f.Regression || f.Excluded {
+			suffix := fmt.Sprintf("limit +%.0f%%", 100*f.Threshold)
+			if f.Excluded {
+				suffix = "machine-dependent timing, not gated"
+			}
+			fmt.Fprintf(w, "%s%-32s %10.4g -> %10.4g  (%+.1f%%, %s)\n",
+				mark, f.Key, f.Old, f.New, 100*f.Growth, suffix)
+		}
+	}
+
 	// Certificate failures are an absolute gate: any nonzero count in the
 	// new snapshot is a solver-soundness regression regardless of growth.
 	if n := newB.counters()["lp.cert_failures"]; n > 0 {
 		fmt.Fprintf(w, "✗ lp.cert_failures = %d in new snapshot (must be 0)\n", n)
+		regressions++
+	}
+
+	// So is the attribution decomposition identity: per-scenario and
+	// per-flow loss contributions must sum exactly (within 1e-9) to the
+	// headline availability loss. Any violation is an attribution-engine
+	// bug, never a tuning question.
+	if n := newB.counters()["attr.identity_violations"]; n > 0 {
+		fmt.Fprintf(w, "✗ attr.identity_violations = %d in new snapshot (must be 0)\n", n)
 		regressions++
 	}
 

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"github.com/arrow-te/arrow/internal/bench"
 	"github.com/arrow-te/arrow/internal/eval"
@@ -49,6 +50,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		parallel   = fs.Int("parallelism", 0, "worker count for -run (0 = NumCPU; results are identical)")
 		noColgen   = fs.Bool("no-colgen", false, "with -run: enumerate every ticket into the TE master up front instead of pricing lazily (A/B reference for the colgen default)")
 		healthEvr  = fs.Int("health-every", 0, "with -run: probe every LP solve's numerical health every N pivots (0 = off; probes never change results)")
+		doAttr     = fs.Bool("attr", false, "with -run: run the availability-attribution pass (loss decomposition, shadow prices, what-if probes) after the solve; results are identical on or off")
+		attrOut    = fs.String("attr-json", "", "with -run -attr: write the attribution report JSON to this path")
 		metricsOut = fs.String("metrics-out", "", "with -run: write the run's metrics snapshot JSON to this path (diffable with -diff)")
 		benchHist  = fs.String("bench-history", "", "with -run: render trend sparklines from this arrow-bench JSONL history in the Performance section")
 		ledgerIn   = fs.String("ledger", "", "render an existing ledger snapshot JSON instead of running")
@@ -132,6 +135,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		// registry, so the live /metrics, /healthz and /timeseries endpoints
 		// see the solve as it happens, and /events streams the ledger.
 		obsFlags.SetEventStream(obs.EventSource(func(buf int) obs.EventSub { return led.SubscribeJSON(buf) }))
+		var attrState atomic.Value // *attr.Report once the pass finishes
+		if *doAttr {
+			obsFlags.SetAttributionSource(func() any { return attrState.Load() })
+		}
 		sess, err := obsFlags.Start()
 		if err != nil {
 			fmt.Fprintln(stderr, "arrow-report:", err)
@@ -145,17 +152,25 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		if addr := sess.DebugAddr(); addr != "" {
 			logger.Info("debug server listening", "addr", addr)
 		}
-		logger.Info("building recorded pipeline", "seed", *seed, "parallelism", *parallel, "colgen", !*noColgen, "health_every", *healthEvr)
+		logger.Info("building recorded pipeline", "seed", *seed, "parallelism", *parallel, "colgen", !*noColgen, "health_every", *healthEvr, "attr", *doAttr)
 		prof := obs.NewStageProfiler()
 		endTotal := prof.Total()
-		if _, _, err := eval.RunRecordedWith(eval.RunOptions{
+		_, _, attrRep, err := eval.RunRecordedAttr(eval.RunOptions{
 			Seed: *seed, Workers: *parallel, Recorder: reg, Ledger: led,
 			NoColgen: *noColgen, HealthEvery: *healthEvr, Profiler: prof,
-		}); err != nil {
+			Attribution: *doAttr,
+		})
+		if err != nil {
 			fmt.Fprintln(stderr, "arrow-report:", err)
 			return 1
 		}
-		tb, err := eval.RunTestbedProfiled(*seed, reg, led, prof)
+		if attrRep != nil {
+			attrState.Store(attrRep)
+			logger.Info("attribution recorded", "availability", attrRep.Availability,
+				"identity_gap", attrRep.IdentityGap, "sensitivities", len(attrRep.Sensitivities),
+				"probes", len(attrRep.Probes))
+		}
+		tb, err := eval.RunTestbedAttributed(*seed, reg, led, prof, *doAttr)
 		endTotal()
 		if err != nil {
 			fmt.Fprintln(stderr, "arrow-report:", err)
@@ -175,6 +190,21 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 			fd.Close()
+		}
+		if *attrOut != "" {
+			if attrRep == nil {
+				fmt.Fprintln(stderr, "arrow-report: -attr-json requires -attr")
+				return 2
+			}
+			data, err := json.MarshalIndent(attrRep, "", "  ")
+			if err != nil {
+				fmt.Fprintln(stderr, "arrow-report:", err)
+				return 1
+			}
+			if err := os.WriteFile(*attrOut, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintln(stderr, "arrow-report:", err)
+				return 1
+			}
 		}
 		if *metricsOut != "" {
 			data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")

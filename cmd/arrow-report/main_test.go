@@ -177,6 +177,82 @@ func TestDiffRequireDrop(t *testing.T) {
 	}
 }
 
+// writeGaugeSnapshot writes a bench-style snapshot with counters and gauges.
+func writeGaugeSnapshot(t *testing.T, path string, counters map[string]int64, gauges map[string]float64) {
+	t.Helper()
+	doc := map[string]any{"metrics": map[string]any{
+		"schema_version": 1, "counters": counters, "gauges": gauges,
+	}}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffBenchTimingGaugesExcluded pins satellite honesty for gauges: the
+// bench.*_seconds family is wall-clock on whatever host took the snapshot,
+// so it is reported but never gated by default — while a grown non-timing
+// gauge still regresses, and a per-key override opts a timing gauge back in.
+func TestDiffBenchTimingGaugesExcluded(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeGaugeSnapshot(t, oldPath, map[string]int64{"lp.pivots": 100},
+		map[string]float64{"bench.timeline_sim_seconds": 0.5, "eval.unmet_gbps": 10})
+	writeGaugeSnapshot(t, newPath, map[string]int64{"lp.pivots": 100},
+		map[string]float64{"bench.timeline_sim_seconds": 50, "eval.unmet_gbps": 10})
+
+	// A 100x-grown timing gauge does not gate by default.
+	var out, errb bytes.Buffer
+	if code := run([]string{"-diff", oldPath, newPath}, &out, &errb); code != 0 {
+		t.Errorf("timing gauge gated the diff: exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "machine-dependent timing, not gated") {
+		t.Errorf("diff output does not flag the exclusion:\n%s", out.String())
+	}
+
+	// A grown non-timing gauge does gate.
+	writeGaugeSnapshot(t, newPath, map[string]int64{"lp.pivots": 100},
+		map[string]float64{"bench.timeline_sim_seconds": 0.5, "eval.unmet_gbps": 25})
+	out.Reset()
+	if code := run([]string{"-diff", oldPath, newPath}, &out, &errb); code != 1 {
+		t.Errorf("grown non-timing gauge did not gate: exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "eval.unmet_gbps") {
+		t.Errorf("diff output does not name the regressed gauge:\n%s", out.String())
+	}
+
+	// A per-key override re-enables gating on a timing gauge explicitly.
+	writeGaugeSnapshot(t, newPath, map[string]int64{"lp.pivots": 100},
+		map[string]float64{"bench.timeline_sim_seconds": 50, "eval.unmet_gbps": 10})
+	out.Reset()
+	if code := run([]string{"-diff", "-key-threshold", "bench.timeline_sim_seconds=0.5",
+		oldPath, newPath}, &out, &errb); code != 1 {
+		t.Errorf("override did not re-enable the timing gauge gate: exit %d:\n%s", code, out.String())
+	}
+}
+
+// TestDiffAttrIdentityAbsoluteGate pins the attribution-soundness gate: any
+// nonzero attr.identity_violations in the new snapshot regresses regardless
+// of growth thresholds.
+func TestDiffAttrIdentityAbsoluteGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeSnapshot(t, oldPath, map[string]int64{"attr.identity_violations": 0}, nil)
+	writeSnapshot(t, newPath, map[string]int64{"attr.identity_violations": 2}, nil)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-diff", "-threshold", "1e9", oldPath, newPath}, &out, &errb); code != 1 {
+		t.Errorf("identity violation did not gate: exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "attr.identity_violations") {
+		t.Errorf("diff output does not name the gate:\n%s", out.String())
+	}
+}
+
 // TestDiffCertFailuresAbsoluteGate pins the solver-soundness gate: any
 // nonzero lp.cert_failures in the new snapshot regresses, even from zero
 // baseline growth allowance tricks.

@@ -114,6 +114,11 @@ type RunReport struct {
 	// sparklines. Absent when the run carried no health probes
 	// (-health-every 0, the default).
 	SolverHealth *SolverHealthReport `json:"solver_health,omitempty"`
+	// Attribution is the availability-attribution section: the per-scenario
+	// / per-flow loss decomposition, FD-validated shadow prices and ranked
+	// what-if probes of the internal/attr pass, plus per-cut replay loss
+	// shares. Absent when the run carried no attribution events (-attr off).
+	Attribution *AttributionReport `json:"attribution,omitempty"`
 	// Performance is the stage-level resource-attribution section: per-stage
 	// wall time, allocation and GC-pause deltas of this run (coverage-gated
 	// at 90% of the total bracket), plus trend sparklines from the committed
@@ -203,6 +208,7 @@ func buildReport(snap *ledger.Snapshot, metrics *obs.Snapshot) *RunReport {
 	}
 	rep.Latency = buildLatency(snap)
 	rep.SolverHealth = buildSolverHealth(snap, metrics)
+	rep.Attribution = buildAttribution(snap)
 	for _, sr := range rep.Scenarios {
 		if sr.HasWinner {
 			fractions = append(fractions, sr.RestoredFraction)
@@ -286,6 +292,9 @@ func renderMarkdown(w io.Writer, rep *RunReport) {
 	}
 	if rep.SolverHealth != nil {
 		renderSolverHealth(w, rep.SolverHealth)
+	}
+	if rep.Attribution != nil {
+		renderAttribution(w, rep.Attribution)
 	}
 	if rep.Performance != nil {
 		renderPerf(w, rep.Performance)

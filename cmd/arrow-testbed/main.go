@@ -23,6 +23,7 @@ import (
 func main() {
 	var (
 		seed      = flag.Int64("seed", 1, "random seed for device timing jitter")
+		healthEvr = flag.Int("health-every", 0, "probe the restoration LP's numerical health every N pivots (0 = off; probes never change results)")
 		series    = flag.Bool("series", false, "print the restored-capacity time series")
 		ledgerOut = flag.String("ledger-json", "", "write the flight-recorder ledger snapshot JSON to this file")
 		verbose   = flag.Bool("v", false, "log per-trial timings at debug level")
@@ -46,7 +47,7 @@ func main() {
 			led.SetLogger(logger)
 		}
 	}
-	err = run(*seed, *series, sess.Recorder(), led, logger)
+	err = run(*seed, *healthEvr, *series, sess.Recorder(), led, logger)
 	if err == nil && *ledgerOut != "" {
 		err = writeLedger(*ledgerOut, led)
 	}
@@ -72,7 +73,7 @@ func writeLedger(path string, led *ledger.Ledger) error {
 	return fd.Close()
 }
 
-func run(seed int64, series bool, rec obs.Recorder, led *ledger.Ledger, logger *slog.Logger) error {
+func run(seed int64, healthEvery int, series bool, rec obs.Recorder, led *ledger.Ledger, logger *slog.Logger) error {
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
 	}
@@ -90,7 +91,7 @@ func run(seed int64, series bool, rec obs.Recorder, led *ledger.Ledger, logger *
 			return err
 		}
 		start := time.Now()
-		tr, err := emu.RunRestorationCtx(ctx, net, []int{emu.FiberDC}, emu.Config{NoiseLoading: mode.noise, Seed: seed})
+		tr, err := emu.RunRestorationCtx(ctx, net, []int{emu.FiberDC}, emu.Config{NoiseLoading: mode.noise, Seed: seed, HealthEvery: healthEvery})
 		if err != nil {
 			return err
 		}

@@ -10,10 +10,10 @@ import (
 )
 
 func TestRunTestbedTrial(t *testing.T) {
-	if err := run(1, false, nil, nil, nil); err != nil {
+	if err := run(1, 0, false, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(2, true, nil, nil, nil); err != nil {
+	if err := run(2, 0, true, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -26,7 +26,7 @@ func TestRunRecordsObservatory(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.EnableTrace()
 	led := ledger.New()
-	if err := run(1, false, reg, led, nil); err != nil {
+	if err := run(1, 0, false, reg, led, nil); err != nil {
 		t.Fatal(err)
 	}
 	snap := reg.Snapshot()

@@ -239,6 +239,13 @@ func (ev *Evaluator) PerFlowAvailability(scs []ScenarioEval) []float64 {
 	return out
 }
 
+// DeliveredPerFlow returns the absolute delivered Gbps of every flow under
+// sc — the per-flow breakdown of Delivered, for availability-loss
+// attribution (internal/attr).
+func (ev *Evaluator) DeliveredPerFlow(sc *ScenarioEval) []float64 {
+	return ev.deliveredPerFlow(sc)
+}
+
 // deliveredPerFlow mirrors Delivered but returns absolute Gbps per flow.
 func (ev *Evaluator) deliveredPerFlow(sc *ScenarioEval) []float64 {
 	n := ev.Net

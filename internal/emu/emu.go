@@ -30,6 +30,7 @@ import (
 	"sort"
 
 	"github.com/arrow-te/arrow/internal/noise"
+	"github.com/arrow-te/arrow/internal/obs"
 	"github.com/arrow-te/arrow/internal/optical"
 	"github.com/arrow-te/arrow/internal/rwa"
 	"github.com/arrow-te/arrow/internal/spectrum"
@@ -64,6 +65,10 @@ type Config struct {
 	// parallel waves (Appendix A.6 ablation): each device costs a full
 	// ROADMWaveSec.
 	SerialROADM bool
+	// HealthEvery probes the numerical health of the restoration RWA's LP
+	// solve at this pivot period (lp.Options.HealthEvery via rwa.Request).
+	// 0 disables probing; probes never change results.
+	HealthEvery int
 	// Seed derives the per-consumer randomness streams when Rng is nil.
 	Seed int64
 	// Rng, when non-nil, is the explicit randomness source for every
@@ -293,7 +298,17 @@ func RunRestorationCtx(ctx context.Context, net *optical.Network, cut []int, cfg
 	cfg = cfg.withDefaults()
 	rng := cfg.rng(1)
 
-	res, err := rwa.Solve(&rwa.Request{Net: net, Cut: cut, K: 3, AllowTuning: true, AllowModulationChange: true})
+	// The restoration RWA stays recorder-free by default so the emu metric
+	// stream is unchanged from earlier snapshots; opting into health probes
+	// attaches the context recorder so lp.health.* findings land somewhere.
+	var lpRec obs.Recorder
+	if cfg.HealthEvery > 0 {
+		lpRec = obs.FromContext(ctx)
+	}
+	res, err := rwa.Solve(&rwa.Request{
+		Net: net, Cut: cut, K: 3, AllowTuning: true, AllowModulationChange: true,
+		Recorder: lpRec, HealthEvery: cfg.HealthEvery,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"github.com/arrow-te/arrow/internal/attr"
 	"github.com/arrow-te/arrow/internal/ledger"
 	"github.com/arrow-te/arrow/internal/obs"
 	"github.com/arrow-te/arrow/internal/te"
@@ -71,26 +72,41 @@ type RunOptions struct {
 	// (eval.topo, pipeline.*, eval.prepare, te.*); see
 	// PipelineOptions.Profiler. Nil-safe and result-neutral like Recorder.
 	Profiler *obs.StageProfiler
+	// Attribution runs the post-solve availability-attribution pass
+	// (internal/attr) over the solved ARROW allocation: loss decomposition,
+	// shadow-price sensitivities and what-if probes, published to Recorder
+	// (attr.* counters) and Ledger (attribution/sensitivity/whatif events).
+	// The pass runs after the solve, sequentially; pipeline results are
+	// byte-identical on or off at any Workers setting.
+	Attribution bool
 }
 
 // RunRecordedWith is RunRecorded with the full option set, notably the
 // solver-health probe period behind cmd/arrow-report -run -health-every.
 func RunRecordedWith(opts RunOptions) (*Pipeline, *te.Allocation, error) {
+	pl, al, _, err := RunRecordedAttr(opts)
+	return pl, al, err
+}
+
+// RunRecordedAttr is RunRecordedWith plus the attribution report (nil
+// unless opts.Attribution is set). This is the run behind
+// cmd/arrow-report -run -attr.
+func RunRecordedAttr(opts RunOptions) (*Pipeline, *te.Allocation, *attr.Report, error) {
 	seed := opts.Seed
 	endTopo := opts.Profiler.Stage("eval.topo")
 	tp, err := topo.B4(seed + 5)
 	endTopo()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	pl, err := BuildPipeline(tp, PipelineOptions{
 		Cutoff: 0.001, NumTickets: 12, Seed: seed, MaxScenarios: 16,
 		Parallelism: opts.Workers, Recorder: opts.Recorder, Ledger: opts.Ledger,
 		NoColgen: opts.NoColgen, HealthEvery: opts.HealthEvery,
-		Profiler: opts.Profiler,
+		Profiler: opts.Profiler, CaptureSensitivity: opts.Attribution,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	endPrep := opts.Profiler.Stage("eval.prepare")
 	m := traffic.Generate(traffic.Options{
@@ -99,11 +115,40 @@ func RunRecordedWith(opts RunOptions) (*Pipeline, *te.Allocation, error) {
 	base, err := pl.BaseNetwork(m, 8)
 	endPrep()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	al, _, err := pl.SolveScheme(SchemeArrow, base.Scaled(3))
+	n := base.Scaled(3)
+	al, restored, err := pl.SolveScheme(SchemeArrow, n)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return pl, al, nil
+	var rep *attr.Report
+	if opts.Attribution {
+		endAttr := opts.Profiler.Stage("eval.attr")
+		rep, err = attr.Run(
+			attr.Input{Net: n, Alloc: al, Scenarios: pl.EvalScenarios(restored)},
+			&attr.Options{
+				LinkFibers: tp.LinkFibers(),
+				WaveGbps:   linkWaveGbps(tp),
+				Recorder:   opts.Recorder,
+				Ledger:     opts.Ledger,
+			})
+		endAttr()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return pl, al, rep, nil
+}
+
+// linkWaveGbps derives each IP link's "+1 wavelength" probe granularity
+// from its provisioned lightpaths (capacity / wavelength count).
+func linkWaveGbps(tp *topo.Topology) []float64 {
+	out := make([]float64, len(tp.Opt.IPLinks))
+	for i, l := range tp.Opt.IPLinks {
+		if len(l.Waves) > 0 {
+			out[i] = l.CapacityGbps() / float64(len(l.Waves))
+		}
+	}
+	return out
 }

@@ -43,6 +43,7 @@ type Pipeline struct {
 	parallelism     int
 	healthEvery     int
 	prof            *obs.StageProfiler
+	captureSens     bool
 }
 
 // PipelineOptions configures pipeline construction.
@@ -105,6 +106,12 @@ type PipelineOptions struct {
 	// Recorder: nil costs a nil check and the pipeline is byte-identical
 	// profiled or not, at every Parallelism.
 	Profiler *obs.StageProfiler
+	// CaptureSensitivity makes the ARROW solves issued via SolveScheme
+	// attach the final Phase II model/basis/duals to the allocation
+	// (te.ArrowOptions.CaptureSensitivity) for post-solve availability
+	// attribution. Results are byte-identical captured or not, at every
+	// Parallelism.
+	CaptureSensitivity bool
 }
 
 // solveRWA is rwa.Solve behind a seam so tests can inject failures into
@@ -161,6 +168,7 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 		rec: opts.Recorder, led: opts.Ledger,
 		noWarm: opts.NoWarm, noColgen: opts.NoColgen, parallelism: opts.Parallelism,
 		healthEvery: opts.HealthEvery, prof: opts.Profiler,
+		captureSens: opts.CaptureSensitivity,
 	}
 
 	// Pre-build the lazily-memoised optical graph once, on this goroutine,
@@ -325,11 +333,11 @@ func (p *Pipeline) SolveScheme(s Scheme, n *te.Network) (*te.Allocation, []map[i
 	// the options stay nil exactly as before (nil defaults to colgen on,
 	// serial pricing — same results, just an unfanned pricing sweep).
 	var arrowOpts *te.ArrowOptions
-	if p.rec != nil || p.led != nil || p.noWarm || p.noColgen || p.parallelism > 1 || p.healthEvery > 0 || p.prof != nil {
+	if p.rec != nil || p.led != nil || p.noWarm || p.noColgen || p.parallelism > 1 || p.healthEvery > 0 || p.prof != nil || p.captureSens {
 		arrowOpts = &te.ArrowOptions{
 			Ledger: p.led, NoWarm: p.noWarm,
 			NoColgen: p.noColgen, Parallelism: p.parallelism,
-			Profiler: p.prof,
+			Profiler: p.prof, CaptureSensitivity: p.captureSens,
 		}
 		if p.rec != nil || p.healthEvery > 0 {
 			arrowOpts.LP = &lp.Options{Recorder: p.rec, HealthEvery: p.healthEvery}

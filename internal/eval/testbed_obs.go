@@ -62,6 +62,15 @@ func RunTestbedRecorded(seed int64, rec obs.Recorder, led *ledger.Ledger) (*Test
 // episodes in testbed.latency_samples, and the replays in sim.replay. A nil
 // profiler reproduces RunTestbedRecorded exactly (byte-identical outcome).
 func RunTestbedProfiled(seed int64, rec obs.Recorder, led *ledger.Ledger, prof *obs.StageProfiler) (*TestbedOutcome, error) {
+	return RunTestbedAttributed(seed, rec, led, prof, false)
+}
+
+// RunTestbedAttributed is RunTestbedProfiled with the replay's per-cut
+// loss attribution switched on: each sim.Runner additionally emits one
+// mode-tagged attribution event per distinct fiber-cut set with its
+// time-weighted loss share (sim.Runner.AttributeLoss). Off reproduces
+// RunTestbedProfiled byte-identically.
+func RunTestbedAttributed(seed int64, rec obs.Recorder, led *ledger.Ledger, prof *obs.StageProfiler, attrLoss bool) (*TestbedOutcome, error) {
 	ctx := ledger.WithLedger(obs.WithRecorder(context.Background(), rec), led)
 	episode := func(noiseLoading bool) (*emu.Trial, error) {
 		net, err := emu.Testbed()
@@ -102,6 +111,7 @@ func RunTestbedProfiled(seed int64, rec obs.Recorder, led *ledger.Ledger, prof *
 		r.Recorder = rec
 		r.Ledger = led
 		r.Profiler = prof
+		r.AttributeLoss = attrLoss
 		return r.Run(events, 90*24), nil
 	}
 	if out.LegacySim, err = replay("legacy", false); err != nil {

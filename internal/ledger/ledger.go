@@ -91,6 +91,23 @@ const (
 	// (downsampled) per-probe objective trajectory — the pivot-progress
 	// sparkline data of the report.
 	KindSolverHealth Kind = "solver_health"
+	// KindAttribution records one availability-loss contribution from the
+	// post-solve attribution pass (internal/attr): scenario-level events
+	// carry Scenario and Fraction (the scenario's share of total loss, in
+	// availability units) with Gbps the unmet demand; flow-level events add
+	// Flow. Scenario -1 tags the healthy-state contribution.
+	KindAttribution Kind = "attribution"
+	// KindSensitivity records one shadow-price finding: the marginal
+	// objective value (Gbps restored per extra Gbps of capacity) of one
+	// phase-II capacity row. Link/Fiber locate the constraint, Value is the
+	// dual, and FDLow/FDHigh bracket it with the one-sided finite-difference
+	// warm re-solves that validated it.
+	KindSensitivity Kind = "sensitivity"
+	// KindWhatIf records one warm what-if probe: Detail names the
+	// perturbation ("+1 wave fiber 3", "drop scenario 2"), Value the
+	// availability gained, and Gbps the capacity spent (0 for analytic
+	// scenario drops).
+	KindWhatIf Kind = "whatif"
 )
 
 // RejectReason classifies a dropped LotteryTicket.
@@ -185,6 +202,20 @@ type Event struct {
 	// Series is the downsampled per-probe objective trajectory of one phase
 	// (KindSolverHealth).
 	Series []float64 `json:"series,omitempty"`
+	// Flow is the flow index of a flow-level attribution event (-0 omitted;
+	// scenario-level attribution events leave it unset).
+	Flow int `json:"flow,omitempty"`
+	// Link is the IP-link index of a sensitivity event (KindSensitivity on a
+	// per-link capacity row).
+	Link int `json:"link,omitempty"`
+	// Fiber is the fiber-span index a sensitivity or what-if event
+	// aggregates over (-1 when the row maps to no single fiber).
+	Fiber int `json:"fiber,omitempty"`
+	// FDLow / FDHigh are the one-sided finite-difference derivative bounds
+	// that validated a sensitivity event's dual (right and left derivative
+	// of the optimal value in the row's RHS).
+	FDLow  float64 `json:"fd_low,omitempty"`
+	FDHigh float64 `json:"fd_high,omitempty"`
 	// Detail carries free-form context (kept short; not for hot paths).
 	Detail string `json:"detail,omitempty"`
 }

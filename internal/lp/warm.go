@@ -149,6 +149,11 @@ func SlackBasis(m *Model) *Basis {
 // A nil basis is a plain cold Solve. Warm and cold solves of the same
 // model agree on the optimal objective (within solver tolerance) but may
 // return different vertices when the optimum is degenerate.
+//
+// The supplied basis is never mutated: repairs happen on the solver's own
+// copy of the statuses, so one captured basis can seed any number of
+// re-solves (the attribution pass re-solves a perturbed-RHS model dozens of
+// times from the same final phase-II basis).
 func SolveWithBasis(m *Model, basis *Basis, opts *Options) (*Solution, error) {
 	if basis == nil {
 		return Solve(m, opts)

@@ -120,6 +120,46 @@ func TestWarmStartAfterRHSChange(t *testing.T) {
 	}
 }
 
+// TestWarmSolveLeavesBasisUntouched pins the contract the attribution
+// pass's probe loop depends on: the caller's basis survives any number of
+// warm re-solves — including ones that need repairs — byte for byte, so one
+// captured phase-II basis can seed every RHS perturbation.
+func TestWarmSolveLeavesBasisUntouched(t *testing.T) {
+	m := warmTestModel()
+	base, err := Solve(m, nil)
+	if err != nil {
+		t.Fatalf("base solve: %v", err)
+	}
+	snap := base.Basis.Clone()
+	for _, rhs := range []float64{11, 14, 6, 20} {
+		orig := m.RHS(0)
+		m.SetRHS(Constr(0), rhs)
+		sol, err := SolveWithBasis(m, base.Basis, nil)
+		m.SetRHS(Constr(0), orig)
+		if err != nil {
+			t.Fatalf("warm solve at rhs %v: %v", rhs, err)
+		}
+		if sol.Status != StatusOptimal {
+			t.Fatalf("warm solve at rhs %v: status %v", rhs, sol.Status)
+		}
+	}
+	// A repaired warm start (statuses the eq model's bounds cannot satisfy)
+	// must also leave the caller's copy alone.
+	if _, err := SolveWithBasis(warmEqModel(), base.Basis, nil); err != nil {
+		t.Fatalf("repaired warm solve: %v", err)
+	}
+	for j, st := range snap.VarStatus {
+		if base.Basis.VarStatus[j] != st {
+			t.Fatalf("VarStatus[%d] mutated: %v -> %v", j, st, base.Basis.VarStatus[j])
+		}
+	}
+	for i, st := range snap.RowStatus {
+		if base.Basis.RowStatus[i] != st {
+			t.Fatalf("RowStatus[%d] mutated: %v -> %v", i, st, base.Basis.RowStatus[i])
+		}
+	}
+}
+
 func TestWarmStartAfterBoundChange(t *testing.T) {
 	m := warmTestModel()
 	base, err := Solve(m, nil)

@@ -46,6 +46,11 @@ type ServeOpts struct {
 	// a history slice). Declared as any to keep obs free of a bench
 	// dependency.
 	Bench func() any
+	// Attribution backs /attribution: called per request, it returns the
+	// latest availability-attribution report to serialise (typically the
+	// current *attr.Report). Declared as any to keep obs free of an attr
+	// dependency.
+	Attribution func() any
 }
 
 // wantProm reports whether the request negotiated the Prometheus text
@@ -74,6 +79,7 @@ func wantProm(r *http.Request) bool {
 //	/events           SSE stream of ledger events (slow clients drop)
 //	/timeseries       sampler ring-buffer window as JSON
 //	/bench            latest benchmark harness state as JSON
+//	/attribution      latest availability-attribution report as JSON
 //
 // Binding failures are reported immediately rather than from the serving
 // goroutine.
@@ -127,6 +133,23 @@ func ServeWith(addr string, opts ServeOpts) (*DebugServer, error) {
 		state := opts.Bench()
 		if state == nil {
 			http.Error(w, "no benchmark run recorded yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(state); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/attribution", func(w http.ResponseWriter, _ *http.Request) {
+		if opts.Attribution == nil {
+			http.Error(w, "attribution source disabled", http.StatusNotFound)
+			return
+		}
+		state := opts.Attribution()
+		if state == nil {
+			http.Error(w, "no attribution pass recorded yet", http.StatusNotFound)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")

@@ -158,6 +158,46 @@ func TestDebugServerBenchEndpoint(t *testing.T) {
 	}
 }
 
+// TestDebugServerAttributionEndpoint mirrors the /bench contract for
+// /attribution: 404 without a source, 404 while the source has nothing to
+// report, and the published report as JSON once the attributed run lands.
+func TestDebugServerAttributionEndpoint(t *testing.T) {
+	off, err := ServeWith("127.0.0.1:0", ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	if code, _ := get(t, "http://"+off.Addr()+"/attribution"); code != http.StatusNotFound {
+		t.Errorf("/attribution without a source: status %d, want 404", code)
+	}
+
+	var state any // what arrow-report -attr publishes after the run
+	srv, err := ServeWith("127.0.0.1:0", ServeOpts{Attribution: func() any { return state }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	if code, _ := get(t, base+"/attribution"); code != http.StatusNotFound {
+		t.Errorf("/attribution before the run: status %d, want 404", code)
+	}
+	state = map[string]any{"availability": 0.9413, "loss": 0.0587}
+	code, body := get(t, base+"/attribution")
+	if code != http.StatusOK {
+		t.Fatalf("/attribution status %d: %s", code, body)
+	}
+	var got struct {
+		Availability float64 `json:"availability"`
+		Loss         float64 `json:"loss"`
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("/attribution not JSON: %v\n%s", err, body)
+	}
+	if got.Availability != 0.9413 || got.Loss != 0.0587 {
+		t.Errorf("/attribution round trip: %+v", got)
+	}
+}
+
 // TestTimeseriesUnderLoad scrapes /timeseries repeatedly while the sampler
 // and registry churn at full speed: responses must stay valid JSON with
 // in-capacity, time-ordered windows throughout (run under -race in CI).

@@ -68,6 +68,14 @@ var counterHelp = map[string]string{
 	"obs.sse.dropped_events":                 "SSE events dropped on slow /events clients",
 	"bench.workloads":                        "benchmark workloads completed by the arrow-bench harness",
 	"bench.iterations":                       "measured benchmark iterations across all workloads",
+	"attr.runs":                              "availability-attribution passes completed",
+	"attr.scenarios":                         "scenario-level loss contributions decomposed",
+	"attr.flows":                             "flow-level loss contributions decomposed",
+	"attr.identity_violations":               "decomposition identities off by more than 1e-9 (attribution bug tripwire)",
+	"attr.sensitivities":                     "capacity-row shadow prices harvested from the final phase-II basis",
+	"attr.fd_checks":                         "shadow prices validated against finite-difference warm re-solves",
+	"attr.fd_mismatches":                     "shadow prices outside their finite-difference derivative bracket",
+	"attr.probes":                            "what-if perturbations probed by warm re-solve or analytic evaluation",
 }
 
 // CoreGauges documents the gauge families the instrumented layers publish.

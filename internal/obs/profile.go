@@ -40,6 +40,9 @@ type Flags struct {
 	// bench feeds the debug server's /bench endpoint; set it with
 	// SetBenchSource before Start.
 	bench func() any
+	// attribution feeds the debug server's /attribution endpoint; set it
+	// with SetAttributionSource before Start.
+	attribution func() any
 }
 
 // SetEventStream wires a live event source (normally a ledger adapter)
@@ -52,6 +55,12 @@ func (f *Flags) SetEventStream(src EventSource) { f.events = src }
 // endpoint. Must be called before Start to take effect; a nil source leaves
 // /bench disabled.
 func (f *Flags) SetBenchSource(src func() any) { f.bench = src }
+
+// SetAttributionSource wires an attribution-report provider (normally a
+// closure over the latest *attr.Report) into the debug server's
+// /attribution endpoint. Must be called before Start to take effect; a nil
+// source leaves /attribution disabled.
+func (f *Flags) SetAttributionSource(src func() any) { f.attribution = src }
 
 // RegisterFlags declares the observability flags on fs (normally
 // flag.CommandLine) and returns the struct they parse into.
@@ -121,10 +130,11 @@ func (f *Flags) Start() (*Session, error) {
 			s.sampler.Start()
 		}
 		srv, err := ServeWith(f.DebugAddr, ServeOpts{
-			Registry: s.reg,
-			Events:   f.events,
-			Sampler:  s.sampler,
-			Bench:    f.bench,
+			Registry:    s.reg,
+			Events:      f.events,
+			Sampler:     s.sampler,
+			Bench:       f.bench,
+			Attribution: f.attribution,
 		})
 		if err != nil {
 			s.Close()

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestQuantileEdgeCases pins the HistogramSnapshot.Quantile contract at its
+// boundaries: an empty histogram yields 0 for every q, q<=0 and q>=1 clamp
+// to the tracked Min/Max, and a single-bucket histogram interpolates inside
+// [Min, Max] without escaping it.
+func TestQuantileEdgeCases(t *testing.T) {
+	empty := &HistogramSnapshot{}
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+
+	// One sample in one bucket: every quantile is that sample.
+	single := &HistogramSnapshot{
+		Bounds: []float64{10}, Counts: []int64{1, 0},
+		Count: 1, Sum: 7, Min: 7, Max: 7,
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		if got := single.Quantile(q); got != 7 {
+			t.Errorf("single-sample Quantile(%g) = %g, want 7", q, got)
+		}
+	}
+
+	// Several samples in one bucket: q=0 is Min, q=1 is Max, interior
+	// quantiles stay inside [Min, Max].
+	h := &HistogramSnapshot{
+		Bounds: []float64{10}, Counts: []int64{4, 0},
+		Count: 4, Sum: 14, Min: 2, Max: 6,
+	}
+	if got := h.Quantile(0); got != 2 {
+		t.Errorf("Quantile(0) = %g, want Min 2", got)
+	}
+	if got := h.Quantile(-0.5); got != 2 {
+		t.Errorf("Quantile(-0.5) = %g, want Min 2", got)
+	}
+	if got := h.Quantile(1); got != 6 {
+		t.Errorf("Quantile(1) = %g, want Max 6", got)
+	}
+	if got := h.Quantile(1.5); got != 6 {
+		t.Errorf("Quantile(1.5) = %g, want Max 6", got)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if got := h.Quantile(q); got < 2 || got > 6 {
+			t.Errorf("Quantile(%g) = %g escapes [Min, Max]", q, got)
+		}
+	}
+
+	// Quantiles are monotone in q even across empty buckets.
+	multi := &HistogramSnapshot{
+		Bounds: []float64{1, 10, 100}, Counts: []int64{3, 0, 5, 0},
+		Count: 8, Sum: 200, Min: 0.5, Max: 90,
+	}
+	prev := multi.Quantile(0)
+	for q := 0.1; q <= 1.0; q += 0.1 {
+		v := multi.Quantile(q)
+		if v < prev {
+			t.Errorf("Quantile not monotone: q=%.1f gives %g after %g", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestSamplerEmptyRing pins the Sampler's behaviour before any sample has
+// been taken: Series is empty (not nil entries), WriteJSON emits a valid
+// document, and Stop without Start returns immediately.
+func TestSamplerEmptyRing(t *testing.T) {
+	s := NewSampler(NewRegistry(), time.Hour, 4)
+	if got := s.Series(); len(got) != 0 {
+		t.Fatalf("unsampled Series() = %v, want empty", got)
+	}
+	var sb strings.Builder
+	if err := s.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"series":{}`) {
+		t.Fatalf("unsampled WriteJSON = %s, want empty series object", sb.String())
+	}
+	s.Stop() // never started: must not hang
+
+	// One explicit sample on a fresh registry populates the pre-seeded core
+	// counters; a ring of capacity 4 then holds exactly one point each.
+	s2 := NewSampler(NewRegistry(), time.Hour, 4)
+	s2.Sample(time.UnixMilli(1000))
+	series := s2.Series()
+	if len(series) == 0 {
+		t.Fatal("sampled Series() still empty")
+	}
+	for k, pts := range series {
+		if len(pts) != 1 {
+			t.Fatalf("series %s has %d points, want 1", k, len(pts))
+		}
+		if pts[0].UnixMs != 1000 {
+			t.Fatalf("series %s timestamp %d, want 1000", k, pts[0].UnixMs)
+		}
+	}
+}

@@ -76,6 +76,15 @@ var CoreCounters = []string{
 	// Performance observatory (internal/bench harness).
 	"bench.workloads",
 	"bench.iterations",
+	// Availability-attribution observatory (internal/attr).
+	"attr.runs",
+	"attr.scenarios",
+	"attr.flows",
+	"attr.identity_violations",
+	"attr.sensitivities",
+	"attr.fd_checks",
+	"attr.fd_mismatches",
+	"attr.probes",
 }
 
 // defBuckets are the default histogram bucket upper bounds: powers of four

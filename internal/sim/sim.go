@@ -135,6 +135,14 @@ type Runner struct {
 	// Label tags this replay's sim_summary ledger event (e.g. "legacy" /
 	// "noise_loading") so paired latency-model runs can be told apart.
 	Label string
+	// AttributeLoss additionally emits one attribution ledger event per
+	// distinct fiber-cut set seen during the replay, carrying its
+	// time-weighted share of lost delivery (the operational counterpart of
+	// the static internal/attr decomposition). Events are aggregated and
+	// emitted from the sequential integration pass in a sorted order, so
+	// the stream is identical at every Parallelism; without a Ledger the
+	// switch is inert.
+	AttributeLoss bool
 
 	// plans maps a canonical failed-link-set key to the precomputed
 	// restoration of that scenario (nil for TEs without restoration).
@@ -352,6 +360,57 @@ func (r *Runner) Run(events []Event, durationH float64) *Report {
 			FullService: rep.FullServiceFrac, RestoringH: rep.RestoringHours,
 			Detail: fmt.Sprintf("unplanned_h=%.3f worst=%.4f", rep.UnplannedHours, rep.Worst),
 		})
+		if r.AttributeLoss {
+			r.emitLossAttribution(ivs, evals, durationH)
+		}
 	}
 	return rep
+}
+
+// cutLoss aggregates one distinct fiber-cut set's replay exposure.
+type cutLoss struct {
+	cut      []int
+	hours    float64
+	lossFrac float64 // time-weighted share of lost delivery over the horizon
+}
+
+// emitLossAttribution folds the evaluated intervals into per-cut
+// time-weighted loss contributions and emits them as attribution events
+// (Detail "sim_cut", Links = the cut fiber set). The fold runs after the
+// parallel evaluation, in time order, and emission is sorted by loss
+// descending (ties by cut key), so the event stream is deterministic at
+// every worker count.
+func (r *Runner) emitLossAttribution(ivs []interval, evals []intervalEval, durationH float64) {
+	agg := map[string]*cutLoss{}
+	var keys []string
+	for i, iv := range ivs {
+		if len(iv.cut) == 0 {
+			continue
+		}
+		dt := iv.toH - iv.fromH
+		key := linkSetKey(iv.cut)
+		cl := agg[key]
+		if cl == nil {
+			cl = &cutLoss{cut: iv.cut}
+			agg[key] = cl
+			keys = append(keys, key)
+		}
+		cl.hours += dt
+		cl.lossFrac += (1 - evals[i].delivered) * dt / durationH
+	}
+	sort.SliceStable(keys, func(a, b int) bool {
+		ca, cb := agg[keys[a]], agg[keys[b]]
+		if ca.lossFrac != cb.lossFrac {
+			return ca.lossFrac > cb.lossFrac
+		}
+		return keys[a] < keys[b]
+	})
+	for _, key := range keys {
+		cl := agg[key]
+		r.Ledger.Emit(ledger.Event{
+			Kind: ledger.KindAttribution, Scenario: -1, Mode: r.Label,
+			Links: append([]int(nil), cl.cut...), DurSec: cl.hours * 3600,
+			Fraction: cl.lossFrac, Detail: "sim_cut",
+		})
+	}
 }

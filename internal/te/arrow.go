@@ -47,6 +47,12 @@ type ArrowOptions struct {
 	// sweeps). Same contract as the recorder: nil costs a nil check and the
 	// allocation is byte-identical profiled or not.
 	Profiler *obs.StageProfiler
+	// CaptureSensitivity attaches the final Phase II model, basis, duals
+	// and capacity-row handles to the returned Allocation (Allocation.Sens)
+	// for post-solve availability attribution (internal/attr). Capturing
+	// only retains pointers the solve produced anyway: the allocation is
+	// byte-identical captured or not.
+	CaptureSensitivity bool
 }
 
 func (o *ArrowOptions) alpha() float64 {
@@ -64,6 +70,8 @@ func (o *ArrowOptions) ledger() *ledger.Ledger {
 }
 
 func (o *ArrowOptions) noWarm() bool { return o != nil && o.NoWarm }
+
+func (o *ArrowOptions) captureSensitivity() bool { return o != nil && o.CaptureSensitivity }
 
 func (o *ArrowOptions) colgen() bool { return o == nil || !o.NoColgen }
 
@@ -467,7 +475,8 @@ func arrowPhase2WithBasis(n *Network, scs []RestorableScenario, winners []int, o
 				}
 			}
 			if len(load) > 0 {
-				bm.m.AddConstr(load, lp.LE, restored(link), fmt.Sprintf("p2cap_e%d_q%d", link, qi))
+				c := bm.m.AddConstr(load, lp.LE, restored(link), fmt.Sprintf("p2cap_e%d_q%d", link, qi))
+				bm.capRows = append(bm.capRows, CapRow{Link: link, Scenario: qi, Constr: c})
 			}
 		}
 	}
@@ -505,6 +514,13 @@ func arrowPhase2WithBasis(n *Network, scs []RestorableScenario, winners []int, o
 	}
 	if err != nil {
 		return nil, err
+	}
+	if opts.captureSensitivity() && sol != nil {
+		al.Sens = &SensitivityHandle{
+			Model: bm.m, Basis: sol.Basis, Duals: sol.Duals,
+			Objective: sol.Objective, CapRows: bm.capRows,
+			BVars: bm.b, AVars: bm.a,
+		}
 	}
 	al.WinningTicket = append([]int(nil), winners...)
 	al.RestoredGbps = make([]map[int]float64, len(scs))

@@ -12,6 +12,10 @@ type baseModel struct {
 	m *lp.Model
 	a [][]lp.Var // a_{f,t}
 	b []lp.Var   // b_f
+	// capRows are the healthy cap_e constraint handles in ascending link
+	// order (links with no tunnel traffic get no row), recorded for
+	// post-solve sensitivity harvesting.
+	capRows []CapRow
 }
 
 // newBaseModel builds the common part of all TE LPs:
@@ -43,7 +47,8 @@ func newBaseModel(name string, n *Network) *baseModel {
 	}
 	for e, expr := range linkLoad {
 		if len(expr) > 0 {
-			m.AddConstr(expr, lp.LE, n.LinkCap[e], fmt.Sprintf("cap_e%d", e)) // (2)
+			c := m.AddConstr(expr, lp.LE, n.LinkCap[e], fmt.Sprintf("cap_e%d", e)) // (2)
+			bm.capRows = append(bm.capRows, CapRow{Link: e, Scenario: -1, Constr: c})
 		}
 	}
 	return bm

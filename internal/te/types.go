@@ -135,6 +135,11 @@ type Allocation struct {
 	// Cert is the optimality certificate of the LP that produced this
 	// allocation (the Phase II solve for Arrow/ArrowNaive).
 	Cert *lp.Certificate
+	// Sens carries the final Phase II model, basis, duals and capacity-row
+	// handles for post-solve availability attribution. Nil unless the solve
+	// ran with ArrowOptions.CaptureSensitivity; the numeric allocation is
+	// identical either way.
+	Sens *SensitivityHandle
 }
 
 // SolveStats records model sizes and simplex effort for observability
