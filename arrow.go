@@ -35,6 +35,7 @@ package arrow
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"github.com/arrow-te/arrow/internal/availability"
 	"github.com/arrow-te/arrow/internal/ledger"
@@ -59,8 +60,9 @@ type LinkID int
 // Builder assembles a two-layer WAN: ROADM sites joined by fibers, and IP
 // links provisioned as wavelength bundles over fiber paths.
 type Builder struct {
-	net *optical.Network
-	err error
+	net   *optical.Network
+	srlgs []scenario.Group
+	err   error
 }
 
 // NewBuilder starts a network with numSites ROADM/router sites and the
@@ -118,6 +120,24 @@ func (b *Builder) AddIPLink(src, dst, waves int, gbpsPerWave float64, path []Fib
 	return LinkID(l.ID), nil
 }
 
+// AddSRLG declares a shared-risk link group: the given fibers ride the same
+// physical conduit (or WDM shelf) and are cut TOGETHER with probability
+// prob, independently of the per-fiber failure marginals. Groups feed the
+// correlated k-failure enumerator and only influence planning when
+// PlanOptions.UseSRLGs is set.
+func (b *Builder) AddSRLG(prob float64, fibers ...FiberID) {
+	if b.err != nil {
+		return
+	}
+	fs := make([]int, len(fibers))
+	for i, f := range fibers {
+		fs[i] = int(f)
+	}
+	b.srlgs = append(b.srlgs, scenario.Group{
+		Name: fmt.Sprintf("srlg%d", len(b.srlgs)), Fibers: fs, Prob: prob,
+	})
+}
+
 // Build validates and returns the network.
 func (b *Builder) Build() (*Network, error) {
 	if b.err != nil {
@@ -126,13 +146,17 @@ func (b *Builder) Build() (*Network, error) {
 	if err := b.net.Validate(); err != nil {
 		return nil, err
 	}
-	return &Network{opt: b.net}, nil
+	return &Network{opt: b.net, srlgs: b.srlgs}, nil
 }
 
 // Network is an immutable two-layer WAN ready for planning.
 type Network struct {
-	opt *optical.Network
+	opt   *optical.Network
+	srlgs []scenario.Group
 }
+
+// NumSRLGs returns the number of declared shared-risk link groups.
+func (n *Network) NumSRLGs() int { return len(n.srlgs) }
 
 // NumSites returns the number of ROADM/router sites.
 func (n *Network) NumSites() int { return n.opt.NumROADMs }
@@ -204,6 +228,24 @@ type PlanOptions struct {
 	// pivot period; see lp.Options.HealthEvery. 0 disables probing; probes
 	// never change results (arrow-plan -health-every).
 	HealthEvery int
+	// MaxCutSize, UseSRLGs, TargetMass and MaxEnumerated opt the planner
+	// into the correlated k-failure enumerator: cut sets of up to MaxCutSize
+	// simultaneously failed elements (individual fibers, plus the network's
+	// AddSRLG groups when UseSRLGs is set), enumerated best-first by
+	// probability until Cutoff, TargetMass covered probability mass, or
+	// MaxEnumerated distinct cut sets stops the walk. All four zero keeps
+	// the legacy singles+pairs enumeration and a byte-identical plan
+	// (arrow-plan -max-cut-size/-srlgs/-target-mass/-max-enumerated).
+	MaxCutSize    int
+	UseSRLGs      bool
+	TargetMass    float64
+	MaxEnumerated int
+	// NoCompose disables the compositional offline stage on the correlated
+	// path: multi-fiber cut solves are neither warm-started from nor seeded
+	// with candidates composed from the constituent single-cut solutions
+	// (arrow-plan -compose=false, the cold A/B reference). Plans are
+	// identical either way; only solver effort changes.
+	NoCompose bool
 }
 
 // Planner holds the offline artifacts: failure scenarios, RWA solutions and
@@ -256,7 +298,27 @@ func (n *Network) PlanContext(ctx context.Context, opts PlanOptions) (*Planner, 
 	if len(probs) != len(n.opt.Fibers) {
 		return nil, fmt.Errorf("arrow: %d failure probabilities for %d fibers", len(probs), len(n.opt.Fibers))
 	}
-	set := scenario.Enumerate(probs, opts.Cutoff)
+	// The correlated k-failure enumerator engages only when one of its
+	// knobs is set; the default path keeps the legacy singles+pairs
+	// enumeration and produces byte-identical plans.
+	correlated := opts.MaxCutSize > 0 || opts.UseSRLGs || opts.TargetMass > 0 || opts.MaxEnumerated > 0
+	var set *scenario.Set
+	if correlated {
+		k := opts.MaxCutSize
+		if k <= 0 {
+			k = 2
+		}
+		var groups []scenario.Group
+		if opts.UseSRLGs {
+			groups = n.srlgs
+		}
+		set = scenario.EnumerateCorrelated(probs, groups, scenario.EnumOptions{
+			K: k, Cutoff: opts.Cutoff, TargetMass: opts.TargetMass,
+			MaxEnumerated: opts.MaxEnumerated, Recorder: obs.FromContext(ctx),
+		})
+	} else {
+		set = scenario.Enumerate(probs, opts.Cutoff)
+	}
 	p := &Planner{net: n, probs: probs, tunnels: opts.TunnelsPerFlow, set: set, rec: obs.FromContext(ctx), led: ledger.FromContext(ctx), noWarm: opts.NoWarm, noColgen: opts.NoColgen, workers: opts.Parallelism, healthEvery: opts.HealthEvery}
 	if p.led != nil {
 		p.led.Emit(ledger.Event{Kind: ledger.KindEnumerated, Scenario: -1, Count: len(set.Scenarios)})
@@ -271,18 +333,93 @@ func (n *Network) PlanContext(ctx context.Context, opts PlanOptions) (*Planner, 
 	rec := p.rec
 	endPlan := obs.Span(ctx, "plan.offline")
 	defer endPlan()
-	type planned struct {
-		res *rwa.Result
-		tks []ticket.Ticket
+
+	// Compositional pre-stage (correlated path only): solve the single-cut
+	// RWA once per fiber that appears in any multi-fiber cut. Each solve is
+	// reused many times — as the warm-start and ticket-composition source
+	// of every multi-cut containing its fiber, and verbatim as the RWA
+	// result of the fiber's own single-cut scenario (the solver is
+	// deterministic, so the reuse changes nothing).
+	type single struct {
+		res   *rwa.Result
+		waves map[int]int // failed IP link -> naive integral wave count
 	}
-	arts, err := par.Map(ctx, opts.Parallelism, len(set.Scenarios), func(_ context.Context, si int) (*planned, error) {
-		res, err := rwa.Solve(&rwa.Request{
-			Net: n.opt, Cut: set.Scenarios[si].Cut, K: opts.SurrogatePaths,
-			AllowTuning: true, AllowModulationChange: true,
-			Recorder: rec, NoWarm: opts.NoWarm, HealthEvery: opts.HealthEvery,
+	var singles map[int]*single
+	if correlated && !opts.NoCompose {
+		fset := map[int]bool{}
+		for _, sc := range set.Scenarios {
+			if len(sc.Cut) > 1 {
+				for _, f := range sc.Cut {
+					fset[f] = true
+				}
+			}
+		}
+		fibers := make([]int, 0, len(fset))
+		for f := range fset {
+			fibers = append(fibers, f)
+		}
+		sort.Ints(fibers)
+		srcs, err := par.Map(ctx, opts.Parallelism, len(fibers), func(_ context.Context, i int) (*single, error) {
+			res, err := rwa.Solve(&rwa.Request{
+				Net: n.opt, Cut: []int{fibers[i]}, K: opts.SurrogatePaths,
+				AllowTuning: true, AllowModulationChange: true,
+				Recorder: rec, NoWarm: opts.NoWarm,
+				HealthEvery: opts.HealthEvery, ExportBasis: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("arrow: single cut {%d} rwa: %w", fibers[i], err)
+			}
+			s := &single{res: res, waves: map[int]int{}}
+			for li, w := range rwa.MaxIntegralWaves(res) {
+				s.waves[res.Failed[li]] = w
+			}
+			return s, nil
 		})
 		if err != nil {
 			return nil, err
+		}
+		singles = make(map[int]*single, len(fibers))
+		for i, f := range fibers {
+			singles[f] = srcs[i]
+		}
+	}
+	wavesOf := func(f int) map[int]int {
+		if s := singles[f]; s != nil {
+			return s.waves
+		}
+		return nil
+	}
+
+	type planned struct {
+		res   *rwa.Result
+		tks   []ticket.Ticket
+		seeds int
+	}
+	arts, err := par.Map(ctx, opts.Parallelism, len(set.Scenarios), func(_ context.Context, si int) (*planned, error) {
+		cut := set.Scenarios[si].Cut
+		var warm []*rwa.Result
+		var res *rwa.Result
+		if len(cut) == 1 && singles[cut[0]] != nil {
+			// The pre-stage already solved this exact request.
+			res = singles[cut[0]].res
+		} else {
+			if len(cut) > 1 {
+				for _, f := range cut {
+					if s := singles[f]; s != nil {
+						warm = append(warm, s.res)
+					}
+				}
+			}
+			var err error
+			res, err = rwa.Solve(&rwa.Request{
+				Net: n.opt, Cut: cut, K: opts.SurrogatePaths,
+				AllowTuning: true, AllowModulationChange: true,
+				Recorder: rec, NoWarm: opts.NoWarm, HealthEvery: opts.HealthEvery,
+				WarmFrom: warm,
+			})
+			if err != nil {
+				return nil, err
+			}
 		}
 		if len(res.Failed) == 0 {
 			return &planned{res: res}, nil
@@ -293,18 +430,33 @@ func (n *Network) PlanContext(ctx context.Context, opts PlanOptions) (*Planner, 
 			naive.Gbps[i] = float64(c) * res.GbpsPerWave[i]
 		}
 		tks := []ticket.Ticket{naive}
+		seen := map[string]bool{naive.Key(): true}
+		seeds := 0
+		if len(warm) > 0 {
+			// Compositional candidate: the union of the constituent single-
+			// cut restorations, restricted to the combined cut's spectrum.
+			// It rides directly behind the naive seed so the colgen master
+			// starts from the composed plan instead of pricing it in.
+			obs.Add(rec, "scenario.warm_from_singles", 1)
+			if tk, ok := ticket.Compose(res, cut, wavesOf); ok && !seen[tk.Key()] {
+				seen[tk.Key()] = true
+				tks = append(tks, tk)
+				seeds = 2
+			}
+		}
 		for _, tk := range ticket.Generate(res, ticket.Options{
-			Count: opts.Tickets - 1, Seed: opts.Seed + int64(si)*977,
+			Count: opts.Tickets - len(tks), Seed: opts.Seed + int64(si)*977,
 			CheckFeasibility: true, Dedup: true,
 			Recorder: rec,
 			Ledger:   p.led,
 			Scenario: si,
 		}) {
-			if tk.Key() != naive.Key() {
+			if !seen[tk.Key()] {
+				seen[tk.Key()] = true
 				tks = append(tks, tk)
 			}
 		}
-		return &planned{res: res, tks: tks}, nil
+		return &planned{res: res, tks: tks, seeds: seeds}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -314,12 +466,13 @@ func (n *Network) PlanContext(ctx context.Context, opts PlanOptions) (*Planner, 
 			continue
 		}
 		fs := te.FailureScenario{Prob: set.Scenarios[si].Prob, FailedLinks: a.res.Failed}
-		p.scenarios = append(p.scenarios, te.RestorableScenario{FailureScenario: fs, TicketLinks: a.res.Failed, Tickets: a.tks})
+		p.scenarios = append(p.scenarios, te.RestorableScenario{FailureScenario: fs, TicketLinks: a.res.Failed, Tickets: a.tks, Seeds: a.seeds})
 		p.naive = append(p.naive, te.RestorableScenario{FailureScenario: fs, TicketLinks: a.res.Failed, Tickets: a.tks[:1]})
 		if p.led != nil {
 			p.led.Emit(ledger.Event{
 				Kind: ledger.KindScenario, Scenario: len(p.scenarios) - 1, Enum: si,
 				Prob: fs.Prob, Links: append([]int(nil), a.res.Failed...),
+				Cut:   append([]int(nil), set.Scenarios[si].Cut...),
 				Count: len(a.tks),
 			})
 		}

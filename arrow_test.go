@@ -326,3 +326,120 @@ func TestPlanContextLedger(t *testing.T) {
 		t.Error("recorded plan differs from unrecorded plan")
 	}
 }
+
+// TestPlanCorrelated exercises the public correlated k-failure path:
+// AddSRLG groups expand into multi-fiber cut scenarios, composed plans stay
+// solvable end to end, the scenario ledger events carry the cut sets, and
+// the default (all-zero) knobs reproduce the legacy plan byte-for-byte. The
+// correlated plan must also be identical at any worker count and with the
+// compositional stage disabled.
+func TestPlanCorrelated(t *testing.T) {
+	// The square WAN again, but with the two 520 km spans declared as one
+	// shared conduit.
+	build := func() *Network {
+		_, fibers, _ := buildSquare(t)
+		nb := NewBuilder(4, 16)
+		nb.AddFiber(0, 1, 560)
+		nb.AddFiber(1, 2, 560)
+		nb.AddFiber(2, 3, 520)
+		nb.AddFiber(3, 0, 520)
+		if _, err := nb.AddIPLink(0, 1, 2, 200, []FiberID{fibers[0]}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nb.AddIPLink(2, 3, 2, 200, []FiberID{fibers[2]}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nb.AddIPLink(0, 3, 4, 200, []FiberID{fibers[3]}); err != nil {
+			t.Fatal(err)
+		}
+		nb.AddSRLG(0.01, fibers[2], fibers[3])
+		n, err := nb.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	net := build()
+	if net.NumSRLGs() != 1 {
+		t.Fatalf("NumSRLGs = %d, want 1", net.NumSRLGs())
+	}
+	demands := []Demand{{Src: 0, Dst: 1, Gbps: 300}, {Src: 2, Dst: 3, Gbps: 200}}
+	opts := PlanOptions{Tickets: 8, Cutoff: 1e-5, Seed: 1, MaxCutSize: 3, UseSRLGs: true}
+
+	led := ledger.New()
+	planner, err := net.PlanContext(ledger.WithLedger(context.Background(), led), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := 0
+	for _, ev := range led.Events() {
+		if ev.Kind == ledger.KindScenario && len(ev.Cut) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no multi-fiber cut scenarios recorded (SRLG did not expand)")
+	}
+	plan, err := planner.Solve(demands, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plan.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker-count and compose on/off invariance of the correlated plan.
+	for _, variant := range []PlanOptions{
+		{Tickets: 8, Cutoff: 1e-5, Seed: 1, MaxCutSize: 3, UseSRLGs: true, Parallelism: 4},
+		{Tickets: 8, Cutoff: 1e-5, Seed: 1, MaxCutSize: 3, UseSRLGs: true, NoCompose: true},
+	} {
+		p2, err := build().Plan(variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan2, err := p2.Solve(demands, SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := plan2.Export()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("correlated plan differs under %+v", variant)
+		}
+	}
+
+	// All-zero knobs on an SRLG-bearing network keep the legacy enumerator:
+	// same plan as a network built without the groups.
+	legacyOpts := PlanOptions{Tickets: 8, Cutoff: 1e-5, Seed: 1}
+	pWith, err := build().Plan(legacyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netPlain, _, _ := buildSquare(t)
+	pWithout, err := netPlain.Plan(legacyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := pWith.Solve(demands, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bPlan, err := pWithout.Solve(demands, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := a.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := bPlan.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ab) != string(bb) {
+		t.Error("default knobs on an SRLG network diverge from the legacy plan")
+	}
+}

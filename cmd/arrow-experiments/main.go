@@ -48,6 +48,7 @@ func main() {
 		health   = flag.Int("health-every", 0, "probe every LP solve's numerical health every N pivots (0 = off; probes never change results)")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
+	scenFlags := eval.RegisterScenarioFlags(flag.CommandLine)
 	flag.Parse()
 	logger := obsFlags.Logger(*verbose)
 
@@ -99,7 +100,7 @@ func main() {
 		return
 	}
 
-	cfg := eval.Config{Fast: !*full, Seed: *seed, Parallelism: *parallel, Recorder: sess.Recorder(), NoWarm: !*warm, NoColgen: !*colgen, HealthEvery: *health}
+	cfg := scenFlags.ApplyConfig(eval.Config{Fast: !*full, Seed: *seed, Parallelism: *parallel, Recorder: sess.Recorder(), NoWarm: !*warm, NoColgen: !*colgen, HealthEvery: *health})
 
 	// Independent experiments are themselves scenario-independent jobs:
 	// fan them out on the shared pool and print the rendered outputs in

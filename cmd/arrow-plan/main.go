@@ -46,6 +46,11 @@ func main() {
 		warm      = flag.Bool("warm", true, "warm-start LP solves from deterministic bases (-warm=false for cold A/B comparison)")
 		colgen    = flag.Bool("colgen", true, "price ticket blocks into the TE master lazily (-colgen=false enumerates every ticket up front for A/B comparison)")
 		healthEvr = flag.Int("health-every", 0, "probe every LP solve's numerical health every N pivots (0 = off; probes never change results)")
+		maxCut    = flag.Int("max-cut-size", 0, "enumerate correlated cut sets of up to this many failure elements (0 = legacy singles+pairs enumerator)")
+		srlgs     = flag.Bool("srlgs", false, "expand the topology file's srlg lines as correlated failure elements")
+		mass      = flag.Float64("target-mass", 0, "stop enumerating once this fraction of the failure probability mass is covered (0 = cutoff only)")
+		maxEnum   = flag.Int("max-enumerated", 0, "hard cap on enumerated cut sets (0 = uncapped)")
+		compose   = flag.Bool("compose", true, "warm-start multi-cut RWA solves from pre-staged single-cut bases and seed composed tickets (-compose=false for the cold A/B)")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -72,7 +77,13 @@ func main() {
 	if addr := sess.DebugAddr(); addr != "" {
 		logger.Info("debug listener started", "url", "http://"+addr)
 	}
-	err = run(*topoFile, *demFile, *out, *roadmDir, *tickets, *cutoff, *seed, *parallel, *healthEvr, *naive, !*warm, !*colgen, sess.Recorder(), led)
+	popts := arrow.PlanOptions{
+		Tickets: *tickets, Cutoff: *cutoff, Seed: *seed, Parallelism: *parallel,
+		NoWarm: !*warm, NoColgen: !*colgen, HealthEvery: *healthEvr,
+		MaxCutSize: *maxCut, UseSRLGs: *srlgs, TargetMass: *mass,
+		MaxEnumerated: *maxEnum, NoCompose: !*compose,
+	}
+	err = run(*topoFile, *demFile, *out, *roadmDir, popts, *naive, sess.Recorder(), led)
 	if err == nil && *ledgerOut != "" {
 		err = writeLedger(*ledgerOut, led)
 	}
@@ -98,7 +109,7 @@ func writeLedger(path string, led *ledger.Ledger) error {
 	return fd.Close()
 }
 
-func run(topoFile, demFile, out, roadmDir string, tickets int, cutoff float64, seed int64, parallelism, healthEvery int, naive, noWarm, noColgen bool, rec obs.Recorder, led *ledger.Ledger) error {
+func run(topoFile, demFile, out, roadmDir string, popts arrow.PlanOptions, naive bool, rec obs.Recorder, led *ledger.Ledger) error {
 	net, err := loadNetwork(topoFile)
 	if err != nil {
 		return err
@@ -116,7 +127,7 @@ func run(topoFile, demFile, out, roadmDir string, tickets int, cutoff float64, s
 	if led != nil {
 		ctx = ledger.WithLedger(ctx, led)
 	}
-	planner, err := net.PlanContext(ctx, arrow.PlanOptions{Tickets: tickets, Cutoff: cutoff, Seed: seed, Parallelism: parallelism, NoWarm: noWarm, NoColgen: noColgen, HealthEvery: healthEvery})
+	planner, err := net.PlanContext(ctx, popts)
 	if err != nil {
 		return err
 	}
@@ -188,6 +199,13 @@ func loadNetwork(path string) (*arrow.Network, error) {
 		if _, err := b.AddIPLink(int(l.Src), int(l.Dst), len(l.Waves), w0.Modulation.GbpsPerWavelength, fibers); err != nil {
 			return nil, fmt.Errorf("rebuilding link %d: %w", l.ID, err)
 		}
+	}
+	for _, g := range tp.SRLGs {
+		fibers := make([]arrow.FiberID, len(g.Fibers))
+		for i, id := range g.Fibers {
+			fibers[i] = arrow.FiberID(id)
+		}
+		b.AddSRLG(g.Prob, fibers...)
 	}
 	return b.Build()
 }

@@ -12,11 +12,14 @@ import (
 // AttrScenarioRow is one scenario's availability-loss contribution, joined
 // from scenario-level attribution events (scenario -1 = healthy state).
 type AttrScenarioRow struct {
-	Scenario  int           `json:"scenario"`
-	Prob      float64       `json:"prob"`
-	UnmetGbps float64       `json:"unmet_gbps"`
-	Loss      float64       `json:"loss"`
-	Flows     []AttrFlowRow `json:"flows,omitempty"`
+	Scenario  int     `json:"scenario"`
+	Prob      float64 `json:"prob"`
+	UnmetGbps float64 `json:"unmet_gbps"`
+	Loss      float64 `json:"loss"`
+	// Cut is the scenario's fiber-cut set, joined from the scenario events
+	// so the decomposition rows carry the same {f3,f7} labels.
+	Cut   []int         `json:"cut,omitempty"`
+	Flows []AttrFlowRow `json:"flows,omitempty"`
 }
 
 // AttrFlowRow is one flow's contribution within a scenario.
@@ -142,8 +145,8 @@ func renderAttribution(w io.Writer, a *AttributionReport) {
 	fmt.Fprintf(w, "\n## Availability attribution\n\n")
 	fmt.Fprintf(w, "Loss decomposition over %d states (healthy = scenario -1); contributions sum to the headline availability loss %.3e by identity.\n\n",
 		len(a.Scenarios), a.TotalLoss)
-	fmt.Fprintf(w, "| scenario | prob | unmet Gbps | loss contribution | top flows (flow:unmet) |\n")
-	fmt.Fprintf(w, "|----------|------|------------|-------------------|------------------------|\n")
+	fmt.Fprintf(w, "| scenario | cut | prob | unmet Gbps | loss contribution | top flows (flow:unmet) |\n")
+	fmt.Fprintf(w, "|----------|-----|------|------------|-------------------|------------------------|\n")
 	for _, sr := range a.Scenarios {
 		flows := make([]string, 0, len(sr.Flows))
 		for _, fl := range sr.Flows {
@@ -153,8 +156,8 @@ func renderAttribution(w io.Writer, a *AttributionReport) {
 		if len(flows) > 0 {
 			fs = strings.Join(flows, " ")
 		}
-		fmt.Fprintf(w, "| %d | %.2e | %.1f | %.3e | %s |\n",
-			sr.Scenario, sr.Prob, sr.UnmetGbps, sr.Loss, fs)
+		fmt.Fprintf(w, "| %d | %s | %.2e | %.1f | %.3e | %s |\n",
+			sr.Scenario, cutLabel(sr.Cut), sr.Prob, sr.UnmetGbps, sr.Loss, fs)
 	}
 
 	if len(a.Sensitivities) > 0 {
@@ -184,12 +187,8 @@ func renderAttribution(w io.Writer, a *AttributionReport) {
 		fmt.Fprintf(w, "| mode | cut | hours | loss share |\n")
 		fmt.Fprintf(w, "|------|-----|-------|------------|\n")
 		for _, c := range a.SimCuts {
-			cut := make([]string, len(c.Cut))
-			for i, l := range c.Cut {
-				cut[i] = fmt.Sprint(l)
-			}
 			fmt.Fprintf(w, "| %s | %s | %.1f | %.3e |\n",
-				c.Mode, strings.Join(cut, " "), c.Hours, c.LossFrac)
+				c.Mode, cutLabel(c.Cut), c.Hours, c.LossFrac)
 		}
 	}
 }

@@ -56,7 +56,7 @@ func TestBuildAttributionJoins(t *testing.T) {
 	for _, want := range []string{
 		"## Availability attribution", "Shadow prices (FD-validated)",
 		"What-if probes", "Replay loss by fiber-cut set",
-		"cap_e3", "+1 wave on fiber 2", "4 5",
+		"cap_e3", "+1 wave on fiber 2", "{f4,f5}",
 	} {
 		if !strings.Contains(md.String(), want) {
 			t.Errorf("markdown missing %q", want)

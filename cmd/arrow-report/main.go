@@ -68,6 +68,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		verbose    = fs.Bool("v", false, "verbose: mirror ledger events to the structured log")
 	)
 	obsFlags := obs.RegisterFlags(fs)
+	scenFlags := eval.RegisterScenarioFlags(fs)
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -155,11 +156,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		logger.Info("building recorded pipeline", "seed", *seed, "parallelism", *parallel, "colgen", !*noColgen, "health_every", *healthEvr, "attr", *doAttr)
 		prof := obs.NewStageProfiler()
 		endTotal := prof.Total()
-		_, _, attrRep, err := eval.RunRecordedAttr(eval.RunOptions{
+		_, _, attrRep, err := eval.RunRecordedAttr(scenFlags.ApplyRun(eval.RunOptions{
 			Seed: *seed, Workers: *parallel, Recorder: reg, Ledger: led,
 			NoColgen: *noColgen, HealthEvery: *healthEvr, Profiler: prof,
 			Attribution: *doAttr,
-		})
+		}))
 		if err != nil {
 			fmt.Fprintln(stderr, "arrow-report:", err)
 			return 1

@@ -20,7 +20,7 @@ func TestBuildReportJoins(t *testing.T) {
 	l.Emit(ledger.Event{Kind: ledger.KindEnumerated, Scenario: -1, Count: 5})
 	// Pipeline scenario 0 came from enumerated index 2 (0 and 1 were
 	// irrelevant cuts).
-	l.Emit(ledger.Event{Kind: ledger.KindScenario, Scenario: 0, Enum: 2, Prob: 0.1, Links: []int{4, 7}, Count: 3})
+	l.Emit(ledger.Event{Kind: ledger.KindScenario, Scenario: 0, Enum: 2, Prob: 0.1, Links: []int{4, 7}, Cut: []int{9, 3}, Count: 3})
 	l.Emit(ledger.Event{Kind: ledger.KindTicketGenerated, Scenario: 2, Ticket: 0, Gbps: 100})
 	l.Emit(ledger.Event{Kind: ledger.KindTicketRejected, Scenario: 2, Ticket: 1, Reason: ledger.RejectDuplicate})
 	l.Emit(ledger.Event{Kind: ledger.KindTicketRejected, Scenario: 2, Ticket: 2, Reason: ledger.RejectSpectrumClash})
@@ -56,7 +56,7 @@ func TestBuildReportJoins(t *testing.T) {
 
 	var md bytes.Buffer
 	renderMarkdown(&md, rep)
-	for _, want := range []string{"#2", "60.0%", "arrow-phase2", "PASS"} {
+	for _, want := range []string{"#2", "60.0%", "arrow-phase2", "PASS", "{f3,f9}"} {
 		if !strings.Contains(md.String(), want) {
 			t.Errorf("markdown missing %q", want)
 		}

@@ -24,6 +24,9 @@ type ScenarioReport struct {
 	Enum     int     `json:"enum"`
 	Prob     float64 `json:"prob"`
 	Links    []int   `json:"links"`
+	// Cut is the fiber-cut set behind the scenario (multi-fiber under
+	// k-failure/SRLG enumeration); empty on ledgers that predate it.
+	Cut []int `json:"cut,omitempty"`
 	// Tickets is the candidate-set size the TE saw (|Z^q| after filtering).
 	Tickets int `json:"tickets"`
 	// Generated / rejection tallies from the randomized-rounding stage.
@@ -142,7 +145,7 @@ func buildReport(snap *ledger.Snapshot, metrics *obs.Snapshot) *RunReport {
 		case ledger.KindScenario:
 			rep.Scenarios = append(rep.Scenarios, ScenarioReport{
 				Scenario: ev.Scenario, Enum: ev.Enum, Prob: ev.Prob,
-				Links: ev.Links, Tickets: ev.Count,
+				Links: ev.Links, Cut: ev.Cut, Tickets: ev.Count,
 			})
 		}
 	}
@@ -209,6 +212,17 @@ func buildReport(snap *ledger.Snapshot, metrics *obs.Snapshot) *RunReport {
 	rep.Latency = buildLatency(snap)
 	rep.SolverHealth = buildSolverHealth(snap, metrics)
 	rep.Attribution = buildAttribution(snap)
+	if rep.Attribution != nil {
+		// Join the fiber-cut sets onto the loss decomposition so its rows
+		// carry the same {f3,f7} labels as the win/loss table.
+		cuts := map[int][]int{}
+		for _, sr := range rep.Scenarios {
+			cuts[sr.Scenario] = sr.Cut
+		}
+		for i := range rep.Attribution.Scenarios {
+			rep.Attribution.Scenarios[i].Cut = cuts[rep.Attribution.Scenarios[i].Scenario]
+		}
+	}
 	for _, sr := range rep.Scenarios {
 		if sr.HasWinner {
 			fractions = append(fractions, sr.RestoredFraction)
@@ -241,14 +255,29 @@ func buildReport(snap *ledger.Snapshot, metrics *obs.Snapshot) *RunReport {
 	return rep
 }
 
+// cutLabel renders a fiber-cut set as a sorted {f3,f7} label ("-" when the
+// ledger predates cut recording or the state is healthy).
+func cutLabel(cut []int) string {
+	if len(cut) == 0 {
+		return "-"
+	}
+	s := append([]int(nil), cut...)
+	sort.Ints(s)
+	parts := make([]string, len(s))
+	for i, f := range s {
+		parts[i] = fmt.Sprintf("f%d", f)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
 // renderMarkdown writes the human-readable run report.
 func renderMarkdown(w io.Writer, rep *RunReport) {
 	fmt.Fprintf(w, "# ARROW run report\n\n")
 	fmt.Fprintf(w, "Scenarios: %d enumerated, %d relevant (kept).\n\n", rep.Enumerated, len(rep.Scenarios))
 
 	fmt.Fprintf(w, "## Ticket win/loss per scenario\n\n")
-	fmt.Fprintf(w, "| q | enum | prob | failed links | tickets | generated | infeasible | clash | dup | winner | restored Gbps | restored %% |\n")
-	fmt.Fprintf(w, "|---|------|------|--------------|---------|-----------|------------|-------|-----|--------|---------------|-------------|\n")
+	fmt.Fprintf(w, "| q | enum | prob | cut | failed links | tickets | generated | infeasible | clash | dup | winner | restored Gbps | restored %% |\n")
+	fmt.Fprintf(w, "|---|------|------|-----|--------------|---------|-----------|------------|-------|-----|--------|---------------|-------------|\n")
 	for _, sr := range rep.Scenarios {
 		winner := "-"
 		restored, frac := "-", "-"
@@ -261,8 +290,8 @@ func renderMarkdown(w io.Writer, rep *RunReport) {
 		for i, l := range sr.Links {
 			links[i] = fmt.Sprint(l)
 		}
-		fmt.Fprintf(w, "| %d | %d | %.2e | %s | %d | %d | %d | %d | %d | %s | %s | %s |\n",
-			sr.Scenario, sr.Enum, sr.Prob, strings.Join(links, " "), sr.Tickets,
+		fmt.Fprintf(w, "| %d | %d | %.2e | %s | %s | %d | %d | %d | %d | %d | %s | %s | %s |\n",
+			sr.Scenario, sr.Enum, sr.Prob, cutLabel(sr.Cut), strings.Join(links, " "), sr.Tickets,
 			sr.Generated, sr.RejectedRounding, sr.RejectedSpectrum, sr.RejectedDuplicates,
 			winner, restored, frac)
 	}

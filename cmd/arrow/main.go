@@ -37,6 +37,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "print the per-scenario restoration plan and mirror ledger events to the log")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
+	scenFlags := eval.RegisterScenarioFlags(flag.CommandLine)
 	flag.Parse()
 	logger := obsFlags.Logger(*verbose)
 
@@ -56,7 +57,7 @@ func main() {
 			led.SetLogger(logger)
 		}
 	}
-	err = run(*topoName, *file, *scheme, *scale, *tickets, *seed, *flows, *parallel, *verbose, sess.Recorder(), led)
+	err = run(*topoName, *file, *scheme, *scale, *tickets, *seed, *flows, *parallel, *verbose, scenFlags, sess.Recorder(), led)
 	if err == nil && *ledgerOut != "" {
 		err = writeLedger(*ledgerOut, led)
 	}
@@ -82,7 +83,7 @@ func writeLedger(path string, led *ledger.Ledger) error {
 	return fd.Close()
 }
 
-func run(topoName, file, scheme string, scale float64, tickets int, seed int64, flows, parallelism int, verbose bool, rec obs.Recorder, led *ledger.Ledger) error {
+func run(topoName, file, scheme string, scale float64, tickets int, seed int64, flows, parallelism int, verbose bool, scenFlags *eval.ScenarioFlags, rec obs.Recorder, led *ledger.Ledger) error {
 	var tp *topo.Topology
 	var err error
 	if file != "" {
@@ -102,10 +103,10 @@ func run(topoName, file, scheme string, scale float64, tickets int, seed int64, 
 	fmt.Printf("topology %s: %d routers, %d ROADMs, %d fibers, %d IP links, %.1f Tbps\n",
 		tp.Name, s.Routers, s.ROADMs, s.Fibers, s.IPLinks, s.TotalCapacityGbps/1000)
 
-	pl, err := eval.BuildPipeline(tp, eval.PipelineOptions{
+	pl, err := eval.BuildPipeline(tp, scenFlags.Apply(eval.PipelineOptions{
 		Cutoff: 0.001, NumTickets: tickets, Seed: seed, MaxScenarios: 24,
 		Parallelism: parallelism, Recorder: rec, Ledger: led,
-	})
+	}))
 	if err != nil {
 		return err
 	}

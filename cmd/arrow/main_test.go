@@ -12,7 +12,7 @@ func TestRunB4Arrow(t *testing.T) {
 	if testing.Short() {
 		t.Skip("solves TE instances")
 	}
-	if err := run("B4", "", "ARROW", 2.0, 4, 1, 10, 0, true, nil, nil); err != nil {
+	if err := run("B4", "", "ARROW", 2.0, 4, 1, 10, 0, true, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -25,7 +25,7 @@ func TestRunRecordsLedger(t *testing.T) {
 		t.Skip("solves TE instances")
 	}
 	led := ledger.New()
-	if err := run("B4", "", "ARROW", 2.0, 4, 1, 10, 0, false, nil, led); err != nil {
+	if err := run("B4", "", "ARROW", 2.0, 4, 1, 10, 0, false, nil, nil, led); err != nil {
 		t.Fatal(err)
 	}
 	if led.Len() == 0 {
@@ -59,7 +59,7 @@ func TestRunRecordsLedger(t *testing.T) {
 }
 
 func TestRunUnknownTopology(t *testing.T) {
-	if err := run("nope", "", "ARROW", 1, 1, 1, 5, 1, false, nil, nil); err == nil {
+	if err := run("nope", "", "ARROW", 1, 1, 1, 5, 1, false, nil, nil, nil); err == nil {
 		t.Fatal("unknown topology accepted")
 	}
 }
@@ -68,7 +68,7 @@ func TestRunUnknownScheme(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds a pipeline")
 	}
-	if err := run("B4", "", "WAT", 1, 2, 1, 5, 0, false, nil, nil); err == nil {
+	if err := run("B4", "", "WAT", 1, 2, 1, 5, 0, false, nil, nil, nil); err == nil {
 		t.Fatal("unknown scheme accepted")
 	}
 }

@@ -45,6 +45,11 @@ func Workloads() []Workload {
 			Desc:    "two-phase ARROW solve with ticket column generation; full-enumeration comparison in extras",
 			Prepare: prepareColgenAB,
 		},
+		{
+			Name:    "scenario-stress",
+			Desc:    "correlated stress build (fast scale): B4 + conduit SRLGs, 3-way cuts, every scenario through RWA with compositional warm starts",
+			Prepare: prepareScenarioStress,
+		},
 	}
 }
 
@@ -214,5 +219,54 @@ func prepareColgenAB(cfg RunConfig) (Iteration, error) {
 	return func() (map[string]float64, error) {
 		_, err := te.Arrow(n, scs, opts)
 		return extras, err
+	}, nil
+}
+
+// prepareScenarioStress measures the correlated offline build: the fast
+// stress instance (B4 + conduit SRLGs, 3-way cuts, zero cutoff) pushes
+// ~1.8e3 SRLG-expanded cut sets through RWA and ticket generation with
+// compositional warm starts. Prepare harvests the deterministic counters
+// that gate the workload — enumeration coverage and the cold/warm
+// pivot-work benefit — so the measured loop stays one clean build.
+func prepareScenarioStress(cfg RunConfig) (Iteration, error) {
+	counters := func(noCompose bool) (map[string]int64, int, error) {
+		reg := obs.NewRegistry()
+		n, err := eval.BuildStressBench(cfg.Seed, cfg.Workers, true, noCompose, reg)
+		if err != nil {
+			return nil, 0, err
+		}
+		return reg.Snapshot().Counters, n, nil
+	}
+	warm, scenarios, err := counters(false)
+	if err != nil {
+		return nil, err
+	}
+	cold, _, err := counters(true)
+	if err != nil {
+		return nil, err
+	}
+	extras := map[string]float64{
+		"scenarios":         float64(scenarios),
+		"enumerated":        float64(warm["scenario.enumerated"]),
+		"pruned":            float64(warm["scenario.pruned"]),
+		"warm_from_singles": float64(warm["scenario.warm_from_singles"]),
+		"compose_adopted":   float64(warm["rwa.compose_adopted"]),
+	}
+	if warm["lp.pivots"] > 0 {
+		// Pivot counts are deterministic, so the cold/warm ratio is the
+		// compositional benefit and gates downward like warm-vs-cold's.
+		extras["cold_over_compose_pivots"] = float64(cold["lp.pivots"]) / float64(warm["lp.pivots"])
+	}
+	return func() (map[string]float64, error) {
+		start := time.Now()
+		n, err := eval.BuildStressBench(cfg.Seed, cfg.Workers, true, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		ex := map[string]float64{"scenarios_per_sec": float64(n) / time.Since(start).Seconds()}
+		for k, v := range extras {
+			ex[k] = v
+		}
+		return ex, nil
 	}, nil
 }

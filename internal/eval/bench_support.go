@@ -43,6 +43,25 @@ func BuildPipelineInstrumented(seed int64, workers int, rec obs.Recorder, noWarm
 	return err
 }
 
+// BuildStressBench runs one correlated stress build — the stress-scenarios
+// experiment's instance (B4 + conduit SRLGs, k-way cuts, zero cutoff) — and
+// returns how many scenarios went through the offline stage. The bench
+// harness's scenario-stress workload times it and gates on its deterministic
+// counters; noCompose builds the cold A/B reference with the compositional
+// warm starts disabled.
+func BuildStressBench(seed int64, workers int, fast, noCompose bool, rec obs.Recorder) (int, error) {
+	tp, err := topo.B4(seed + 5)
+	if err != nil {
+		return 0, err
+	}
+	po := stressOptions(Config{Fast: fast, Seed: seed, Parallelism: workers, NoCompose: noCompose}, rec)
+	pl, err := BuildPipeline(tp, po)
+	if err != nil {
+		return 0, err
+	}
+	return len(pl.Set.Scenarios), nil
+}
+
 // RunRecorded runs the standard B4 pipeline (the same instance the bench
 // snapshot measures) with a metrics recorder and flight-recorder ledger
 // attached, then solves the ARROW scheme on a standard traffic matrix so
@@ -79,6 +98,15 @@ type RunOptions struct {
 	// The pass runs after the solve, sequentially; pipeline results are
 	// byte-identical on or off at any Workers setting.
 	Attribution bool
+	// MaxCutSize, UseSRLGs, TargetMass and MaxEnumerated opt the run into
+	// the correlated k-failure enumerator; NoCompose disables the
+	// compositional warm-start stage for multi-fiber cuts. All-zero keeps
+	// the legacy enumeration byte-identical (see PipelineOptions).
+	MaxCutSize    int
+	UseSRLGs      bool
+	TargetMass    float64
+	MaxEnumerated int
+	NoCompose     bool
 }
 
 // RunRecordedWith is RunRecorded with the full option set, notably the
@@ -104,6 +132,9 @@ func RunRecordedAttr(opts RunOptions) (*Pipeline, *te.Allocation, *attr.Report, 
 		Parallelism: opts.Workers, Recorder: opts.Recorder, Ledger: opts.Ledger,
 		NoColgen: opts.NoColgen, HealthEvery: opts.HealthEvery,
 		Profiler: opts.Profiler, CaptureSensitivity: opts.Attribution,
+		MaxCutSize: opts.MaxCutSize, UseSRLGs: opts.UseSRLGs,
+		TargetMass: opts.TargetMass, MaxEnumerated: opts.MaxEnumerated,
+		NoCompose: opts.NoCompose,
 	})
 	if err != nil {
 		return nil, nil, nil, err

@@ -1,0 +1,158 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/arrow-te/arrow/internal/obs"
+	"github.com/arrow-te/arrow/internal/topo"
+)
+
+// correlatedOpts is the shared correlated-enumerator configuration of the
+// compositional-pipeline tests: 3-way cuts, conduit SRLGs, enough kept
+// scenarios to include both singles and multi-cuts.
+func correlatedOpts(workers int, rec obs.Recorder) PipelineOptions {
+	return PipelineOptions{
+		Cutoff: 1e-5, NumTickets: 6, Seed: 7, MaxScenarios: 24,
+		MaxCutSize: 3, UseSRLGs: true,
+		Parallelism: workers, Recorder: rec,
+	}
+}
+
+// TestCorrelatedPipelineDeterministicAcrossParallelism extends the worker-
+// independence contract to the compositional path: SRLG-expanded 3-way
+// enumeration, pre-staged single-cut warm sources and composed seed tickets
+// must produce byte-identical pipelines at Parallelism 1, 4 and 8.
+func TestCorrelatedPipelineDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds three full pipelines")
+	}
+	build := func(workers int) *Pipeline {
+		t.Helper()
+		tp, err := topo.B4(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := BuildPipeline(tp, correlatedOpts(workers, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pl
+	}
+	seq := build(1)
+	multi, seeded := 0, 0
+	for _, sc := range seq.Scenarios {
+		if sc.Seeds > 1 {
+			seeded++
+		}
+	}
+	for _, sc := range seq.Set.Scenarios {
+		if len(sc.Cut) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 || seeded == 0 {
+		t.Fatalf("pipeline exercised no compositional scenarios: %d multi-cuts, %d seeded", multi, seeded)
+	}
+	for _, workers := range []int{4, 8} {
+		par := build(workers)
+		if !reflect.DeepEqual(seq.Set, par.Set) {
+			t.Errorf("scenario set differs between Parallelism 1 and %d", workers)
+		}
+		if !reflect.DeepEqual(seq.Scenarios, par.Scenarios) {
+			t.Errorf("Scenarios differ between Parallelism 1 and %d", workers)
+		}
+		if !reflect.DeepEqual(seq.Naive, par.Naive) {
+			t.Errorf("Naive scenarios differ between Parallelism 1 and %d", workers)
+		}
+		if len(seq.RWAResults) != len(par.RWAResults) {
+			t.Fatalf("RWAResults length: %d vs %d", len(seq.RWAResults), len(par.RWAResults))
+		}
+		for i := range seq.RWAResults {
+			if !reflect.DeepEqual(seq.RWAResults[i].Failed, par.RWAResults[i].Failed) ||
+				!reflect.DeepEqual(seq.RWAResults[i].FracWaves, par.RWAResults[i].FracWaves) {
+				t.Errorf("RWAResults[%d] differs between Parallelism 1 and %d", i, workers)
+			}
+		}
+	}
+}
+
+// TestCorrelatedPairsMatchLegacyPipeline pins the cross-enumerator identity
+// end to end: MaxCutSize=2 without SRLGs walks the same singles+pairs
+// scenario space as the legacy enumerator, and with composition disabled
+// the offline stage issues the same solves — the pipelines must match
+// field for field.
+func TestCorrelatedPairsMatchLegacyPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two full pipelines")
+	}
+	tp, err := topo.B4(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := BuildPipeline(tp, PipelineOptions{
+		Cutoff: 0.001, NumTickets: 8, Seed: 1, MaxScenarios: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp2, err := topo.B4(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correlated, err := BuildPipeline(tp2, PipelineOptions{
+		Cutoff: 0.001, NumTickets: 8, Seed: 1, MaxScenarios: 12,
+		MaxCutSize: 2, NoCompose: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy.Set, correlated.Set) {
+		t.Error("scenario sets differ between legacy and correlated enumerators")
+	}
+	if !reflect.DeepEqual(legacy.Scenarios, correlated.Scenarios) {
+		t.Error("Scenarios differ between legacy and correlated pipelines")
+	}
+	if !reflect.DeepEqual(legacy.Plain, correlated.Plain) {
+		t.Error("Plain scenarios differ between legacy and correlated pipelines")
+	}
+}
+
+// TestComposeReducesPivotWork is the unit-level version of the CI perf
+// gate: on the same correlated instance, the compositional offline stage
+// (warm-started multi-cut solves reusing pre-staged singles) must spend
+// strictly fewer simplex pivots than the cold build, while actually
+// exercising the composition machinery.
+func TestComposeReducesPivotWork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two full pipelines")
+	}
+	build := func(noCompose bool) map[string]int64 {
+		t.Helper()
+		tp, err := topo.B4(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		opts := correlatedOpts(0, reg)
+		opts.NoCompose = noCompose
+		if _, err := BuildPipeline(tp, opts); err != nil {
+			t.Fatal(err)
+		}
+		return reg.Snapshot().Counters
+	}
+	cold, warm := build(true), build(false)
+	if warm["scenario.warm_from_singles"] == 0 || warm["rwa.compose_adopted"] == 0 {
+		t.Fatalf("composition did not engage: %v", warm)
+	}
+	if cold["scenario.warm_from_singles"] != 0 {
+		t.Fatalf("NoCompose still warmed %d scenarios", cold["scenario.warm_from_singles"])
+	}
+	if warm["lp.pivots"] >= cold["lp.pivots"] {
+		t.Errorf("composition saved nothing: %d pivots composed vs %d cold", warm["lp.pivots"], cold["lp.pivots"])
+	}
+	// Both builds enumerate the same scenario space.
+	if warm["scenario.enumerated"] != cold["scenario.enumerated"] {
+		t.Errorf("enumerated counts differ: %d vs %d", warm["scenario.enumerated"], cold["scenario.enumerated"])
+	}
+}

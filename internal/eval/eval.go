@@ -42,6 +42,31 @@ type Config struct {
 	// period (0 = off). Exposed as arrow-experiments -health-every; probes
 	// only read solver state and never change any result.
 	HealthEvery int
+	// MaxCutSize, UseSRLGs, TargetMass and MaxEnumerated opt experiments
+	// into the correlated k-failure scenario enumerator (see the matching
+	// PipelineOptions fields). All-zero keeps the legacy singles+pairs
+	// enumerator and byte-identical results. Exposed as arrow-experiments
+	// -max-cut-size / -srlgs / -target-mass / -max-enumerated.
+	MaxCutSize    int
+	UseSRLGs      bool
+	TargetMass    float64
+	MaxEnumerated int
+	// NoCompose disables the compositional offline stage (warm-started
+	// multi-cut RWA solves and composed seed tickets) for A/B pivot-work
+	// comparison. Exposed as arrow-experiments -compose=false.
+	NoCompose bool
+}
+
+// applyScenario copies the Config's correlated-enumeration knobs onto a
+// PipelineOptions literal, so every experiment builds its pipeline under
+// the session's scenario-space settings without repeating the five fields.
+func (c Config) applyScenario(po PipelineOptions) PipelineOptions {
+	po.MaxCutSize = c.MaxCutSize
+	po.UseSRLGs = c.UseSRLGs
+	po.TargetMass = c.TargetMass
+	po.MaxEnumerated = c.MaxEnumerated
+	po.NoCompose = c.NoCompose
+	return po
 }
 
 // Result is one regenerated table or figure.

@@ -134,10 +134,10 @@ func computeSweep(cfg Config, name string) (*sweepData, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl, err := BuildPipeline(tp, PipelineOptions{
+	pl, err := BuildPipeline(tp, cfg.applyScenario(PipelineOptions{
 		Cutoff: p.cutoff, NumTickets: p.tickets, Seed: cfg.Seed, MaxScenarios: p.maxScenarios,
 		Parallelism: cfg.Parallelism, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm, NoColgen: cfg.NoColgen,
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -298,7 +298,7 @@ func runFig14(cfg Config) (*Result, error) {
 		Header: []string{"tickets |Z|", "throughput"}}
 	var series []float64
 	for _, tc := range ticketCounts {
-		pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: tc, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Parallelism: cfg.Parallelism, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm, NoColgen: cfg.NoColgen, HealthEvery: cfg.HealthEvery})
+		pl, err := BuildPipeline(tp, cfg.applyScenario(PipelineOptions{Cutoff: p.cutoff, NumTickets: tc, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Parallelism: cfg.Parallelism, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm, NoColgen: cfg.NoColgen, HealthEvery: cfg.HealthEvery}))
 		if err != nil {
 			return nil, err
 		}
@@ -336,7 +336,7 @@ func runFig15(cfg Config) (*Result, error) {
 	r := &Result{ID: "fig15", Title: "ARROW TE solve time vs |Z| (B4, this machine)",
 		Header: []string{"tickets |Z|", "phase I+II solve (s)", "phase I rows", "simplex iters"}}
 	for _, tc := range ticketCounts {
-		pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: p.cutoff, NumTickets: tc, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Parallelism: cfg.Parallelism, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm, NoColgen: cfg.NoColgen, HealthEvery: cfg.HealthEvery})
+		pl, err := BuildPipeline(tp, cfg.applyScenario(PipelineOptions{Cutoff: p.cutoff, NumTickets: tc, Seed: cfg.Seed, MaxScenarios: p.maxScenarios, Parallelism: cfg.Parallelism, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm, NoColgen: cfg.NoColgen, HealthEvery: cfg.HealthEvery}))
 		if err != nil {
 			return nil, err
 		}
@@ -364,7 +364,7 @@ func runFig16(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl, err := BuildPipeline(tp, PipelineOptions{Cutoff: d.cutoff, NumTickets: d.tickets, Seed: cfg.Seed, MaxScenarios: d.maxScenarios, Parallelism: cfg.Parallelism, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm, NoColgen: cfg.NoColgen, HealthEvery: cfg.HealthEvery})
+	pl, err := BuildPipeline(tp, cfg.applyScenario(PipelineOptions{Cutoff: d.cutoff, NumTickets: d.tickets, Seed: cfg.Seed, MaxScenarios: d.maxScenarios, Parallelism: cfg.Parallelism, Recorder: cfg.Recorder, NoWarm: cfg.NoWarm, NoColgen: cfg.NoColgen, HealthEvery: cfg.HealthEvery}))
 	if err != nil {
 		return nil, err
 	}

@@ -58,6 +58,33 @@ type PipelineOptions struct {
 	// sizes tractable; 0 = no cap. Cuts that touch no IP link never count
 	// against the budget.
 	MaxScenarios int
+	// MaxCutSize switches scenario enumeration to the correlated k-failure
+	// enumerator (scenario.EnumerateCorrelated) with up to MaxCutSize
+	// simultaneous element failures. 0 keeps the legacy singles+pairs
+	// enumerator and the byte-identical pre-existing pipeline; note that
+	// MaxCutSize=2 without SRLGs produces the same scenario set through the
+	// best-first lattice walk.
+	MaxCutSize int
+	// UseSRLGs adds the topology's shared-risk link groups as correlated
+	// failure elements (conduit cuts that down several fibers at once).
+	// Implies the correlated enumerator.
+	UseSRLGs bool
+	// TargetMass stops enumeration once the emitted scenarios cover this
+	// much probability mass (0 = disabled). Implies the correlated
+	// enumerator.
+	TargetMass float64
+	// MaxEnumerated caps the number of distinct cut sets the correlated
+	// enumerator emits (0 = unbounded). Unlike MaxScenarios it bounds the
+	// ENUMERATION itself, which is what keeps 10^4–10^5-scenario sweeps
+	// from materialising the full failure lattice. Implies the correlated
+	// enumerator.
+	MaxEnumerated int
+	// NoCompose disables the compositional offline stage for multi-fiber
+	// cuts: without it each multi-cut RWA solves cold from the slack basis
+	// and its ticket pool carries no composed-from-singles candidate. The
+	// switch exists for A/B comparison of pivot work; compose on/off may
+	// pick different (equally valid) tickets.
+	NoCompose bool
 	// Parallelism is the worker count for the per-scenario RWA solves and
 	// LotteryTicket generation (the offline stage is embarrassingly
 	// parallel, §6.3). 0 selects runtime.NumCPU(); 1 is fully sequential.
@@ -132,6 +159,30 @@ type scenarioArtifacts struct {
 	res     *rwa.Result
 	tickets []ticket.Ticket
 	naive   ticket.Ticket
+	// seeds is the number of leading tickets the colgen master should
+	// install up front (0 = the conventional single seed; 2 when a
+	// composed-from-singles candidate rides second).
+	seeds int
+}
+
+// singleSource is one pre-staged single-fiber-cut RWA solve, reused by the
+// compositional offline stage both as a warm-start source and as the ticket
+// composition base for every multi-fiber cut containing its fiber.
+type singleSource struct {
+	res   *rwa.Result
+	waves map[int]int // failed IP link -> naive integral wave count
+}
+
+// composedTicket adapts the pipeline's pre-staged singles map to
+// ticket.Compose, which builds the composed-from-singles restoration
+// candidate for a multi-fiber cut (see its doc for the semantics).
+func composedTicket(res *rwa.Result, cut []int, singles map[int]*singleSource) (ticket.Ticket, bool) {
+	return ticket.Compose(res, cut, func(f int) map[int]int {
+		if s := singles[f]; s != nil {
+			return s.waves
+		}
+		return nil
+	})
 }
 
 // relevant reports whether the scenario's cut fails at least one IP link
@@ -156,7 +207,29 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 	endEnum := obs.Span(ctx, "pipeline.enumerate")
 	endEnumStage := opts.Profiler.Stage("pipeline.enumerate")
 	probs := scenario.FailureProbabilities(len(tp.Opt.Fibers), scenario.DefaultShape, scenario.DefaultScale, opts.Seed)
-	set := scenario.Enumerate(probs, opts.Cutoff)
+	// The correlated k-failure enumerator engages only when one of its
+	// knobs is set; the default path keeps the legacy singles+pairs
+	// enumerator and stays byte-identical to the pre-existing pipeline.
+	correlated := opts.MaxCutSize > 0 || opts.UseSRLGs || opts.TargetMass > 0 || opts.MaxEnumerated > 0
+	var set *scenario.Set
+	if correlated {
+		k := opts.MaxCutSize
+		if k <= 0 {
+			k = 2
+		}
+		var groups []scenario.Group
+		if opts.UseSRLGs {
+			for _, g := range tp.SRLGs {
+				groups = append(groups, scenario.Group{Name: g.Name, Fibers: g.Fibers, Prob: g.Prob})
+			}
+		}
+		set = scenario.EnumerateCorrelated(probs, groups, scenario.EnumOptions{
+			K: k, Cutoff: opts.Cutoff, TargetMass: opts.TargetMass,
+			MaxEnumerated: opts.MaxEnumerated, Recorder: opts.Recorder,
+		})
+	} else {
+		set = scenario.Enumerate(probs, opts.Cutoff)
+	}
 	endEnumStage()
 	endEnum()
 	obs.Add(opts.Recorder, "pipeline.scenarios_enumerated", int64(len(set.Scenarios)))
@@ -178,22 +251,86 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 	tp.Opt.Graph()
 	endGraph()
 
+	// Compositional pre-stage (correlated path only): solve the single-cut
+	// RWA once per fiber that participates in any multi-fiber cut. Each
+	// solve is reused many times — as the warm-start and ticket-composition
+	// source of every multi-cut containing its fiber, and verbatim as the
+	// RWA result of the fiber's own single-cut scenario (the solver is
+	// deterministic, so the reuse changes nothing).
+	var singles map[int]*singleSource
+	if correlated && !opts.NoCompose {
+		fset := map[int]bool{}
+		for _, sc := range set.Scenarios {
+			if len(sc.Cut) > 1 {
+				for _, f := range sc.Cut {
+					fset[f] = true
+				}
+			}
+		}
+		fibers := make([]int, 0, len(fset))
+		for f := range fset {
+			fibers = append(fibers, f)
+		}
+		sort.Ints(fibers)
+		endSingles := opts.Profiler.Stage("pipeline.singles")
+		srcs, err := par.Map(ctx, opts.Parallelism, len(fibers), func(_ context.Context, i int) (*singleSource, error) {
+			res, err := solveRWA(&rwa.Request{
+				Net: tp.Opt, Cut: []int{fibers[i]}, K: opts.K,
+				AllowTuning: true, AllowModulationChange: true,
+				Recorder: opts.Recorder, NoWarm: opts.NoWarm,
+				HealthEvery: opts.HealthEvery, ExportBasis: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("eval: single cut {%d} rwa: %w", fibers[i], err)
+			}
+			s := &singleSource{res: res, waves: map[int]int{}}
+			for li, w := range rwa.MaxIntegralWaves(res) {
+				s.waves[res.Failed[li]] = w
+			}
+			return s, nil
+		})
+		endSingles()
+		if err != nil {
+			return nil, err
+		}
+		singles = make(map[int]*singleSource, len(fibers))
+		for i, f := range fibers {
+			singles[f] = srcs[i]
+		}
+	}
+
 	// buildOne runs the offline stage for enumerated scenario si. It only
 	// reads shared state (topology, scenario set), derives its RNG from the
 	// enumerated index — opts.Seed + si*977, independent of how many
 	// scenarios before it were relevant — and returns fresh artifacts, so
 	// scenarios parallelise freely and results cannot depend on schedule.
 	buildOne := func(_ context.Context, si int) (*scenarioArtifacts, error) {
-		endRWA := opts.Profiler.StageAgg("rwa.solve")
-		res, err := solveRWA(&rwa.Request{
-			Net: tp.Opt, Cut: set.Scenarios[si].Cut, K: opts.K,
-			AllowTuning: true, AllowModulationChange: true,
-			Recorder: opts.Recorder, NoWarm: opts.NoWarm,
-			HealthEvery: opts.HealthEvery,
-		})
-		endRWA()
-		if err != nil {
-			return nil, fmt.Errorf("eval: scenario %d rwa: %w", si, err)
+		cut := set.Scenarios[si].Cut
+		var warm []*rwa.Result
+		var res *rwa.Result
+		if len(cut) == 1 && singles[cut[0]] != nil {
+			// The pre-stage already solved this exact request.
+			res = singles[cut[0]].res
+		} else {
+			if len(cut) > 1 {
+				for _, f := range cut {
+					if s := singles[f]; s != nil {
+						warm = append(warm, s.res)
+					}
+				}
+			}
+			endRWA := opts.Profiler.StageAgg("rwa.solve")
+			var err error
+			res, err = solveRWA(&rwa.Request{
+				Net: tp.Opt, Cut: cut, K: opts.K,
+				AllowTuning: true, AllowModulationChange: true,
+				Recorder: opts.Recorder, NoWarm: opts.NoWarm,
+				HealthEvery: opts.HealthEvery, WarmFrom: warm,
+			})
+			endRWA()
+			if err != nil {
+				return nil, fmt.Errorf("eval: scenario %d rwa: %w", si, err)
+			}
 		}
 		// Solver-health events are tagged with the ENUMERATED scenario index
 		// (like ticket events), so the stream is a schedule-independent bag
@@ -219,11 +356,24 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 			}
 		}
 		a.tickets = []ticket.Ticket{a.naive}
-		if opts.NumTickets > 1 {
+		seen := map[string]bool{a.naive.Key(): true}
+		if len(warm) > 0 {
+			// Compositional candidate: the union of the constituent single-
+			// cut restorations, restricted to the combined cut's spectrum.
+			// It rides directly behind the naive seed so the colgen master
+			// starts from the composed plan instead of pricing it in.
+			obs.Add(opts.Recorder, "scenario.warm_from_singles", 1)
+			if tk, ok := composedTicket(res, cut, singles); ok && !seen[tk.Key()] {
+				seen[tk.Key()] = true
+				a.tickets = append(a.tickets, tk)
+				a.seeds = 2
+			}
+		}
+		if opts.NumTickets > len(a.tickets) {
 			endTickets := opts.Profiler.StageAgg("ticket.generate")
 			defer endTickets()
 			rolled := ticket.Generate(res, ticket.Options{
-				Count:            opts.NumTickets - 1,
+				Count:            opts.NumTickets - len(a.tickets),
 				Stride:           opts.Stride,
 				Seed:             opts.Seed + int64(si)*977,
 				CheckFeasibility: true,
@@ -233,7 +383,7 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 				Scenario:         si,
 			})
 			for _, tk := range rolled {
-				if tk.Key() != a.naive.Key() {
+				if !seen[tk.Key()] {
 					a.tickets = append(a.tickets, tk)
 				}
 			}
@@ -276,11 +426,13 @@ func BuildPipelineContext(ctx context.Context, tp *topo.Topology, opts PipelineO
 				opts.Ledger.Emit(ledger.Event{
 					Kind: ledger.KindScenario, Scenario: kept - 1, Enum: lo + i,
 					Prob: fs.Prob, Links: append([]int(nil), a.res.Failed...),
+					Cut:   append([]int(nil), set.Scenarios[lo+i].Cut...),
 					Count: len(a.tickets),
 				})
 			}
 			p.Scenarios = append(p.Scenarios, te.RestorableScenario{
 				FailureScenario: fs, TicketLinks: a.res.Failed, Tickets: a.tickets,
+				Seeds: a.seeds,
 			})
 			p.Naive = append(p.Naive, te.RestorableScenario{
 				FailureScenario: fs, TicketLinks: a.res.Failed, Tickets: []ticket.Ticket{a.naive},

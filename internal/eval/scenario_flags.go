@@ -1,0 +1,68 @@
+package eval
+
+import "flag"
+
+// ScenarioFlags carries the parsed correlated-enumeration CLI knobs; see
+// RegisterScenarioFlags.
+type ScenarioFlags struct {
+	maxCutSize    *int
+	useSRLGs      *bool
+	targetMass    *float64
+	maxEnumerated *int
+	compose       *bool
+}
+
+// RegisterScenarioFlags installs the scenario-space knobs the planning CLIs
+// share (-max-cut-size, -srlgs, -target-mass, -max-enumerated, -compose).
+// All-default keeps the legacy singles+pairs enumerator and byte-identical
+// results.
+func RegisterScenarioFlags(fs *flag.FlagSet) *ScenarioFlags {
+	return &ScenarioFlags{
+		maxCutSize:    fs.Int("max-cut-size", 0, "enumerate correlated cut sets of up to this many failure elements (0 = legacy singles+pairs enumerator)"),
+		useSRLGs:      fs.Bool("srlgs", false, "expand the topology's shared-risk link groups as correlated failure elements"),
+		targetMass:    fs.Float64("target-mass", 0, "stop enumerating once this fraction of the failure probability mass is covered (0 = cutoff only)"),
+		maxEnumerated: fs.Int("max-enumerated", 0, "hard cap on enumerated cut sets (0 = uncapped)"),
+		compose:       fs.Bool("compose", true, "warm-start multi-cut RWA solves from pre-staged single-cut bases and seed composed tickets (-compose=false for the cold A/B)"),
+	}
+}
+
+// Apply copies the parsed knobs onto a PipelineOptions value. Nil-safe
+// (a nil receiver leaves the options untouched), as are the other Apply
+// variants, so tests can pass nil where no flags were parsed.
+func (sf *ScenarioFlags) Apply(po PipelineOptions) PipelineOptions {
+	if sf == nil {
+		return po
+	}
+	po.MaxCutSize = *sf.maxCutSize
+	po.UseSRLGs = *sf.useSRLGs
+	po.TargetMass = *sf.targetMass
+	po.MaxEnumerated = *sf.maxEnumerated
+	po.NoCompose = !*sf.compose
+	return po
+}
+
+// ApplyConfig copies the parsed knobs onto an experiment Config.
+func (sf *ScenarioFlags) ApplyConfig(c Config) Config {
+	if sf == nil {
+		return c
+	}
+	c.MaxCutSize = *sf.maxCutSize
+	c.UseSRLGs = *sf.useSRLGs
+	c.TargetMass = *sf.targetMass
+	c.MaxEnumerated = *sf.maxEnumerated
+	c.NoCompose = !*sf.compose
+	return c
+}
+
+// ApplyRun copies the parsed knobs onto a RunOptions value.
+func (sf *ScenarioFlags) ApplyRun(o RunOptions) RunOptions {
+	if sf == nil {
+		return o
+	}
+	o.MaxCutSize = *sf.maxCutSize
+	o.UseSRLGs = *sf.useSRLGs
+	o.TargetMass = *sf.targetMass
+	o.MaxEnumerated = *sf.maxEnumerated
+	o.NoCompose = !*sf.compose
+	return o
+}

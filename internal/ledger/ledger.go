@@ -147,6 +147,10 @@ type Event struct {
 	Prob float64 `json:"prob,omitempty"`
 	// Links lists the failed IP link IDs (KindScenario).
 	Links []int `json:"links,omitempty"`
+	// Cut lists the fiber IDs cut in this scenario (KindScenario). Multi-
+	// fiber entries come from k-failure/SRLG enumeration; reports render
+	// them as sorted {f3,f7} labels.
+	Cut []int `json:"cut,omitempty"`
 	// Ticket is the ticket index within the scenario's candidate set.
 	Ticket int `json:"ticket,omitempty"`
 	// Reason classifies a rejection (KindTicketRejected).

@@ -39,6 +39,7 @@ var counterHelp = map[string]string{
 	"mip.pruned":                             "nodes pruned by bound",
 	"mip.incumbents":                         "incumbent improvements found",
 	"rwa.solves":                             "restoration wavelength-assignment solves",
+	"rwa.compose_adopted":                    "basis variables adopted from single-cut solutions when composing multi-cut warm starts",
 	"ticket.rounding_attempts":               "LP-relaxation rounding attempts during ticket generation",
 	"ticket.generated":                       "restoration tickets generated",
 	"ticket.infeasible":                      "candidate tickets rejected as infeasible",
@@ -49,6 +50,9 @@ var counterHelp = map[string]string{
 	"par.idle_ns":                            "cumulative worker idle time (ns)",
 	"pipeline.scenarios_enumerated":          "failure scenarios enumerated by the offline pipeline",
 	"pipeline.scenarios_relevant":            "enumerated scenarios kept after the relevance cutoff",
+	"scenario.enumerated":                    "cut sets emitted by the correlated k-failure enumerator",
+	"scenario.pruned":                        "failure-lattice nodes pruned by the enumerator's probability bound",
+	"scenario.warm_from_singles":             "multi-cut RWA solves warm-started from pre-staged single-cut bases",
 	"sim.intervals":                          "timeline replay intervals evaluated",
 	"sim.unplanned_intervals":                "intervals spent in failure states with no precomputed plan",
 	"sim.restoring_intervals":                "intervals spent inside restoration-latency windows",

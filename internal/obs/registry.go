@@ -42,6 +42,7 @@ var CoreCounters = []string{
 	"mip.pruned",
 	"mip.incumbents",
 	"rwa.solves",
+	"rwa.compose_adopted",
 	"ticket.rounding_attempts",
 	"ticket.generated",
 	"ticket.infeasible",
@@ -52,6 +53,10 @@ var CoreCounters = []string{
 	"par.idle_ns",
 	"pipeline.scenarios_enumerated",
 	"pipeline.scenarios_relevant",
+	// Correlated k-failure enumeration + compositional offline stage.
+	"scenario.enumerated",
+	"scenario.pruned",
+	"scenario.warm_from_singles",
 	"sim.intervals",
 	"sim.unplanned_intervals",
 	"sim.restoring_intervals",

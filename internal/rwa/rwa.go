@@ -47,6 +47,23 @@ type Request struct {
 	// phase 1; NoWarm exists for A/B comparison, not correctness.
 	NoWarm bool
 
+	// WarmFrom supplies already-solved constituent Results (typically the
+	// single-fiber cuts making up this request's multi-fiber cut) whose
+	// optimal assignments compositionally warm-start this solve. For each
+	// failed link, the first source that also failed that link contributes
+	// its chosen (path, slot) variables; the union is restricted to remain
+	// feasible (no two adopted wavelengths share a fiber-slot, per-link
+	// totals respect gamma_e), so the composed point always skips phase 1.
+	// Sources must carry VarBasis (solved with ExportBasis). Composition is
+	// a deterministic function of the request and sources alone: results
+	// cannot vary with worker scheduling. Ignored when NoWarm is set.
+	WarmFrom []*Result
+
+	// ExportBasis makes the solve retain a canonical per-variable basis-
+	// status map on the Result (Result.VarBasis) so it can serve as a
+	// WarmFrom source for later, larger cut sets.
+	ExportBasis bool
+
 	// HealthEvery forwards the LP engine's numerical-health probe period
 	// into the assignment LP (see lp.Options.HealthEvery). Zero keeps
 	// probing off; the probes never change the solve.
@@ -94,7 +111,33 @@ type Result struct {
 	// Health is the assignment LP's numerical-health report, present only
 	// when Request.HealthEvery > 0 and the LP actually ran.
 	Health *lp.HealthReport
+	// VarBasis maps each assignment variable's canonical cross-model key to
+	// its basis status at the LP optimum (variables nonbasic at lower bound
+	// are omitted — they carry no information). Populated only when
+	// Request.ExportBasis is set and the LP ran; it is what a later solve's
+	// WarmFrom consumes.
+	VarBasis map[WarmKey]lp.BasisStatus
+	// Warm reports what the LP's warm-start machinery did (nil when the LP
+	// was skipped or ran cold via NoWarm).
+	Warm *lp.WarmInfo
+	// ComposedVars counts the variables adopted from WarmFrom sources into
+	// this solve's starting basis (0 on non-compositional solves).
+	ComposedVars int
 }
+
+// WarmKey canonically identifies one assignment variable across solves of
+// different cut sets: the failed IP link's global ID, the surrogate fiber
+// path, and the spectrum slot. Local (link, path) indices differ between a
+// single-cut and a multi-cut model, so compositional warm starts match
+// variables by this key instead.
+type WarmKey struct {
+	Link int
+	Path string // canonical fiber-path key, see pathKey
+	Slot int
+}
+
+// pathKey renders a surrogate fiber path as a canonical map key.
+func pathKey(fibers []int) string { return fmt.Sprint(fibers) }
 
 // RestorableGbps returns the (fractional) restorable bandwidth of failed
 // link i: FracWaves[i] * GbpsPerWave[i].
@@ -237,6 +280,10 @@ func usableSlots(req *Request, spectra []*spectrum.Bitmap, link *optical.IPLink,
 	return out
 }
 
+// xiKey indexes one assignment variable by local (failed-link, path-option,
+// slot) position within a single model.
+type xiKey struct{ link, path, slot int }
+
 // solveAssignmentLP builds and solves the relaxed wavelength-assignment LP
 // (Appendix A.2, constraints 14–17 with xi relaxed to [0,1]), maximising
 // the total restored wavelength count.
@@ -244,7 +291,6 @@ func solveAssignmentLP(req *Request, spectra []*spectrum.Bitmap, res *Result) er
 	m := lp.NewModel("rwa")
 	m.SetMaximize(true)
 
-	type xiKey struct{ link, path, slot int }
 	xi := map[xiKey]lp.Var{}
 	// Per-(fiber, slot) usage expressions for constraint (14).
 	fiberSlot := map[[2]int]lp.Expr{}
@@ -321,8 +367,16 @@ func solveAssignmentLP(req *Request, spectra []*spectrum.Bitmap, res *Result) er
 		sol, err = lp.Solve(m, lpo)
 	} else {
 		// All rows are <= with nonnegative rhs, so the all-slack basis is
-		// primal feasible and the warm start skips phase 1 entirely.
-		sol, err = lp.SolveWithBasis(m, lp.SlackBasis(m), lpo)
+		// primal feasible and the warm start skips phase 1 entirely. With
+		// WarmFrom sources, the slack basis is further seeded with the
+		// constituent solves' chosen variables (restricted to stay
+		// feasible), so phase 2 also starts near the composed optimum.
+		basis := lp.SlackBasis(m)
+		if len(req.WarmFrom) > 0 {
+			res.ComposedVars = composeWarmBasis(req, basis, xi, res)
+			obs.Add(req.Recorder, "rwa.compose_adopted", int64(res.ComposedVars))
+		}
+		sol, err = lp.SolveWithBasis(m, basis, lpo)
 	}
 	if err != nil {
 		return fmt.Errorf("rwa assignment LP: %w", err)
@@ -331,6 +385,21 @@ func solveAssignmentLP(req *Request, spectra []*spectrum.Bitmap, res *Result) er
 		return fmt.Errorf("rwa assignment LP: status %v", sol.Status)
 	}
 	res.Health = sol.Health
+	res.Warm = sol.Warm
+	if req.ExportBasis && sol.Basis != nil {
+		res.VarBasis = map[WarmKey]lp.BasisStatus{}
+		for li := range res.Failed {
+			for pi, opt := range res.Options[li] {
+				key := pathKey(opt.Fibers)
+				for _, s := range opt.Slots {
+					st := sol.Basis.VarStatus[int(xi[xiKey{li, pi, s}])]
+					if st != lp.BasisAtLower {
+						res.VarBasis[WarmKey{Link: res.Failed[li], Path: key, Slot: s}] = st
+					}
+				}
+			}
+		}
+	}
 	for li := range res.Failed {
 		total := 0.0
 		for pi, opt := range res.Options[li] {
@@ -342,6 +411,88 @@ func solveAssignmentLP(req *Request, spectra []*spectrum.Bitmap, res *Result) er
 		res.Objective += res.FracWaves[li]
 	}
 	return nil
+}
+
+// composeWarmBasis seeds a slack basis with the union of the WarmFrom
+// sources' chosen assignment variables, restricted to stay primal feasible
+// in the combined model. For each failed link the FIRST source that also
+// failed it contributes: every variable the source's optimum held basic or
+// at its upper bound is adopted AT UPPER (wavelength fully restored on that
+// path and slot) provided no previously adopted variable already claims one
+// of its fiber-slots, the link's gamma_e quota is not exhausted, and — in
+// no-tuning mode — the original slot is not already reused. Those three
+// guards are exactly constraints (14), (17) and the orig-slot rows, so the
+// composed basic point is feasible by construction and SolveWithBasis skips
+// phase 1. Variables unique to the multi-cut model (paths that traverse the
+// other cut's fibers exist only in the singles) drop out naturally: their
+// keys simply miss.
+//
+// The adoption order — links in Failed order, path options in rank order,
+// slots in option order — and the first-match source rule are deterministic
+// functions of the request alone, preserving the pipeline's reproducibility
+// contract at any worker count. Returns the number of adopted variables.
+func composeWarmBasis(req *Request, basis *lp.Basis, xi map[xiKey]lp.Var, res *Result) int {
+	srcFor := make([]*Result, len(res.Failed))
+	for i, lid := range res.Failed {
+		for _, src := range req.WarmFrom {
+			if src == nil || len(src.VarBasis) == 0 {
+				continue
+			}
+			for _, sl := range src.Failed {
+				if sl == lid {
+					srcFor[i] = src
+					break
+				}
+			}
+			if srcFor[i] != nil {
+				break
+			}
+		}
+	}
+	claimed := map[[2]int]bool{} // (fiber, slot) pairs taken by adopted vars
+	adopted := 0
+	for li := range res.Failed {
+		src := srcFor[li]
+		if src == nil {
+			continue
+		}
+		quota := res.OrigWaves[li]
+		usedOrig := map[int]bool{} // per-link original-slot guard (no tuning)
+	options:
+		for pi, opt := range res.Options[li] {
+			key := pathKey(opt.Fibers)
+			for _, s := range opt.Slots {
+				if quota <= 0 {
+					break options
+				}
+				st, ok := src.VarBasis[WarmKey{Link: res.Failed[li], Path: key, Slot: s}]
+				if !ok || (st != lp.BasisBasic && st != lp.BasisAtUpper) {
+					continue
+				}
+				if !req.AllowTuning && usedOrig[s] {
+					continue
+				}
+				free := true
+				for _, f := range opt.Fibers {
+					if claimed[[2]int{f, s}] {
+						free = false
+						break
+					}
+				}
+				if !free {
+					continue
+				}
+				for _, f := range opt.Fibers {
+					claimed[[2]int{f, s}] = true
+				}
+				basis.VarStatus[int(xi[xiKey{li, pi, s}])] = lp.BasisAtUpper
+				usedOrig[s] = true
+				quota--
+				adopted++
+			}
+		}
+	}
+	return adopted
 }
 
 // Assignment is an integral wavelength assignment: for each failed link

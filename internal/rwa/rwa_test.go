@@ -2,8 +2,10 @@ package rwa
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
+	"github.com/arrow-te/arrow/internal/obs"
 	"github.com/arrow-te/arrow/internal/optical"
 	"github.com/arrow-te/arrow/internal/spectrum"
 )
@@ -306,5 +308,162 @@ func TestDisconnectedAfterCut(t *testing.T) {
 	u, err := RestorationRatio(n, 0, 3, true, true)
 	if err != nil || u != 0 {
 		t.Fatalf("U = %g err=%v, want 0", u, err)
+	}
+}
+
+// twoIslandNetwork builds two disjoint sub-networks, each with a direct
+// fiber carrying one 2-wave IP link plus a clean 2-hop surrogate path, so a
+// pair cut {0, 3} decomposes exactly into its two single cuts.
+func twoIslandNetwork(t *testing.T) *optical.Network {
+	t.Helper()
+	n := optical.NewNetwork(6, 8)
+	n.AddFiber(0, 1, 100) // 0: A-B direct
+	n.AddFiber(0, 2, 100) // 1: A-C
+	n.AddFiber(2, 1, 100) // 2: C-B
+	n.AddFiber(3, 4, 100) // 3: D-E direct
+	n.AddFiber(3, 5, 100) // 4: D-F
+	n.AddFiber(5, 4, 100) // 5: F-E
+	mod := spectrum.Table6[0]
+	mk := func(fiber int) []optical.Lightpath {
+		return []optical.Lightpath{
+			{Slot: 0, Modulation: mod, FiberPath: []int{fiber}},
+			{Slot: 1, Modulation: mod, FiberPath: []int{fiber}},
+		}
+	}
+	if _, err := n.Provision(0, 1, mk(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Provision(3, 4, mk(3)); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestComposeWarmFromSingles: a pair-cut solve warm-started from its two
+// single-cut solutions adopts their variables, skips phase 1, and returns
+// exactly the same restoration as the plain (slack-warm) pair solve.
+func TestComposeWarmFromSingles(t *testing.T) {
+	n := twoIslandNetwork(t)
+	single := func(f int) *Result {
+		res, err := Solve(&Request{Net: n, Cut: []int{f}, K: 3, AllowTuning: true, ExportBasis: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.VarBasis) == 0 {
+			t.Fatalf("single cut {%d}: no exported basis", f)
+		}
+		return res
+	}
+	s0, s3 := single(0), single(3)
+
+	plain, err := Solve(&Request{Net: n, Cut: []int{0, 3}, K: 3, AllowTuning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed, err := Solve(&Request{
+		Net: n, Cut: []int{0, 3}, K: 3, AllowTuning: true,
+		WarmFrom: []*Result{s0, s3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if composed.ComposedVars == 0 {
+		t.Fatal("composition adopted no variables")
+	}
+	if composed.Warm == nil || !composed.Warm.Phase1Skipped {
+		t.Fatalf("composed warm info %+v, want phase 1 skipped", composed.Warm)
+	}
+	if math.Abs(composed.Objective-plain.Objective) > 1e-9 {
+		t.Fatalf("objective drifted: composed %g vs plain %g", composed.Objective, plain.Objective)
+	}
+	for i := range plain.FracWaves {
+		if math.Abs(composed.FracWaves[i]-plain.FracWaves[i]) > 1e-9 {
+			t.Fatalf("FracWaves[%d]: composed %g vs plain %g", i, composed.FracWaves[i], plain.FracWaves[i])
+		}
+	}
+	// The disjoint pair decomposes exactly: both links fully restored.
+	if math.Abs(composed.Objective-4) > 1e-6 {
+		t.Fatalf("objective %g, want 4", composed.Objective)
+	}
+
+	// Composition is deterministic: an identical request reproduces the
+	// result bit for bit.
+	again, err := Solve(&Request{
+		Net: n, Cut: []int{0, 3}, K: 3, AllowTuning: true,
+		WarmFrom: []*Result{s0, s3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.FracWaves, composed.FracWaves) || again.ComposedVars != composed.ComposedVars {
+		t.Fatal("composed solve is not deterministic")
+	}
+}
+
+// TestComposeWarmSavesPivots: on the disjoint pair, the composed start sits
+// on the optimal vertex, so phase 2 needs strictly fewer pivots than the
+// all-slack start.
+func TestComposeWarmSavesPivots(t *testing.T) {
+	n := twoIslandNetwork(t)
+	pivots := func(warm []*Result) int64 {
+		reg := obs.NewRegistry()
+		_, err := Solve(&Request{
+			Net: n, Cut: []int{0, 3}, K: 3, AllowTuning: true,
+			WarmFrom: warm, Recorder: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reg.Snapshot().Counters["lp.pivots"]
+	}
+	s0, err := Solve(&Request{Net: n, Cut: []int{0}, K: 3, AllowTuning: true, ExportBasis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Solve(&Request{Net: n, Cut: []int{3}, K: 3, AllowTuning: true, ExportBasis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, warm := pivots(nil), pivots([]*Result{s0, s3})
+	if warm >= cold {
+		t.Fatalf("composed start saved nothing: %d pivots vs %d slack-warm", warm, cold)
+	}
+}
+
+// TestComposeWarmRestriction: when the pair cut removes a surrogate path
+// that the single-cut solution used (fibers of the OTHER cut), its adopted
+// variables drop out, and contention between the two links' adoptions is
+// resolved by the fiber-slot claim pass — the composed point stays feasible
+// (phase 1 still skipped) and the objective matches the plain solve.
+func TestComposeWarmRestriction(t *testing.T) {
+	// fig7Network: IP1 (4 waves) and IP2 (8 waves) on fiber 0, surrogates
+	// via T (fibers 1,2: 3 free slots) and U (fibers 3,4: 2 free slots).
+	// The pair {0,1} kills the top surrogate, so singles' top-path picks
+	// must be dropped and both links compete for the bottom path's 2 slots.
+	n := fig7Network(t)
+	s0, err := Solve(&Request{Net: n, Cut: []int{0}, K: 3, AllowTuning: true, ExportBasis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := Solve(&Request{Net: n, Cut: []int{1}, K: 3, AllowTuning: true, ExportBasis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Solve(&Request{Net: n, Cut: []int{0, 1}, K: 3, AllowTuning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed, err := Solve(&Request{
+		Net: n, Cut: []int{0, 1}, K: 3, AllowTuning: true,
+		WarmFrom: []*Result{s0, s1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if composed.Warm == nil || !composed.Warm.Phase1Skipped {
+		t.Fatalf("restricted composition broke feasibility: %+v", composed.Warm)
+	}
+	if math.Abs(composed.Objective-plain.Objective) > 1e-9 {
+		t.Fatalf("objective drifted: composed %g vs plain %g", composed.Objective, plain.Objective)
 	}
 }

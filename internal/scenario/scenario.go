@@ -3,8 +3,36 @@
 //
 // Following §6 of the paper (which follows TeaVaR's methodology), each
 // fiber's failure probability is drawn from a Weibull distribution
-// (shape 0.8, scale 0.02); scenarios are all single and double fiber cuts
+// (shape 0.8, scale 0.02); Enumerate keeps all single and double fiber cuts
 // whose joint probability exceeds a per-topology cutoff.
+//
+// # Probability model for correlated cuts
+//
+// EnumerateCorrelated generalises this to k simultaneous failures with
+// shared-risk link groups (SRLGs). The failure ELEMENTS are the n individual
+// fibers (marginal probability p_i, from the Weibull draw) plus the m SRLGs
+// (conduit-cut probability q_g), all mutually independent: a conduit cut is
+// a separate physical event — a backhoe through the duct — that takes every
+// member fiber down at once, on top of whatever the fibers do individually.
+// A failure scenario is a subset S of elements; its exact probability is
+//
+//	P(exactly S) = prod_{e in S} p_e * prod_{e not in S} (1 - p_e)
+//	             = healthy * prod_{e in S} p_e/(1-p_e)
+//
+// where healthy is the all-elements-up probability. The scenario's CUT SET
+// is the union of member fibers over S (an SRLG element expands to all its
+// fibers). Distinct element subsets can induce the same cut set — an SRLG
+// expansion overlapping a member fiber's individual failure — and their
+// masses are MERGED onto one emitted scenario, so no cut set is
+// double-counted. The same rule motivates the EnumerateAllKGroups subset
+// skip: fiber combinations interior to an SRLG expansion are not distinct
+// physical events and carry no separate mass.
+//
+// Element probabilities are assumed < 0.5 (odds < 1); FailureProbabilities
+// clamps its draws to 0.1 and the named topologies' conduit probabilities
+// sit well below that. The best-first enumeration order and its pruning
+// soundness rely on this: with odds < 1, adding an element never increases
+// a scenario's probability.
 package scenario
 
 import (

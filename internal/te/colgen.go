@@ -354,14 +354,20 @@ func arrowPhase1Colgen(n *Network, scs []RestorableScenario, opts *ArrowOptions)
 	L := opts.ledger()
 	rec := opts.recorder()
 
-	// Seed: ticket 0 per scenario (by convention the RWA-derived candidate,
-	// the |Z|=1 plan), in scenario order. Starting from the bare base model
-	// instead was measured strictly worse: the base optimum sits far from any
-	// restorable vertex, so the first sweep prices one block per scenario and
-	// the repair of that bulk append costs more than seeding ever does.
+	// Seed: the leading Seeds tickets per scenario (by convention ticket 0
+	// is the RWA-derived candidate, the |Z|=1 plan; compositional pipelines
+	// prepend composed-from-singles candidates and raise Seeds), in scenario
+	// order. Starting from the bare base model instead was measured strictly
+	// worse: the base optimum sits far from any restorable vertex, so the
+	// first sweep prices one block per scenario and the repair of that bulk
+	// append costs more than seeding ever does.
+	totalSeeds := 0
 	for qi := range scs {
-		inMaster[qi][0] = true
-		appendTicketBlock(bm, nil, qi, 0, &blocks[qi][0], alpha, coverSeen)
+		for z := 0; z < scs[qi].seedCount(); z++ {
+			inMaster[qi][z] = true
+			appendTicketBlock(bm, nil, qi, z, &blocks[qi][z], alpha, coverSeen)
+			totalSeeds++
+		}
 	}
 
 	solve := func(warm *lp.Basis) (*lp.Solution, error) {
@@ -506,7 +512,7 @@ func arrowPhase1Colgen(n *Network, scs []RestorableScenario, opts *ArrowOptions)
 	if rec != nil {
 		rec.Add("lp.columns_priced", int64(priced))
 		rec.Add("te.pricing_rounds", int64(rounds))
-		rec.Add("te.tickets_deferred", int64(totalTickets-priced-len(scs)))
+		rec.Add("te.tickets_deferred", int64(totalTickets-priced-totalSeeds))
 	}
 
 	var p1basis *lp.Basis

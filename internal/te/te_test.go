@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 
+	"github.com/arrow-te/arrow/internal/lp"
+	"github.com/arrow-te/arrow/internal/obs"
 	"github.com/arrow-te/arrow/internal/ticket"
 )
 
@@ -341,5 +343,44 @@ func TestScaled(t *testing.T) {
 	s := n.Scaled(2)
 	if s.Flows[0].Demand != 200 || n.Flows[0].Demand != 100 {
 		t.Fatal("scaling wrong or aliased")
+	}
+}
+
+func TestColgenMultiSeed(t *testing.T) {
+	// Raising Seeds installs more leading ticket blocks up front; the
+	// converged restricted optimum (and the winner) must not move, and the
+	// deferred-ticket accounting must recognise every seeded block.
+	n := parallelLinks()
+	base, err := Arrow(n, fig7Scenario(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seeds := range []int{0, 2, 3, 99} {
+		scs := fig7Scenario()
+		scs[0].Seeds = seeds
+		reg := obs.NewRegistry()
+		al, err := Arrow(n, scs, &ArrowOptions{LP: &lp.Options{Recorder: reg}})
+		if err != nil {
+			t.Fatalf("seeds=%d: %v", seeds, err)
+		}
+		if al.WinningTicket[0] != base.WinningTicket[0] {
+			t.Fatalf("seeds=%d: winner %v, want %v", seeds, al.WinningTicket, base.WinningTicket)
+		}
+		if math.Abs(al.Objective-base.Objective) > 1e-9 {
+			t.Fatalf("seeds=%d: objective %g, want %g", seeds, al.Objective, base.Objective)
+		}
+		snap := reg.Snapshot()
+		seeded := int64(seeds)
+		if seeded < 1 {
+			seeded = 1
+		}
+		if seeded > 3 {
+			seeded = 3
+		}
+		total := seeded + snap.Counters["lp.columns_priced"] + snap.Counters["te.tickets_deferred"]
+		if total != 3 {
+			t.Fatalf("seeds=%d: seeded %d + priced %d + deferred %d != 3 tickets",
+				seeds, seeded, snap.Counters["lp.columns_priced"], snap.Counters["te.tickets_deferred"])
+		}
 	}
 }

@@ -103,6 +103,24 @@ type RestorableScenario struct {
 	TicketLinks []int
 	// Tickets is the candidate set Z^q for this scenario.
 	Tickets []ticket.Ticket
+	// Seeds is the number of leading tickets the column-generation master
+	// installs up front (<=1 means the conventional single RWA-derived seed,
+	// ticket 0). Compositional pipelines put composed-from-singles candidate
+	// tickets ahead of the generated pool and raise Seeds so the restricted
+	// master starts from the composed plan instead of pricing it in.
+	Seeds int
+}
+
+// seedCount clamps Seeds to [1, len(Tickets)].
+func (rs *RestorableScenario) seedCount() int {
+	s := rs.Seeds
+	if s < 1 {
+		s = 1
+	}
+	if s > len(rs.Tickets) {
+		s = len(rs.Tickets)
+	}
+	return s
 }
 
 // TicketGbps returns ticket z's restored capacity for IP link e (0 when the

@@ -17,10 +17,13 @@ import (
 //	sites <numROADMs> [slotsPerFiber]
 //	router <roadm>                 # marks a ROADM as a router site
 //	fiber <a> <b> <lengthKm>       # fiber IDs assigned in file order
+//	srlg <name> <prob> <fiber>[,<fiber>...]   # shared-risk conduit group
 //	link <src> <dst> <waves> <gbps> <fiber>[,<fiber>...]
 //
 // If no `router` lines appear, every ROADM is a router. Link endpoints must
-// be router sites. The format is round-trippable via Encode.
+// be router sites. `srlg` lines must follow the fibers they reference and
+// declare a conduit-cut probability in [0, 0.5) (see internal/scenario's
+// correlated-failure model). The format is round-trippable via Encode.
 func Parse(r io.Reader) (*Topology, error) {
 	sc := bufio.NewScanner(r)
 	var t *Topology
@@ -86,6 +89,26 @@ func Parse(r io.Reader) (*Topology, error) {
 				return nil, fail("fiber endpoint out of range")
 			}
 			t.Opt.AddFiber(optical.ROADM(a), optical.ROADM(b), km)
+		case "srlg":
+			if t == nil {
+				return nil, fail("srlg before sites")
+			}
+			if len(fields) != 4 {
+				return nil, fail("srlg needs: name prob fibers")
+			}
+			prob, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || prob < 0 || prob >= 0.5 {
+				return nil, fail("bad srlg probability %q (want [0, 0.5))", fields[2])
+			}
+			var fibers []int
+			for _, f := range strings.Split(fields[3], ",") {
+				id, err := strconv.Atoi(f)
+				if err != nil || id < 0 || id >= len(t.Opt.Fibers) {
+					return nil, fail("bad srlg fiber id %q", f)
+				}
+				fibers = append(fibers, id)
+			}
+			t.SRLGs = append(t.SRLGs, SRLG{Name: fields[1], Fibers: fibers, Prob: prob})
 		case "link":
 			if t == nil {
 				return nil, fail("link before sites")
@@ -174,6 +197,13 @@ func Encode(w io.Writer, t *Topology) error {
 	}
 	for _, f := range t.Opt.Fibers {
 		fmt.Fprintf(bw, "fiber %d %d %g\n", int(f.A), int(f.B), f.LengthKm)
+	}
+	for _, g := range t.SRLGs {
+		ids := make([]string, len(g.Fibers))
+		for i, fid := range g.Fibers {
+			ids[i] = strconv.Itoa(fid)
+		}
+		fmt.Fprintf(bw, "srlg %s %g %s\n", g.Name, g.Prob, strings.Join(ids, ","))
 	}
 	for _, l := range t.Opt.IPLinks {
 		if len(l.Waves) == 0 {

@@ -2,6 +2,7 @@ package topo
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -13,6 +14,7 @@ fiber 0 1 560
 fiber 1 2 560
 fiber 2 3 520
 fiber 3 0 520
+srlg ring-east 0.004 1,2
 link 0 1 2 200 0
 link 2 3 2 200 2
 link 0 3 4 200 3
@@ -65,6 +67,10 @@ func TestParseErrors(t *testing.T) {
 		{"unknown-directive", "sites 2\nwat 1 2\n"},
 		{"too-many-waves", "sites 2 2\nfiber 0 1 100\nlink 0 1 5 100 0\n"},
 		{"dup-router", "sites 2\nrouter 0 0\nfiber 0 1 100\n"},
+		{"srlg-before-sites", "srlg g 0.01 0\n"},
+		{"srlg-bad-prob", "sites 2\nfiber 0 1 100\nsrlg g 0.7 0\n"},
+		{"srlg-bad-fiber", "sites 2\nfiber 0 1 100\nsrlg g 0.01 3\n"},
+		{"srlg-missing-fields", "sites 2\nfiber 0 1 100\nsrlg g 0.01\n"},
 	}
 	for _, c := range cases {
 		if _, err := Parse(strings.NewReader(c.in)); err == nil {
@@ -89,6 +95,12 @@ func TestEncodeParseRoundTrip(t *testing.T) {
 	if orig.Stats() != back.Stats() {
 		t.Fatalf("round trip changed stats: %+v vs %+v", orig.Stats(), back.Stats())
 	}
+	if !reflect.DeepEqual(orig.SRLGs, back.SRLGs) {
+		t.Fatalf("round trip changed SRLGs: %+v vs %+v", orig.SRLGs, back.SRLGs)
+	}
+	if len(back.SRLGs) != 1 || back.SRLGs[0].Name != "ring-east" || back.SRLGs[0].Prob != 0.004 {
+		t.Fatalf("parsed SRLGs %+v", back.SRLGs)
+	}
 }
 
 func TestEncodeGeneratedTopology(t *testing.T) {
@@ -107,5 +119,48 @@ func TestEncodeGeneratedTopology(t *testing.T) {
 	bs, os := back.Stats(), tp.Stats()
 	if bs.Fibers != os.Fibers || bs.IPLinks != os.IPLinks || bs.Wavelengths != os.Wavelengths {
 		t.Fatalf("round trip changed B4: %+v vs %+v", bs, os)
+	}
+	if !reflect.DeepEqual(back.SRLGs, tp.SRLGs) {
+		t.Fatalf("round trip changed B4 SRLGs: %+v vs %+v", back.SRLGs, tp.SRLGs)
+	}
+}
+
+// TestNamedSRLGs: every named topology ships conduit groupings whose fiber
+// ids are in range, with >= 2 member fibers and probabilities below the
+// per-fiber Weibull clamp.
+func TestNamedSRLGs(t *testing.T) {
+	for _, name := range []string{"B4", "IBM", "Facebook"} {
+		tp, err := ByName(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tp.SRLGs) == 0 {
+			t.Fatalf("%s has no SRLGs", name)
+		}
+		for _, g := range tp.SRLGs {
+			if len(g.Fibers) < 2 {
+				t.Fatalf("%s SRLG %s has %d fibers", name, g.Name, len(g.Fibers))
+			}
+			if g.Prob <= 0 || g.Prob >= 0.1 {
+				t.Fatalf("%s SRLG %s prob %g out of range", name, g.Name, g.Prob)
+			}
+			for _, f := range g.Fibers {
+				if f < 0 || f >= len(tp.Opt.Fibers) {
+					t.Fatalf("%s SRLG %s references fiber %d of %d", name, g.Name, f, len(tp.Opt.Fibers))
+				}
+			}
+		}
+	}
+	// Facebook's conduits are the subdivided-span halves: both members of
+	// each group must share an endpoint (the pass-through ROADM).
+	fb, err := Facebook(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range fb.SRLGs {
+		a, b := fb.Opt.Fibers[g.Fibers[0]], fb.Opt.Fibers[g.Fibers[1]]
+		if a.A != b.A && a.A != b.B && a.B != b.A && a.B != b.B {
+			t.Fatalf("Facebook SRLG %s members share no ROADM", g.Name)
+		}
 	}
 }

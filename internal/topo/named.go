@@ -33,6 +33,25 @@ var ibmSpans = []fiberSpan{
 	{12, 14, 900}, {13, 15, 700}, {14, 15, 800}, {15, 16, 600},
 }
 
+// b4SRLGs are B4's conduit groupings: fiber pairs that leave the same site
+// along the same corridor and realistically share a trench. Indices refer
+// to b4Spans; probabilities are per-epoch conduit-cut odds, sitting an
+// order of magnitude below the typical Weibull fiber marginal (~0.02).
+var b4SRLGs = []SRLG{
+	{Name: "west-into-2", Fibers: []int{1, 2}, Prob: 0.004},
+	{Name: "corridor-3", Fibers: []int{6, 17}, Prob: 0.003},
+	{Name: "south-of-5", Fibers: []int{9, 18}, Prob: 0.005},
+	{Name: "hub-8", Fibers: []int{10, 13}, Prob: 0.004},
+}
+
+// ibmSRLGs are the IBM network's conduit groupings (indices into ibmSpans).
+var ibmSRLGs = []SRLG{
+	{Name: "midwest-trench", Fibers: []int{4, 7}, Prob: 0.003},
+	{Name: "junction-7", Fibers: []int{8, 11}, Prob: 0.004},
+	{Name: "junction-12", Fibers: []int{16, 19}, Prob: 0.003},
+	{Name: "coastal-15", Fibers: []int{20, 21}, Prob: 0.003},
+}
+
 // fig22WaveChoices / fig22WaveWeights approximate the measured
 // wavelengths-per-IP-link distribution of Fig. 22(b).
 var (
@@ -82,14 +101,23 @@ func buildNamed(name string, numSites int, spans []fiberSpan, targetIPLinks, exp
 }
 
 // B4 builds the B4 topology with its IP overlay (Table 4: 12 routers,
-// 19 fibers, 52 IP links).
+// 19 fibers, 52 IP links) and its conduit SRLGs.
 func B4(seed int64) (*Topology, error) {
-	return buildNamed("B4", 12, b4Spans, 52, 3, seed)
+	t, err := buildNamed("B4", 12, b4Spans, 52, 3, seed)
+	if err == nil {
+		t.SRLGs = append([]SRLG(nil), b4SRLGs...)
+	}
+	return t, err
 }
 
-// IBM builds the IBM topology (Table 4: 17 routers, 23 fibers, 85 IP links).
+// IBM builds the IBM topology (Table 4: 17 routers, 23 fibers, 85 IP links)
+// and its conduit SRLGs.
 func IBM(seed int64) (*Topology, error) {
-	return buildNamed("IBM", 17, ibmSpans, 85, 3, seed)
+	t, err := buildNamed("IBM", 17, ibmSpans, 85, 3, seed)
+	if err == nil {
+		t.SRLGs = append([]SRLG(nil), ibmSRLGs...)
+	}
+	return t, err
 }
 
 // Facebook builds a synthetic backbone matching the paper's production
@@ -199,8 +227,23 @@ func Facebook(seed int64) (*Topology, error) {
 		if subdivided[si] {
 			mid := optical.ROADM(nextMid)
 			nextMid++
+			first := len(opt.Fibers)
 			opt.AddFiber(optical.ROADM(s.a), mid, s.km/2)
 			opt.AddFiber(mid, optical.ROADM(s.b), s.km/2)
+			// The two halves of a subdivided span run through the same
+			// physical conduit: a natural SRLG. The conduit-cut probability
+			// scales with route length (more kilometres of exposed duct),
+			// computed from existing span data so the generator's RNG stream
+			// — and therefore the generated topology — is unchanged.
+			prob := s.km * 1.5e-6
+			if prob > 0.006 {
+				prob = 0.006
+			}
+			t.SRLGs = append(t.SRLGs, SRLG{
+				Name:   fmt.Sprintf("conduit-%d-%d", s.a, s.b),
+				Fibers: []int{first, first + 1},
+				Prob:   prob,
+			})
 		} else {
 			opt.AddFiber(optical.ROADM(s.a), optical.ROADM(s.b), s.km)
 		}

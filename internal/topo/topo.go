@@ -18,6 +18,17 @@ import (
 	"github.com/arrow-te/arrow/internal/te"
 )
 
+// SRLG is one shared-risk link group: a set of fibers that share a physical
+// conduit (or WDM shelf) and fail together when it is cut, with probability
+// Prob per epoch — an independent correlated-failure event on top of the
+// member fibers' individual Weibull marginals (see internal/scenario's
+// package comment for the probability model).
+type SRLG struct {
+	Name   string
+	Fibers []int
+	Prob   float64
+}
+
 // Topology is one evaluation network: an optical layer with provisioned IP
 // links, plus the router-site view used by the TE.
 type Topology struct {
@@ -26,6 +37,10 @@ type Topology struct {
 	// Routers lists the ROADM sites that host routers (IP-layer nodes).
 	// Router index r corresponds to IP node r.
 	Routers []optical.ROADM
+	// SRLGs lists the topology's shared-risk link groups (conduit
+	// groupings). Empty on topologies without correlated-failure data;
+	// consumers that do not opt into SRLG-aware enumeration ignore them.
+	SRLGs []SRLG
 	// routerOf maps ROADM -> router index (-1 for pass-through ROADMs).
 	routerOf []int
 
